@@ -1,0 +1,34 @@
+# Convenience targets for the UTS load-balancing reproduction.
+
+GO ?= go
+
+.PHONY: all build test race short bench experiments experiments-full clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure at quick scale (~3 min).
+experiments:
+	$(GO) run ./cmd/uts-bench -scale quick -csv results/quick | tee results/quick.txt
+
+# Largest trees and PE counts this reproduction runs (~1 h).
+experiments-full:
+	$(GO) run ./cmd/uts-bench -scale full -csv results/full | tee results/full.txt
+
+clean:
+	$(GO) clean ./...

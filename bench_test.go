@@ -1,0 +1,122 @@
+// Package repro's root test file holds one testing.B benchmark per paper
+// table/figure (see DESIGN.md's per-experiment index), plus micro-benches
+// of the load-balancing hot paths. The figure benchmarks run their
+// experiment drivers at Smoke scale so `go test -bench=.` stays fast;
+// regenerate publication-scale numbers with `go run ./cmd/uts-bench
+// -scale full`.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/pgas"
+	"repro/internal/stats"
+	"repro/internal/uts"
+)
+
+// benchExperiment runs one experiment driver per iteration and reports
+// the row count so regressions to zero output are visible.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e := bench.ByID(id)
+	if e == nil {
+		b.Fatalf("experiment %s not found", id)
+	}
+	b.ReportAllocs()
+	rows := 0
+	for i := 0; i < b.N; i++ {
+		tab, err := e.Run(bench.Smoke)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(tab.Rows)
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+// BenchmarkE1SequentialRate regenerates the Section 4.1 sequential table.
+func BenchmarkE1SequentialRate(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2Fig4ChunkSweep regenerates Figure 4 (chunk-size sweep).
+func BenchmarkE2Fig4ChunkSweep(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3Fig5Scaling regenerates Figure 5 (processor-count scaling).
+func BenchmarkE3Fig5Scaling(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4Fig6SharedMem regenerates Figure 6 (Altix shared memory).
+func BenchmarkE4Fig6SharedMem(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5Refinements regenerates the Section 4.2 refinement stack.
+func BenchmarkE5Refinements(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6Efficiency regenerates the Sections 1/6.2 operational profile.
+func BenchmarkE6Efficiency(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7SweetSpot regenerates the Section 4.2.1 sweet-spot table.
+func BenchmarkE7SweetSpot(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkA1StealHalf regenerates the rapid-diffusion ablation.
+func BenchmarkA1StealHalf(b *testing.B) { benchExperiment(b, "A1") }
+
+// BenchmarkA2PollInterval regenerates the mpi-ws polling-interval ablation.
+func BenchmarkA2PollInterval(b *testing.B) { benchExperiment(b, "A2") }
+
+// BenchmarkA3Lockless regenerates the lock-guarded vs lock-less ablation.
+func BenchmarkA3Lockless(b *testing.B) { benchExperiment(b, "A3") }
+
+// --- micro-benchmarks of the hot paths -------------------------------
+
+// BenchmarkSequentialSearch measures the raw sequential exploration rate
+// (the denominator of every speedup in the paper).
+func BenchmarkSequentialSearch(b *testing.B) {
+	b.ReportAllocs()
+	var nodes int64
+	for i := 0; i < b.N; i++ {
+		nodes += uts.SearchSequential(&uts.BenchTiny).Nodes
+	}
+	b.ReportMetric(float64(nodes)/b.Elapsed().Seconds()/1e6, "Mnodes/s")
+}
+
+// BenchmarkRealRun measures end-to-end real concurrent runs of each
+// implementation at 4 goroutine threads on the tiny tree.
+func BenchmarkRealRun(b *testing.B) {
+	for _, alg := range core.Algorithms {
+		b.Run(string(alg), func(b *testing.B) {
+			b.ReportAllocs()
+			var steals int64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(&uts.BenchTiny, core.Options{Algorithm: alg, Threads: 4, Chunk: 8})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Nodes() != 3337 {
+					b.Fatalf("count mismatch: %d", res.Nodes())
+				}
+				steals += res.Sum(func(t *stats.Thread) int64 { return t.Steals })
+			}
+			b.ReportMetric(float64(steals)/float64(b.N), "steals/run")
+		})
+	}
+}
+
+// BenchmarkSimRun measures simulator throughput (virtual PEs simulated
+// per wall second matters for how big a figure run is affordable).
+func BenchmarkSimRun(b *testing.B) {
+	for _, alg := range core.Algorithms {
+		b.Run(string(alg), func(b *testing.B) {
+			b.ReportAllocs()
+			var eff float64
+			for i := 0; i < b.N; i++ {
+				res, err := des.Run(&uts.BenchTiny, des.Config{Algorithm: alg, PEs: 16, Chunk: 8, Model: &pgas.KittyHawk})
+				if err != nil {
+					b.Fatal(err)
+				}
+				eff = res.Efficiency()
+			}
+			b.ReportMetric(100*eff, "virt-eff-%")
+		})
+	}
+}

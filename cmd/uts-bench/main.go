@@ -1,0 +1,75 @@
+// Command uts-bench regenerates the paper's tables and figures. Each
+// experiment (see DESIGN.md's per-experiment index) prints a text table;
+// -csv additionally writes one CSV per experiment for plotting.
+//
+// Examples:
+//
+//	uts-bench                      # all experiments at quick scale
+//	uts-bench -exp E2 -scale full  # Figure 4 at the largest scale
+//	uts-bench -list                # what is available
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment ID (E1..E7, A1..A3) or \"all\"")
+	scale := flag.String("scale", "quick", "smoke, quick or full")
+	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files (optional)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All {
+			fmt.Printf("%-4s %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+	sc, err := bench.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	exps := bench.All
+	if *exp != "all" {
+		e := bench.ByID(*exp)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		exps = []bench.Experiment{*e}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("# UTS load-balancing reproduction — scale=%s\n\n", sc)
+	for _, e := range exps {
+		start := time.Now()
+		tab, err := e.Run(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		tab.Notes = append(tab.Notes, fmt.Sprintf("scale=%s, generated in %v", sc, time.Since(start).Round(time.Millisecond)))
+		tab.Fprint(os.Stdout)
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, e.ID+".csv")
+			if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Command uts-dist runs the distributed-memory work-stealing search across
+// real operating-system processes connected by TCP (package
+// internal/cluster) — the genuinely distributed deployment of the paper's
+// Section 3.3 algorithm.
+//
+// Convenience launcher (spawns ranks 1..N-1 as child processes of itself):
+//
+//	uts-dist -launch 4 -tree bench-small -chunk 8
+//
+// Manual deployment, one process per host/core:
+//
+//	uts-dist -rank 0 -ranks 4 -coord 10.0.0.1:7777 -tree bench-small   # on host A
+//	uts-dist -rank 1 -ranks 4 -coord 10.0.0.1:7777 -tree bench-small   # on host B
+//	...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"repro/internal/cluster"
+	"repro/internal/uts"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	launch := flag.Int("launch", 0, "spawn this many ranks locally (rank 0 in-process, others as children)")
+	rank := flag.Int("rank", 0, "this process's rank")
+	ranks := flag.Int("ranks", 1, "total number of ranks")
+	coord := flag.String("coord", "127.0.0.1:17717", "coordinator address (rank 0 listens, others dial)")
+	tree := flag.String("tree", "bench-small", "named sample tree")
+	chunk := flag.Int("chunk", 16, "steal granularity k (nodes)")
+	seed := flag.Int64("seed", 0, "probe-order seed")
+	flag.Parse()
+
+	sp := uts.ByName(*tree)
+	if sp == nil {
+		fmt.Fprintf(os.Stderr, "unknown tree %q\n", *tree)
+		return 2
+	}
+
+	if *launch > 0 {
+		return launchLocal(*launch, *coord, *tree, *chunk, *seed, sp)
+	}
+
+	res, err := cluster.Run(cluster.Config{
+		Rank: *rank, Ranks: *ranks, Coord: *coord,
+		Spec: sp, Chunk: *chunk, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if res != nil { // rank 0
+		fmt.Printf("tree=%s ranks=%d chunk=%d\n", sp.String(), *ranks, *chunk)
+		fmt.Print(res.Summary())
+	}
+	return 0
+}
+
+// launchLocal runs rank 0 in-process and spawns ranks 1..n-1 as child
+// processes of this binary, all against the same coordinator address.
+func launchLocal(n int, coord, tree string, chunk int, seed int64, sp *uts.Spec) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	children := make([]*exec.Cmd, 0, n-1)
+	for r := 1; r < n; r++ {
+		cmd := exec.Command(self,
+			"-rank", fmt.Sprint(r),
+			"-ranks", fmt.Sprint(n),
+			"-coord", coord,
+			"-tree", tree,
+			"-chunk", fmt.Sprint(chunk),
+			"-seed", fmt.Sprint(seed),
+		)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "spawn rank %d: %v\n", r, err)
+			return 1
+		}
+		children = append(children, cmd)
+	}
+
+	res, err := cluster.Run(cluster.Config{
+		Rank: 0, Ranks: n, Coord: coord,
+		Spec: sp, Chunk: chunk, Seed: seed,
+	})
+	status := 0
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		status = 1
+	}
+	for r, cmd := range children {
+		if werr := cmd.Wait(); werr != nil {
+			fmt.Fprintf(os.Stderr, "rank %d: %v\n", r+1, werr)
+			status = 1
+		}
+	}
+	if res != nil {
+		fmt.Printf("tree=%s ranks=%d chunk=%d (local processes)\n", sp.String(), n, chunk)
+		fmt.Print(res.Summary())
+	}
+	return status
+}

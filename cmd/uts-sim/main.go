@@ -1,0 +1,68 @@
+// Command uts-sim runs one simulated cluster-scale search and prints a
+// UTS-style report. It is the exploratory companion of cmd/uts-bench: where
+// uts-bench regenerates whole figures, uts-sim runs a single point.
+//
+// Example:
+//
+//	uts-sim -tree bench-medium -alg upc-distmem -pes 256 -chunk 16 -profile kittyhawk
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/pgas"
+	"repro/internal/uts"
+)
+
+func main() {
+	tree := flag.String("tree", "bench-medium", "named sample tree")
+	alg := flag.String("alg", string(core.UPCDistMem), "algorithm: "+algList())
+	pes := flag.Int("pes", 64, "simulated processing elements")
+	chunk := flag.Int("chunk", 16, "steal granularity k (nodes)")
+	profile := flag.String("profile", "kittyhawk", "machine profile: sharedmem, altix, kittyhawk, topsail")
+	poll := flag.Int("poll", 8, "mpi-ws polling interval (nodes)")
+	seed := flag.Int64("seed", 0, "probe-order seed")
+	verbose := flag.Bool("verbose", false, "print the per-thread counter table")
+	flag.Parse()
+
+	sp := uts.ByName(*tree)
+	if sp == nil {
+		fmt.Fprintf(os.Stderr, "unknown tree %q\n", *tree)
+		os.Exit(2)
+	}
+	model, ok := pgas.Profiles[*profile]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+	res, err := des.Run(sp, des.Config{
+		Algorithm:    core.Algorithm(*alg),
+		PEs:          *pes,
+		Chunk:        *chunk,
+		Model:        model,
+		PollInterval: *poll,
+		Seed:         *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("tree=%s alg=%s pes=%d chunk=%d profile=%s\n", sp.Name, *alg, *pes, *chunk, *profile)
+	fmt.Print(res.Summary())
+	if *verbose {
+		fmt.Print(res.PerThreadTable())
+	}
+}
+
+func algList() string {
+	names := make([]string, len(core.Algorithms))
+	for i, a := range core.Algorithms {
+		names[i] = string(a)
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,105 @@
+// Command uts-trace visualizes the rapid-diffusion mechanism of Section
+// 3.3.2: it runs a simulated search while sampling the number of "work
+// sources" (PEs with stealable surplus) over virtual time, then prints the
+// curve as a text chart. Comparing -alg upc-term (steal-one) against
+// upc-term-rapdif or upc-distmem (steal-half) shows work sources
+// multiplying far faster under steal-half — the effect the paper relies on
+// to cut victim-discovery costs.
+//
+// Example:
+//
+//	uts-trace -tree bench-medium -pes 64 -alg upc-term
+//	uts-trace -tree bench-medium -pes 64 -alg upc-distmem
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/pgas"
+	"repro/internal/uts"
+)
+
+func main() {
+	tree := flag.String("tree", "bench-medium", "named sample tree")
+	alg := flag.String("alg", string(core.UPCDistMem), "algorithm to trace")
+	pes := flag.Int("pes", 64, "simulated processing elements")
+	chunk := flag.Int("chunk", 8, "steal granularity k (nodes)")
+	profile := flag.String("profile", "kittyhawk", "machine profile")
+	buckets := flag.Int("buckets", 40, "time buckets in the chart")
+	width := flag.Int("width", 50, "chart width in characters")
+	flag.Parse()
+
+	sp := uts.ByName(*tree)
+	if sp == nil {
+		fmt.Fprintf(os.Stderr, "unknown tree %q\n", *tree)
+		os.Exit(2)
+	}
+	model, ok := pgas.Profiles[*profile]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+
+	// First a quick untraced run to size the sampling interval so the
+	// chart covers the whole makespan at the requested resolution.
+	pre, err := des.Run(sp, des.Config{Algorithm: core.Algorithm(*alg), PEs: *pes, Chunk: *chunk, Model: model})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	interval := pre.Elapsed / time.Duration(*buckets*4)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	res, trace, err := des.RunTraced(sp, des.Config{
+		Algorithm: core.Algorithm(*alg), PEs: *pes, Chunk: *chunk, Model: model,
+	}, interval)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("work sources over virtual time: %s, %d PEs, chunk %d, %s\n",
+		*alg, *pes, *chunk, model.Name)
+	fmt.Printf("makespan %v, rate %.1fM nodes/s, efficiency %.1f%%\n\n",
+		res.Elapsed.Round(time.Microsecond), res.Rate()/1e6, 100*res.Efficiency())
+
+	// Bucket the samples and draw one bar per bucket (peak value in the
+	// bucket, scaled to the PE count).
+	samples := trace.Samples
+	if len(samples) == 0 {
+		fmt.Println("(no samples)")
+		return
+	}
+	span := samples[len(samples)-1].T
+	if span <= 0 {
+		span = interval
+	}
+	peaks := make([]int, *buckets)
+	for _, s := range samples {
+		b := int(int64(s.T) * int64(*buckets) / (int64(span) + 1))
+		if s.WorkSources > peaks[b] {
+			peaks[b] = s.WorkSources
+		}
+	}
+	for b, v := range peaks {
+		bar := v * *width / *pes
+		if v > 0 && bar == 0 {
+			bar = 1
+		}
+		fmt.Printf("%8v |%s%s| %d\n",
+			(span * time.Duration(b) / time.Duration(*buckets)).Round(time.Microsecond),
+			strings.Repeat("█", bar), strings.Repeat(" ", *width-bar), v)
+	}
+	if t := trace.TimeToSources(*pes / 4); t >= 0 {
+		fmt.Printf("\nreached %d work sources (P/4) at %v\n", *pes/4, t.Round(time.Microsecond))
+	} else {
+		fmt.Printf("\nnever reached %d work sources (P/4)\n", *pes/4)
+	}
+}

@@ -1,0 +1,66 @@
+// Command uts-tune finds the chunk-size sweet spot (Section 4.2.1) for a
+// given machine profile and processor count by simulated sweep — answering
+// in seconds the tuning question that needs machine-hours on a testbed.
+//
+// Example:
+//
+//	uts-tune -tree bench-medium -pes 256 -profile topsail
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/pgas"
+	"repro/internal/uts"
+)
+
+func main() {
+	tree := flag.String("tree", "bench-medium", "named sample tree")
+	alg := flag.String("alg", string(core.UPCDistMem), "algorithm to tune")
+	pes := flag.Int("pes", 64, "simulated processing elements")
+	profile := flag.String("profile", "kittyhawk", "machine profile")
+	flag.Parse()
+
+	sp := uts.ByName(*tree)
+	if sp == nil {
+		fmt.Fprintf(os.Stderr, "unknown tree %q\n", *tree)
+		os.Exit(2)
+	}
+	model, ok := pgas.Profiles[*profile]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+
+	best, results, err := des.TuneChunk(sp, des.Config{
+		Algorithm: core.Algorithm(*alg), PEs: *pes, Model: model,
+	}, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("chunk-size sweep: %s on %d simulated PEs (%s profile), %s\n\n",
+		*alg, *pes, model.Name, sp.Name)
+	chunks := make([]int, 0, len(results))
+	for k := range results {
+		chunks = append(chunks, k)
+	}
+	sort.Ints(chunks)
+	fmt.Printf("%7s %10s %11s %9s\n", "chunk", "Mnodes/s", "efficiency", "of-peak")
+	peak := results[best].Rate()
+	for _, k := range chunks {
+		res := results[k]
+		marker := ""
+		if k == best {
+			marker = "  <- best"
+		}
+		fmt.Printf("%7d %10.2f %10.1f%% %8.0f%%%s\n",
+			k, res.Rate()/1e6, 100*res.Efficiency(), 100*res.Rate()/peak, marker)
+	}
+}

@@ -1,0 +1,137 @@
+// Command uts runs one parallel Unbalanced Tree Search with real
+// goroutine threads (the concurrent implementations of internal/core) and
+// prints a UTS-style report. For cluster-scale virtual runs use uts-sim;
+// for whole figures use uts-bench.
+//
+// Examples:
+//
+//	uts -tree bench-small -alg upc-distmem -threads 8 -chunk 16
+//	uts -tree bench-medium -alg mpi-ws -threads 4 -poll 16
+//	uts -t 'binomial r=5 b0=100 m=2 q=0.49' -threads 2   # custom tree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/pgas"
+	"repro/internal/uts"
+)
+
+func main() {
+	tree := flag.String("tree", "bench-small", "named sample tree (see -trees)")
+	custom := flag.String("t", "", "custom binomial tree: 'binomial r=SEED b0=N m=M q=Q'")
+	alg := flag.String("alg", string(core.UPCDistMem), "seq, upc-sharedmem, upc-term, upc-term-rapdif, upc-distmem, mpi-ws")
+	threads := flag.Int("threads", 4, "worker threads (goroutines)")
+	chunk := flag.Int("chunk", 16, "steal granularity k (nodes)")
+	poll := flag.Int("poll", 8, "mpi-ws polling interval (nodes)")
+	profile := flag.String("profile", "sharedmem", "latency model: sharedmem, altix, kittyhawk, topsail")
+	seed := flag.Int64("seed", 0, "probe-order seed")
+	verbose := flag.Bool("verbose", false, "print the per-thread counter table")
+	baseline := flag.Bool("baseline", false, "measure the sequential rate first for speedup reporting")
+	trees := flag.Bool("trees", false, "list sample trees and exit")
+	flag.Parse()
+
+	if *trees {
+		for _, sp := range uts.SampleTrees {
+			fmt.Printf("%-14s %s  (expected ~%.3g nodes)\n", sp.Name, sp.String(), sp.ExpectedSize())
+		}
+		return
+	}
+
+	var sp *uts.Spec
+	if *custom != "" {
+		parsed, err := parseCustom(*custom)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		sp = parsed
+	} else {
+		sp = uts.ByName(*tree)
+		if sp == nil {
+			fmt.Fprintf(os.Stderr, "unknown tree %q (use -trees)\n", *tree)
+			os.Exit(2)
+		}
+	}
+	model, ok := pgas.Profiles[*profile]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+
+	opt := core.Options{
+		Algorithm:    core.Algorithm(*alg),
+		Threads:      *threads,
+		Chunk:        *chunk,
+		PollInterval: *poll,
+		Model:        model,
+		Seed:         *seed,
+	}
+	if *baseline {
+		c := uts.SearchSequential(sp)
+		opt.SeqRate = c.Rate()
+		fmt.Printf("sequential baseline: %.2fM nodes/s\n", c.Rate()/1e6)
+	}
+	res, err := core.Run(sp, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("tree=%s alg=%s\n", sp.String(), res.Algorithm)
+	fmt.Print(res.Summary())
+	if *verbose {
+		fmt.Print(res.PerThreadTable())
+	}
+}
+
+// parseCustom parses 'binomial r=SEED b0=N m=M q=Q' into a spec.
+func parseCustom(s string) (*uts.Spec, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 || fields[0] != "binomial" {
+		return nil, fmt.Errorf("custom trees must start with 'binomial' (got %q)", s)
+	}
+	sp := &uts.Spec{Name: "custom", Kind: uts.Binomial, B0: 100, M: 2, Q: 0.49}
+	for _, f := range fields[1:] {
+		kv := strings.SplitN(f, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad field %q", f)
+		}
+		switch kv[0] {
+		case "r":
+			v, err := strconv.ParseInt(kv[1], 10, 32)
+			if err != nil {
+				return nil, err
+			}
+			sp.Seed = int32(v)
+		case "b0":
+			v, err := strconv.Atoi(kv[1])
+			if err != nil {
+				return nil, err
+			}
+			sp.B0 = v
+		case "m":
+			v, err := strconv.Atoi(kv[1])
+			if err != nil {
+				return nil, err
+			}
+			sp.M = v
+		case "q":
+			v, err := strconv.ParseFloat(kv[1], 64)
+			if err != nil {
+				return nil, err
+			}
+			sp.Q = v
+		default:
+			return nil, fmt.Errorf("unknown field %q", kv[0])
+		}
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	return sp, nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestParseCustom(t *testing.T) {
+	sp, err := parseCustom("binomial r=7 b0=50 m=2 q=0.45")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Seed != 7 || sp.B0 != 50 || sp.M != 2 || sp.Q != 0.45 {
+		t.Errorf("parsed %+v", sp)
+	}
+	// Defaults apply for omitted fields.
+	sp, err = parseCustom("binomial r=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.B0 != 100 || sp.M != 2 {
+		t.Errorf("defaults not applied: %+v", sp)
+	}
+}
+
+func TestParseCustomErrors(t *testing.T) {
+	for _, in := range []string{
+		"",                            // empty
+		"geometric r=1",               // only binomial supported
+		"binomial r",                  // missing value
+		"binomial r=x",                // bad int
+		"binomial q=zero",             // bad float
+		"binomial nope=1",             // unknown field
+		"binomial b0=2 m=2 q=0.9",     // supercritical fails validation
+		"binomial r=0 b0=-5 m=2 q=.1", // negative fan-out
+	} {
+		if _, err := parseCustom(in); err == nil {
+			t.Errorf("parseCustom(%q) accepted", in)
+		}
+	}
+}

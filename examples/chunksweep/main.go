@@ -1,0 +1,54 @@
+// Chunksweep reproduces the shape of the paper's Figure 4 in miniature: it
+// sweeps the work-stealing chunk size k for each implementation on a
+// simulated 64-processor InfiniBand cluster and prints the performance
+// curve. Look for the paper's three observations: the shared-memory
+// algorithm collapses at small k, each refinement improves on the last,
+// and performance forms a plateau that falls off at both extremes.
+//
+// Run with:
+//
+//	go run ./examples/chunksweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/pgas"
+	"repro/internal/uts"
+)
+
+func main() {
+	const pes = 64
+	tree := &uts.BenchMedium
+	chunks := []int{1, 2, 4, 8, 16, 32, 64, 128}
+
+	fmt.Printf("chunk-size sweep: %s, %d simulated PEs, %s profile\n\n",
+		tree.Name, pes, pgas.KittyHawk.Name)
+	fmt.Printf("%-16s", "impl \\ chunk")
+	for _, k := range chunks {
+		fmt.Printf("%8d", k)
+	}
+	fmt.Println("\n" + "                (million nodes/second)")
+
+	for _, alg := range core.Algorithms {
+		fmt.Printf("%-16s", alg)
+		for _, k := range chunks {
+			res, err := des.Run(tree, des.Config{
+				Algorithm: alg,
+				PEs:       pes,
+				Chunk:     k,
+				Model:     &pgas.KittyHawk,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%8.1f", res.Rate()/1e6)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nexpected shape (paper, Figure 4): upc-sharedmem worst and collapsing at")
+	fmt.Println("small k; upc-term < upc-term-rapdif < upc-distmem; mpi-ws near upc-distmem")
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsSmoke runs every experiment driver at Smoke scale:
+// each must produce a non-empty, well-formed table without error. This
+// keeps the figure-regeneration paths from rotting.
+func TestAllExperimentsSmoke(t *testing.T) {
+	for _, e := range All {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run(Smoke)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if tab.ID != e.ID {
+				t.Errorf("table ID %q != experiment ID %q", tab.ID, e.ID)
+			}
+			if len(tab.Rows) == 0 {
+				t.Error("empty table")
+			}
+			for i, r := range tab.Rows {
+				if len(r) != len(tab.Columns) {
+					t.Errorf("row %d has %d cells, want %d", i, len(r), len(tab.Columns))
+				}
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if ByID("E2") == nil || ByID("A3") == nil {
+		t.Error("known experiments not found")
+	}
+	if ByID("E99") != nil {
+		t.Error("unknown experiment found")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for in, want := range map[string]Scale{"smoke": Smoke, "quick": Quick, "": Quick, "full": Full} {
+		got, err := ParseScale(in)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if Smoke.String() != "smoke" || Quick.String() != "quick" || Full.String() != "full" {
+		t.Error("scale names wrong")
+	}
+	if Scale(9).String() == "" {
+		t.Error("out-of-range scale should stringify")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID:      "T",
+		Title:   "test table",
+		Columns: []string{"a", "long-column"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow("x", 3.14159)
+	tab.AddRow(42, "y")
+	var b strings.Builder
+	tab.Fprint(&b)
+	out := b.String()
+	for _, want := range []string{"## T — test table", "long-column", "3.14", "42", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "a,long-column\n") {
+		t.Errorf("CSV header wrong: %q", csv)
+	}
+	if !strings.Contains(csv, "x,3.14\n") {
+		t.Errorf("CSV row wrong: %q", csv)
+	}
+}
+
+// TestExperimentsDeterministic re-runs a simulator-backed experiment and
+// requires byte-identical tables: the whole figure pipeline is a pure
+// function of its configuration.
+func TestExperimentsDeterministic(t *testing.T) {
+	for _, id := range []string{"E2", "E0", "D1"} {
+		e := ByID(id)
+		a, err := e.Run(Smoke)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		b, err := e.Run(Smoke)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if a.CSV() != b.CSV() {
+			t.Errorf("%s: two identical runs produced different tables:\n%s\nvs\n%s", id, a.CSV(), b.CSV())
+		}
+	}
+}

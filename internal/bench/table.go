@@ -1,0 +1,97 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Section 4), plus the ablations called out in DESIGN.md. Each
+// experiment is a named driver that produces a Table — the textual
+// equivalent of the paper's plot series — at one of three scales:
+//
+//	Smoke — seconds; used by the test suite to keep every driver honest.
+//	Quick — a couple of minutes on one core; sharp enough to see every
+//	        qualitative claim (orderings, crossovers, sweet spots).
+//	Full  — tens of minutes; the largest trees and PE counts this
+//	        reproduction runs, closest to the paper's operating point.
+//
+// Absolute efficiencies at Quick/Full run below the paper's: the paper
+// explores 10.6–157 billion-node trees (tens of millions of nodes per
+// processor) where this harness explores 10^5–10^8-node trees, so stealing
+// overheads are amortized over far less work per processor. The *shapes* —
+// which implementation wins, where the chunk-size sweet spot lies, how the
+// refinements stack — are the reproduction target, and EXPERIMENTS.md
+// records both sides.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one regenerated figure or table.
+type Table struct {
+	ID      string // experiment id, e.g. "E2"
+	Title   string // paper reference, e.g. "Figure 4: ..."
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row of cells, formatting each with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "## %s — %s\n\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV renders the table as comma-separated values (no quoting needed for
+// the cell vocabulary this package emits).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,391 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stack"
+	"repro/internal/stats"
+	"repro/internal/uts"
+)
+
+// Config configures one process of a distributed run.
+type Config struct {
+	// Rank is this process's ID in [0, Ranks); rank 0 is the coordinator.
+	Rank int
+	// Ranks is the total number of processes.
+	Ranks int
+	// Coord is the coordinator's listen address. Rank 0 listens on it
+	// ("host:port", port may be 0 when CoordReady is used); other ranks
+	// dial it.
+	Coord string
+	// CoordReady, if non-nil, receives rank 0's actual listen address once
+	// it is accepting connections. Used by in-process launches and tests
+	// that bind port 0.
+	CoordReady chan<- string
+	// Spec is the tree to search; every rank must be given the same spec.
+	Spec *uts.Spec
+	// Chunk is the steal granularity k; default 16.
+	Chunk int
+	// Seed randomizes probe orders.
+	Seed int64
+	// DialTimeout bounds bootstrap connection attempts; default 10s.
+	DialTimeout time.Duration
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Ranks < 1 {
+		return c, fmt.Errorf("cluster: need at least one rank, got %d", c.Ranks)
+	}
+	if c.Rank < 0 || c.Rank >= c.Ranks {
+		return c, fmt.Errorf("cluster: rank %d out of range [0,%d)", c.Rank, c.Ranks)
+	}
+	if c.Spec == nil {
+		return c, fmt.Errorf("cluster: no tree spec")
+	}
+	if err := c.Spec.Validate(); err != nil {
+		return c, err
+	}
+	if c.Chunk == 0 {
+		c.Chunk = 16
+	}
+	if c.Chunk < 1 {
+		return c, fmt.Errorf("cluster: chunk must be >= 1, got %d", c.Chunk)
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 10 * time.Second
+	}
+	return c, nil
+}
+
+// node is one process's runtime state.
+type node struct {
+	cfg   Config
+	ln    net.Listener
+	addrs []string // rank → address
+
+	// Shared words served one-sidedly by the progress engine.
+	workAvail atomic.Int32
+	reqWord   atomic.Int32
+
+	// Incoming response slot (written by kindPutResponse).
+	respAmount int32
+	respHandle uint64
+	respFrom   int
+	respReady  atomic.Bool
+
+	// Handoff table: chunks reserved by the worker, fetched one-sidedly
+	// by thieves. Guarded by handoffMu (worker deposits, progress engine
+	// serves).
+	handoffMu  sync.Mutex
+	handoffSeq uint64
+	handoff    map[uint64][]stack.Chunk
+
+	// Barrier state (rank 0 only), manipulated by the progress engine
+	// under barMu.
+	barMu     sync.Mutex
+	barCount  int
+	announced atomic.Bool
+
+	// Stats collection (rank 0 only).
+	statsMu   sync.Mutex
+	collected []stats.Thread
+	statsWG   sync.WaitGroup
+
+	// Outgoing connections, one per peer, created lazily. Each carries
+	// only this rank's requests, in lockstep, so a plain mutex per peer
+	// suffices.
+	peersMu sync.Mutex
+	peers   []*peerConn
+
+	t stats.Thread
+}
+
+// peerConn is one outgoing gob-encoded RPC connection.
+type peerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// call performs one lockstep RPC on the connection.
+func (p *peerConn) call(req *request) (*response, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("cluster: rpc send: %w", err)
+	}
+	var resp response
+	if err := p.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("cluster: rpc recv: %w", err)
+	}
+	return &resp, nil
+}
+
+// Run executes this process's part of a distributed search. On rank 0 it
+// returns the aggregated result once every rank has reported; on other
+// ranks it returns (nil, nil) after a clean shutdown.
+func Run(cfg Config) (*stats.Run, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	n := &node{cfg: cfg, handoff: map[uint64][]stack.Chunk{}}
+	n.reqWord.Store(-1)
+	n.t.ID = cfg.Rank
+
+	if err := n.bootstrap(); err != nil {
+		return nil, err
+	}
+	defer n.close()
+
+	start := time.Now()
+	if err := n.search(); err != nil {
+		return nil, err
+	}
+
+	if cfg.Rank != 0 {
+		// Report counters to the coordinator and exit.
+		if cfg.Ranks > 1 {
+			pc, err := n.peer(0)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := pc.call(&request{Kind: kindStats, From: cfg.Rank, Stats: &n.t}); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	}
+
+	// Rank 0: wait for every other rank's stats, then aggregate.
+	n.statsWG.Wait()
+	run := &stats.Run{Elapsed: time.Since(start)}
+	run.Threads = append(run.Threads, n.t)
+	n.statsMu.Lock()
+	run.Threads = append(run.Threads, n.collected...)
+	n.statsMu.Unlock()
+	return run, nil
+}
+
+// bootstrap brings up the listener, exchanges the address map through the
+// coordinator, and waits until every rank is reachable.
+func (n *node) bootstrap() error {
+	cfg := &n.cfg
+	if cfg.Ranks == 1 {
+		n.addrs = []string{""}
+		return nil
+	}
+	if cfg.Rank == 0 {
+		ln, err := net.Listen("tcp", cfg.Coord)
+		if err != nil {
+			return fmt.Errorf("cluster: coordinator listen: %w", err)
+		}
+		n.ln = ln
+		if cfg.CoordReady != nil {
+			cfg.CoordReady <- ln.Addr().String()
+		}
+		n.statsWG.Add(cfg.Ranks - 1)
+		return n.coordinate()
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("cluster: rank %d listen: %w", cfg.Rank, err)
+	}
+	n.ln = ln
+	go n.serve()
+
+	conn, err := dialRetry(cfg.Coord, cfg.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("cluster: rank %d dial coordinator: %w", cfg.Rank, err)
+	}
+	pc := &peerConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	resp, err := pc.call(&request{Kind: kindHello, From: cfg.Rank, Addr: ln.Addr().String()})
+	if err != nil {
+		return err
+	}
+	n.addrs = resp.Addrs
+	n.peersMu.Lock()
+	n.peers = make([]*peerConn, cfg.Ranks)
+	n.peers[0] = pc // reuse the coordinator connection for rank-0 RPCs
+	n.peersMu.Unlock()
+	return nil
+}
+
+// coordinate is rank 0's side of the bootstrap: accept one Hello per rank,
+// then answer all of them with the completed address map and keep serving
+// the connections.
+func (n *node) coordinate() error {
+	cfg := &n.cfg
+	n.addrs = make([]string, cfg.Ranks)
+	n.addrs[0] = n.ln.Addr().String()
+
+	type pending struct {
+		conn net.Conn
+		enc  *gob.Encoder
+		dec  *gob.Decoder
+	}
+	waiting := make([]pending, 0, cfg.Ranks-1)
+	for registered := 0; registered < cfg.Ranks-1; {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("cluster: coordinator accept: %w", err)
+		}
+		dec := gob.NewDecoder(conn)
+		enc := gob.NewEncoder(conn)
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			conn.Close()
+			return fmt.Errorf("cluster: bad hello: %w", err)
+		}
+		if req.Kind != kindHello || req.From <= 0 || req.From >= cfg.Ranks || n.addrs[req.From] != "" {
+			conn.Close()
+			return fmt.Errorf("cluster: invalid hello from rank %d", req.From)
+		}
+		n.addrs[req.From] = req.Addr
+		waiting = append(waiting, pending{conn, enc, dec})
+		registered++
+	}
+	for _, p := range waiting {
+		if err := p.enc.Encode(&response{Addrs: n.addrs}); err != nil {
+			return fmt.Errorf("cluster: address broadcast: %w", err)
+		}
+		// The hello connection becomes a served peer connection.
+		go n.serveConn(p.conn, p.enc, p.dec)
+	}
+	go n.serve() // later direct dials from workers to rank 0's one-sided words
+	return nil
+}
+
+// dialRetry dials until the deadline; the coordinator may come up after
+// the workers when processes are launched together.
+func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// serve accepts inbound one-sided connections for the progress engine.
+func (n *node) serve() {
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed: shutting down
+		}
+		go n.serveConn(conn, gob.NewEncoder(conn), gob.NewDecoder(conn))
+	}
+}
+
+// serveConn is the progress engine: it services one-sided operations on
+// this process's shared words without involving the worker thread.
+func (n *node) serveConn(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder) {
+	defer conn.Close()
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		var resp response
+		switch req.Kind {
+		case kindGetAvail:
+			resp.Avail = n.workAvail.Load()
+		case kindCASRequest:
+			resp.OK = n.reqWord.CompareAndSwap(-1, req.Thief)
+		case kindPutResponse:
+			n.respAmount = req.Amount
+			n.respHandle = req.Handle
+			n.respFrom = req.From
+			n.respReady.Store(true)
+		case kindGetChunks:
+			n.handoffMu.Lock()
+			resp.Chunk = n.handoff[req.Handle]
+			delete(n.handoff, req.Handle)
+			n.handoffMu.Unlock()
+		case kindBarrierEnter:
+			n.barMu.Lock()
+			n.barCount++
+			if n.barCount == n.cfg.Ranks {
+				n.announced.Store(true)
+				resp.Last = true
+			}
+			n.barMu.Unlock()
+		case kindBarrierLeave:
+			n.barMu.Lock()
+			if !n.announced.Load() {
+				n.barCount--
+				resp.OK = true
+			}
+			n.barMu.Unlock()
+		case kindBarrierDone:
+			resp.Done = n.announced.Load()
+		case kindStats:
+			if req.Stats != nil {
+				n.statsMu.Lock()
+				n.collected = append(n.collected, *req.Stats)
+				n.statsMu.Unlock()
+				n.statsWG.Done()
+			}
+		default:
+			return // protocol error: drop the connection
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// peer returns (dialing if necessary) the outgoing connection to rank r.
+func (n *node) peer(r int) (*peerConn, error) {
+	n.peersMu.Lock()
+	defer n.peersMu.Unlock()
+	if n.peers == nil {
+		n.peers = make([]*peerConn, n.cfg.Ranks)
+	}
+	if n.peers[r] == nil {
+		conn, err := dialRetry(n.addrs[r], n.cfg.DialTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: rank %d cannot reach rank %d at %q: %w",
+				n.cfg.Rank, r, n.addrs[r], err)
+		}
+		n.peers[r] = &peerConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	}
+	return n.peers[r], nil
+}
+
+// close tears down the listener and every outgoing connection.
+func (n *node) close() {
+	if n.ln != nil {
+		n.ln.Close()
+	}
+	n.peersMu.Lock()
+	for _, p := range n.peers {
+		if p != nil {
+			p.conn.Close()
+		}
+	}
+	n.peersMu.Unlock()
+}
+
+// deposit reserves chunks in the handoff table and returns their handle.
+func (n *node) deposit(chunks []stack.Chunk) uint64 {
+	n.handoffMu.Lock()
+	n.handoffSeq++
+	h := n.handoffSeq
+	n.handoff[h] = chunks
+	n.handoffMu.Unlock()
+	return h
+}

@@ -1,0 +1,366 @@
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stack"
+	"repro/internal/stats"
+	"repro/internal/uts"
+)
+
+// search runs the Section 3.3 distributed-memory algorithm on this rank's
+// worker thread, with every remote interaction going over TCP.
+func (n *node) search() error {
+	w := &clusterWorker{
+		n:     n,
+		sp:    n.cfg.Spec,
+		k:     n.cfg.Chunk,
+		rng:   core.NewProbeOrder(n.cfg.Seed, n.cfg.Rank),
+		ranks: n.cfg.Ranks,
+		me:    n.cfg.Rank,
+	}
+	if w.me == 0 {
+		w.local.Push(uts.Root(w.sp))
+	}
+	w.n.t.StartTimers(time.Now())
+	defer func() { w.n.t.StopTimers(time.Now()) }()
+	return w.main()
+}
+
+// clusterWorker is the per-process worker thread state.
+type clusterWorker struct {
+	n     *node
+	sp    *uts.Spec
+	k     int
+	me    int
+	ranks int
+	rng   *core.ProbeOrder
+
+	local   stack.Deque
+	pool    stack.Pool
+	scratch []uts.Node
+	perm    []int
+}
+
+func (w *clusterWorker) main() error {
+	t := &w.n.t
+	for {
+		if err := w.work(); err != nil {
+			return err
+		}
+		w.n.workAvail.Store(-1)
+		t.Switch(stats.Searching, time.Now())
+		got, err := w.discover()
+		if err != nil {
+			return err
+		}
+		if got {
+			t.Switch(stats.Working, time.Now())
+			continue
+		}
+		t.Switch(stats.Idle, time.Now())
+		t.TermBarrierEntries++
+		done, err := w.terminate()
+		if err != nil {
+			return err
+		}
+		if done {
+			return w.service() // deny any last raced-in request
+		}
+		t.Switch(stats.Working, time.Now())
+	}
+}
+
+// work explores nodes until the local stack and the steal pool drain,
+// polling the request word (a local atomic) every node.
+func (w *clusterWorker) work() error {
+	t := &w.n.t
+	st := w.sp.Stream()
+	sinceYield := 0
+	for {
+		if sinceYield++; sinceYield >= 256 {
+			sinceYield = 0
+			runtime.Gosched()
+		}
+		if err := w.service(); err != nil {
+			return err
+		}
+		node, ok := w.local.Pop()
+		if !ok {
+			c, ok2 := w.pool.TakeNewest()
+			if !ok2 {
+				return nil
+			}
+			w.n.workAvail.Store(int32(w.pool.Len()))
+			t.Reacquires++
+			w.local.PushAll(c)
+			continue
+		}
+		t.Nodes++
+		if node.NumKids == 0 {
+			t.Leaves++
+		} else {
+			w.scratch = uts.Children(w.sp, st, &node, w.scratch[:0])
+			w.local.PushAll(w.scratch)
+		}
+		t.NoteDepth(w.local.Len())
+		if w.local.Len() >= 2*w.k {
+			w.pool.Put(w.local.TakeBottom(w.k))
+			w.n.workAvail.Store(int32(w.pool.Len()))
+			t.Releases++
+		}
+	}
+}
+
+// service answers a pending steal request: reserve half the pool in the
+// handoff table and write amount+handle into the thief's response slot.
+func (w *clusterWorker) service() error {
+	thief := w.n.reqWord.Load()
+	if thief < 0 {
+		return nil
+	}
+	var amount int32
+	var handle uint64
+	if w.pool.Len() > 0 {
+		chunks := w.pool.TakeHalf()
+		w.n.workAvail.Store(int32(w.pool.Len()))
+		amount = int32(len(chunks))
+		handle = w.n.deposit(chunks)
+	}
+	if int(thief) == w.me {
+		return fmt.Errorf("cluster: rank %d received a self-steal request", w.me)
+	}
+	pc, err := w.n.peer(int(thief))
+	if err != nil {
+		return err
+	}
+	if _, err := pc.call(&request{
+		Kind: kindPutResponse, From: w.me, Amount: amount, Handle: handle,
+	}); err != nil {
+		return err
+	}
+	w.n.reqWord.Store(-1)
+	w.n.t.Requests++
+	return nil
+}
+
+// discover probes the other ranks in pseudo-random cycles, returning true
+// once work has been stolen onto the local stack and false when a full
+// cycle saw every other rank entirely out of work.
+func (w *clusterWorker) discover() (bool, error) {
+	if w.ranks == 1 {
+		return false, nil
+	}
+	t := &w.n.t
+	for {
+		sawWorker := false
+		w.perm = w.rng.Cycle(w.me, w.ranks, w.perm)
+		for _, v := range w.perm {
+			if err := w.service(); err != nil {
+				return false, err
+			}
+			wa, err := w.probe(v)
+			if err != nil {
+				return false, err
+			}
+			if wa > 0 {
+				t.Switch(stats.Stealing, time.Now())
+				ok, err := w.steal(v)
+				t.Switch(stats.Searching, time.Now())
+				if err != nil {
+					return false, err
+				}
+				if ok {
+					return true, nil
+				}
+			}
+			if wa >= 0 {
+				sawWorker = true
+			}
+		}
+		if !sawWorker {
+			return false, nil
+		}
+		runtime.Gosched()
+	}
+}
+
+// probe reads rank v's work-available word with a one-sided get.
+func (w *clusterWorker) probe(v int) (int32, error) {
+	w.n.t.Probes++
+	pc, err := w.n.peer(v)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := pc.call(&request{Kind: kindGetAvail, From: w.me})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Avail, nil
+}
+
+// steal claims v's request word, waits for the owner's response in the
+// local slot, then fetches the reserved chunks with a one-sided get.
+func (w *clusterWorker) steal(v int) (bool, error) {
+	t := &w.n.t
+	pc, err := w.n.peer(v)
+	if err != nil {
+		return false, err
+	}
+	resp, err := pc.call(&request{Kind: kindCASRequest, From: w.me, Thief: int32(w.me)})
+	if err != nil {
+		return false, err
+	}
+	if !resp.OK {
+		t.FailedSteals++
+		return false, nil
+	}
+	for !w.n.respReady.Load() {
+		if err := w.service(); err != nil {
+			return false, err
+		}
+		runtime.Gosched()
+	}
+	amount, handle, from := w.n.respAmount, w.n.respHandle, w.n.respFrom
+	w.n.respReady.Store(false)
+	if amount == 0 {
+		t.FailedSteals++
+		return false, nil
+	}
+	if from != v {
+		return false, fmt.Errorf("cluster: rank %d got a response from %d while stealing from %d", w.me, from, v)
+	}
+	got, err := pc.call(&request{Kind: kindGetChunks, From: w.me, Handle: handle})
+	if err != nil {
+		return false, err
+	}
+	if len(got.Chunk) == 0 {
+		return false, fmt.Errorf("cluster: rank %d: empty handoff %d at rank %d", w.me, handle, v)
+	}
+	t.Steals++
+	t.ChunksGot += int64(len(got.Chunk))
+	w.local.PushAll(got.Chunk[0])
+	for _, c := range got.Chunk[1:] {
+		w.pool.Put(c)
+	}
+	w.n.workAvail.Store(int32(w.pool.Len()))
+	return true, nil
+}
+
+// Barrier operations, served by rank 0's progress engine; rank 0's own
+// worker shortcuts to local state.
+func (w *clusterWorker) barrierEnter() (bool, error) {
+	n := w.n
+	if w.me == 0 {
+		n.barMu.Lock()
+		n.barCount++
+		last := n.barCount == w.ranks
+		if last {
+			n.announced.Store(true)
+		}
+		n.barMu.Unlock()
+		return last, nil
+	}
+	pc, err := n.peer(0)
+	if err != nil {
+		return false, err
+	}
+	resp, err := pc.call(&request{Kind: kindBarrierEnter, From: w.me})
+	if err != nil {
+		return false, err
+	}
+	return resp.Last, nil
+}
+
+func (w *clusterWorker) barrierLeave() (bool, error) {
+	n := w.n
+	if w.me == 0 {
+		n.barMu.Lock()
+		ok := !n.announced.Load()
+		if ok {
+			n.barCount--
+		}
+		n.barMu.Unlock()
+		return ok, nil
+	}
+	pc, err := n.peer(0)
+	if err != nil {
+		return false, err
+	}
+	resp, err := pc.call(&request{Kind: kindBarrierLeave, From: w.me})
+	if err != nil {
+		return false, err
+	}
+	return resp.OK, nil
+}
+
+func (w *clusterWorker) barrierDone() (bool, error) {
+	n := w.n
+	if w.me == 0 {
+		return n.announced.Load(), nil
+	}
+	pc, err := n.peer(0)
+	if err != nil {
+		return false, err
+	}
+	resp, err := pc.call(&request{Kind: kindBarrierDone, From: w.me})
+	if err != nil {
+		return false, err
+	}
+	return resp.Done, nil
+}
+
+// terminate runs the streamlined termination protocol of Section 3.3.1
+// over the barrier RPCs: enter only when a full cycle saw no work, keep
+// servicing requests while waiting, inspect one rank at a time, and leave
+// before any steal attempt.
+func (w *clusterWorker) terminate() (bool, error) {
+	last, err := w.barrierEnter()
+	if err != nil || last {
+		return last, err
+	}
+	t := &w.n.t
+	for {
+		if err := w.service(); err != nil {
+			return false, err
+		}
+		done, err := w.barrierDone()
+		if err != nil || done {
+			return done, err
+		}
+		if w.ranks < 2 {
+			continue
+		}
+		v := w.rng.Victim(w.me, w.ranks)
+		wa, err := w.probe(v)
+		if err != nil {
+			return false, err
+		}
+		if wa > 0 {
+			ok, err := w.barrierLeave()
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return true, nil // termination raced in; we are done
+			}
+			t.Switch(stats.Stealing, time.Now())
+			got, err := w.steal(v)
+			t.Switch(stats.Idle, time.Now())
+			if err != nil {
+				return false, err
+			}
+			if got {
+				return false, nil
+			}
+			last, err := w.barrierEnter()
+			if err != nil || last {
+				return last, err
+			}
+		}
+		runtime.Gosched()
+	}
+}

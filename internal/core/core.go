@@ -1,0 +1,332 @@
+// Package core implements the paper's contribution: five dynamic
+// load-balancing implementations for parallel Unbalanced Tree Search,
+// matching the legend of Figure 3:
+//
+//	upc-sharedmem    the shared-memory algorithm (Section 3.1): two-region
+//	                 DFS stack with a lock-guarded shared region, steal one
+//	                 chunk at a time, cancelable-barrier termination.
+//	upc-term         upc-sharedmem with the streamlined termination
+//	                 detection of Section 3.3.1.
+//	upc-term-rapdif  upc-term with the rapid work diffusion of Section
+//	                 3.3.2 (steal half the available chunks).
+//	upc-distmem      the distributed-memory algorithm of Section 3.3.3:
+//	                 lock-less owner-managed stack with an asynchronous
+//	                 request/response steal protocol.
+//	mpi-ws           the message-passing work stealing baseline of Section
+//	                 3.2, with Dijkstra token-ring termination.
+//
+// Every implementation runs each PGAS thread (or MPI rank) as a goroutine
+// and must produce exactly the node count of the sequential traversal —
+// the repository-wide correctness invariant.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pgas"
+	"repro/internal/stats"
+	"repro/internal/uts"
+)
+
+// Algorithm names a load-balancing implementation, using the labels of the
+// paper's Figure 3.
+type Algorithm string
+
+// The five implementations compared in the paper, plus the sequential
+// baseline.
+const (
+	Sequential    Algorithm = "seq"
+	UPCSharedMem  Algorithm = "upc-sharedmem"
+	UPCTerm       Algorithm = "upc-term"
+	UPCTermRapdif Algorithm = "upc-term-rapdif"
+	UPCDistMem    Algorithm = "upc-distmem"
+	MPIWS         Algorithm = "mpi-ws"
+
+	// Static is the no-load-balancing baseline: the root's children are
+	// dealt round-robin to the threads up front and never move again. It
+	// quantifies the introduction's premise that UTS trees cannot be
+	// statically partitioned.
+	Static Algorithm = "static"
+
+	// UPCDistMemHier is this repository's implementation of the paper's
+	// stated future work (Section 6.2): upc-distmem with locality-aware
+	// work discovery that probes threads on the same cluster node before
+	// probing off-node (the bupc_thread_distance idea). It differs from
+	// upc-distmem only when Options.NodeSize groups threads into nodes.
+	UPCDistMemHier Algorithm = "upc-distmem-hier"
+)
+
+// Algorithms lists the paper's parallel implementations in refinement
+// order (each entry adds one of the paper's improvements over the
+// previous).
+var Algorithms = []Algorithm{UPCSharedMem, UPCTerm, UPCTermRapdif, UPCDistMem, MPIWS}
+
+// Extensions lists the post-paper variants implemented in this repository.
+var Extensions = []Algorithm{UPCDistMemHier, Static}
+
+// Options configures a parallel search.
+type Options struct {
+	// Algorithm selects the implementation; default UPCDistMem (the
+	// paper's best).
+	Algorithm Algorithm
+	// Threads is the number of PGAS threads / MPI ranks; default 1.
+	Threads int
+	// Chunk is the work-stealing granularity k in nodes (Section 4.2.1);
+	// default 16.
+	Chunk int
+	// Model is the interconnect cost model; nil means zero-latency shared
+	// memory.
+	Model *pgas.Model
+	// PollInterval is, for mpi-ws, the number of nodes explored between
+	// polls of the message queue (the paper's user-supplied parameter);
+	// default 8. The UPC implementations poll their request word every
+	// node, as in the paper, since that is a local read.
+	PollInterval int
+	// Seed randomizes the pseudo-random probe order; runs with the same
+	// seed take identical probe sequences per thread.
+	Seed int64
+	// SeqRate, if non-zero, is the sequential baseline rate (nodes/s)
+	// recorded in the result for speedup computation.
+	SeqRate float64
+	// NodeSize, when >= 2, groups threads into cluster nodes of NodeSize
+	// consecutive IDs: references between same-node threads are charged
+	// to IntraModel instead of Model, and upc-distmem-hier probes
+	// same-node victims first.
+	NodeSize int
+	// IntraModel is the intra-node cost model used with NodeSize; nil
+	// leaves the machine flat.
+	IntraModel *pgas.Model
+
+	// abort, set by RunCtx, tells every worker to abandon the search; the
+	// zero value (nil) is replaced by withDefaults so workers can always
+	// load it.
+	abort *atomic.Bool
+}
+
+// withDefaults returns a copy of o with defaults applied.
+func (o Options) withDefaults() Options {
+	if o.Algorithm == "" {
+		o.Algorithm = UPCDistMem
+	}
+	if o.Threads == 0 {
+		o.Threads = 1
+	}
+	if o.Chunk == 0 {
+		o.Chunk = 16
+	}
+	if o.Model == nil {
+		o.Model = &pgas.SharedMemory
+	}
+	if o.PollInterval == 0 {
+		o.PollInterval = 8
+	}
+	if o.abort == nil {
+		o.abort = new(atomic.Bool)
+	}
+	return o
+}
+
+// validate rejects unusable option combinations.
+func (o Options) validate() error {
+	if o.Threads < 0 {
+		return fmt.Errorf("core: negative thread count %d", o.Threads)
+	}
+	if o.Chunk < 0 {
+		return fmt.Errorf("core: negative chunk size %d", o.Chunk)
+	}
+	if o.PollInterval < 0 {
+		return fmt.Errorf("core: negative poll interval %d", o.PollInterval)
+	}
+	if o.NodeSize < 0 {
+		return fmt.Errorf("core: negative node size %d", o.NodeSize)
+	}
+	switch o.Algorithm {
+	case Sequential, Static, UPCSharedMem, UPCTerm, UPCTermRapdif, UPCDistMem, UPCDistMemHier, MPIWS, "":
+	default:
+		return fmt.Errorf("core: unknown algorithm %q", o.Algorithm)
+	}
+	return nil
+}
+
+// Result is a completed parallel search.
+type Result struct {
+	stats.Run
+	Spec      *uts.Spec
+	Algorithm Algorithm
+	Chunk     int
+}
+
+// Run executes a complete traversal of sp under the given options and
+// returns the aggregated statistics. The returned node count always equals
+// the sequential count for sp.
+func Run(sp *uts.Spec, opt Options) (*Result, error) {
+	return RunCtx(context.Background(), sp, opt)
+}
+
+// RunCtx is Run with cooperative cancellation: when ctx is cancelled every
+// worker abandons the search at its next check point and RunCtx returns
+// ctx.Err() together with the partial statistics accumulated so far (whose
+// node count is then less than the full tree's).
+func RunCtx(ctx context.Context, sp *uts.Spec, opt Options) (*Result, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+
+	var abort atomic.Bool
+	if ctx.Done() != nil {
+		watcher := make(chan struct{})
+		defer close(watcher)
+		go func() {
+			select {
+			case <-ctx.Done():
+				abort.Store(true)
+			case <-watcher:
+			}
+		}()
+	}
+	opt.abort = &abort
+
+	res := &Result{Spec: sp, Algorithm: opt.Algorithm, Chunk: opt.Chunk}
+	res.SeqRate = opt.SeqRate
+	res.Threads = make([]stats.Thread, opt.Threads)
+	for i := range res.Threads {
+		res.Threads[i].ID = i
+	}
+
+	start := time.Now()
+	var err error
+	switch opt.Algorithm {
+	case Sequential:
+		c, serr := uts.SearchSequentialCtx(ctx, sp)
+		err = serr
+		res.Threads = res.Threads[:1]
+		res.Threads[0].Nodes = c.Nodes
+		res.Threads[0].Leaves = c.Leaves
+		res.Threads[0].InState[stats.Working] = c.Elapsed
+	case Static:
+		err = runStatic(sp, opt, res)
+	case UPCSharedMem:
+		err = runShared(sp, opt, res, sharedVariant{})
+	case UPCTerm:
+		err = runShared(sp, opt, res, sharedVariant{streamTerm: true})
+	case UPCTermRapdif:
+		err = runShared(sp, opt, res, sharedVariant{streamTerm: true, stealHalf: true})
+	case UPCDistMem:
+		err = runDistMem(sp, opt, res, false)
+	case UPCDistMemHier:
+		err = runDistMem(sp, opt, res, true)
+	case MPIWS:
+		err = runMPIWS(sp, opt, res)
+	}
+	res.Elapsed = time.Since(start)
+	if err != nil && err != ctx.Err() {
+		return nil, err
+	}
+	if ctx.Err() != nil && (abort.Load() || err != nil) {
+		return res, ctx.Err()
+	}
+	return res, nil
+}
+
+// sharedVariant selects the refinements layered onto the shared-memory
+// algorithm to form upc-term and upc-term-rapdif.
+type sharedVariant struct {
+	// streamTerm replaces the cancelable barrier with the streamlined
+	// detector (Section 3.3.1).
+	streamTerm bool
+	// stealHalf steals half the victim's chunks instead of one
+	// (Section 3.3.2).
+	stealHalf bool
+}
+
+// yieldEvery is the number of nodes a worker explores between cooperative
+// scheduler yields. In the paper every UPC thread owns a dedicated
+// processor; when goroutine-threads outnumber cores, a working thread that
+// never yields would starve searching threads and serialize the whole run.
+// Yielding every few dozen nodes emulates per-processor time slicing at
+// negligible cost (a Gosched with an empty run queue is cheap).
+const yieldEvery = 64
+
+// ProbeOrder is a small per-thread xorshift64* generator for pseudo-random
+// probe orders; it keeps probe sequences deterministic per (seed, thread)
+// without sharing math/rand state across threads.
+type ProbeOrder struct{ s uint64 }
+
+func NewProbeOrder(seed int64, me int) *ProbeOrder {
+	s := uint64(seed)*0x9e3779b97f4a7c15 + uint64(me+1)*0xbf58476d1ce4e5b9
+	if s == 0 {
+		s = 1
+	}
+	return &ProbeOrder{s: s}
+}
+
+func (r *ProbeOrder) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+// Victim returns a uniformly random thread other than me among n threads.
+// n must be at least 2.
+func (r *ProbeOrder) Victim(me, n int) int {
+	v := int(r.next() % uint64(n-1))
+	if v >= me {
+		v++
+	}
+	return v
+}
+
+// Cycle fills perm with a random permutation of the n−1 threads other than
+// me, for full probe cycles. The slice is reused across calls.
+func (r *ProbeOrder) Cycle(me, n int, perm []int) []int {
+	perm = perm[:0]
+	for i := 0; i < n; i++ {
+		if i != me {
+			perm = append(perm, i)
+		}
+	}
+	r.shuffle(perm)
+	return perm
+}
+
+// CycleHier fills perm with a locality-aware probe cycle: the threads on
+// me's cluster node (of nodeSize consecutive IDs) come first in random
+// order, then all off-node threads in random order. With nodeSize <= 1 it
+// reduces to Cycle.
+func (r *ProbeOrder) CycleHier(me, n, nodeSize int, perm []int) []int {
+	if nodeSize <= 1 {
+		return r.Cycle(me, n, perm)
+	}
+	perm = perm[:0]
+	node := me / nodeSize
+	for i := node * nodeSize; i < (node+1)*nodeSize && i < n; i++ {
+		if i != me {
+			perm = append(perm, i)
+		}
+	}
+	intra := len(perm)
+	for i := 0; i < n; i++ {
+		if i/nodeSize != node {
+			perm = append(perm, i)
+		}
+	}
+	r.shuffle(perm[:intra])
+	r.shuffle(perm[intra:])
+	return perm
+}
+
+// shuffle permutes s in place (Fisher–Yates).
+func (r *ProbeOrder) shuffle(s []int) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := int(r.next() % uint64(i+1))
+		s[i], s[j] = s[j], s[i]
+	}
+}

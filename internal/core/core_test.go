@@ -1,0 +1,450 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/pgas"
+	"repro/internal/stats"
+	"repro/internal/uts"
+)
+
+// expect returns the sequential ground truth for a spec, cached across the
+// test binary's lifetime.
+var seqCache = map[string]uts.Count{}
+
+func expect(t *testing.T, sp *uts.Spec) uts.Count {
+	t.Helper()
+	if c, ok := seqCache[sp.Name]; ok {
+		return c
+	}
+	c := uts.SearchSequential(sp)
+	seqCache[sp.Name] = c
+	return c
+}
+
+// checkRun asserts the repository-wide invariant: the parallel node and
+// leaf counts equal the sequential traversal exactly.
+func checkRun(t *testing.T, sp *uts.Spec, res *Result) {
+	t.Helper()
+	want := expect(t, sp)
+	if got := res.Nodes(); got != want.Nodes {
+		t.Errorf("%s/%s: nodes = %d, want %d", res.Algorithm, sp.Name, got, want.Nodes)
+	}
+	if got := res.Leaves(); got != want.Leaves {
+		t.Errorf("%s/%s: leaves = %d, want %d", res.Algorithm, sp.Name, got, want.Leaves)
+	}
+}
+
+func TestAllAlgorithmsMatchSequential(t *testing.T) {
+	for _, alg := range Algorithms {
+		for _, threads := range []int{1, 2, 4, 8} {
+			res, err := Run(&uts.BenchTiny, Options{Algorithm: alg, Threads: threads, Chunk: 4})
+			if err != nil {
+				t.Fatalf("%s/%d: %v", alg, threads, err)
+			}
+			checkRun(t, &uts.BenchTiny, res)
+		}
+	}
+}
+
+func TestAllAlgorithmsOnTreeFamilies(t *testing.T) {
+	trees := []*uts.Spec{&uts.GeoLinear, &uts.HybridSmall, &uts.Balanced3x7}
+	for _, alg := range Algorithms {
+		for _, sp := range trees {
+			res, err := Run(sp, Options{Algorithm: alg, Threads: 4, Chunk: 8})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", alg, sp.Name, err)
+			}
+			checkRun(t, sp, res)
+		}
+	}
+}
+
+func TestChunkSizeSweepCorrectness(t *testing.T) {
+	for _, alg := range Algorithms {
+		for _, k := range []int{1, 2, 16, 64, 500} {
+			res, err := Run(&uts.BenchTiny, Options{Algorithm: alg, Threads: 4, Chunk: k})
+			if err != nil {
+				t.Fatalf("%s/k=%d: %v", alg, k, err)
+			}
+			checkRun(t, &uts.BenchTiny, res)
+		}
+	}
+}
+
+func TestUnderLatencyModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency injection is slow")
+	}
+	// Scaled-down cluster latencies keep the test quick while exercising
+	// every charge path.
+	model := pgas.Model{
+		Name:      "test-cluster",
+		LocalRef:  50 * time.Nanosecond,
+		RemoteRef: 2 * time.Microsecond,
+		PerKB:     500 * time.Nanosecond,
+		LockRTT:   10 * time.Microsecond,
+	}
+	for _, alg := range Algorithms {
+		res, err := Run(&uts.BenchTiny, Options{Algorithm: alg, Threads: 4, Chunk: 4, Model: &model})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		checkRun(t, &uts.BenchTiny, res)
+	}
+}
+
+func TestBiggerTreeStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	for _, alg := range Algorithms {
+		res, err := Run(&uts.BenchSmall, Options{Algorithm: alg, Threads: 8, Chunk: 8})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		checkRun(t, &uts.BenchSmall, res)
+		if alg != UPCSharedMem && alg != Sequential {
+			// With 8 threads on a 63k-node tree every implementation must
+			// actually balance load: no thread may do everything.
+			if res.Imbalance() > 7.99 {
+				t.Errorf("%s: imbalance %.2f suggests no stealing happened", alg, res.Imbalance())
+			}
+		}
+		if res.Sum(func(th *stats.Thread) int64 { return th.Steals }) == 0 && alg != Sequential {
+			t.Errorf("%s: zero steals on an 8-thread unbalanced run", alg)
+		}
+	}
+}
+
+func TestManyThreadsOversubscribed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oversubscription stress")
+	}
+	// 32 goroutine-threads on (likely) 1 CPU: exercises the cooperative
+	// yield paths and the termination protocols under heavy interleaving.
+	for _, alg := range Algorithms {
+		res, err := Run(&uts.BenchTiny, Options{Algorithm: alg, Threads: 32, Chunk: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		checkRun(t, &uts.BenchTiny, res)
+	}
+}
+
+func TestRepeatedRunsStable(t *testing.T) {
+	// The termination protocols must not be flaky: repeat each algorithm
+	// many times on a small tree with varying seeds.
+	for _, alg := range Algorithms {
+		for seed := int64(0); seed < 10; seed++ {
+			res, err := Run(&uts.Balanced3x7, Options{Algorithm: alg, Threads: 4, Chunk: 2, Seed: seed})
+			if err != nil {
+				t.Fatalf("%s seed=%d: %v", alg, seed, err)
+			}
+			checkRun(t, &uts.Balanced3x7, res)
+		}
+	}
+}
+
+func TestSequentialAlgorithm(t *testing.T) {
+	res, err := Run(&uts.BenchTiny, Options{Algorithm: Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRun(t, &uts.BenchTiny, res)
+	if len(res.Threads) != 1 {
+		t.Errorf("sequential run has %d threads", len(res.Threads))
+	}
+}
+
+func TestSingleThreadAllAlgorithms(t *testing.T) {
+	for _, alg := range Algorithms {
+		res, err := Run(&uts.BenchTiny, Options{Algorithm: alg, Threads: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		checkRun(t, &uts.BenchTiny, res)
+		if res.Sum(func(th *stats.Thread) int64 { return th.Steals }) != 0 {
+			t.Errorf("%s: steals on a single-thread run", alg)
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := Run(&uts.BenchTiny, Options{Algorithm: "nope"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := Run(&uts.BenchTiny, Options{Threads: -1}); err == nil {
+		t.Error("negative threads accepted")
+	}
+	if _, err := Run(&uts.BenchTiny, Options{Chunk: -5}); err == nil {
+		t.Error("negative chunk accepted")
+	}
+	bad := uts.Spec{Kind: uts.Binomial, B0: 2, M: 2, Q: 0.9}
+	if _, err := Run(&bad, Options{}); err == nil {
+		t.Error("supercritical spec accepted")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	res, err := Run(&uts.Balanced3x7, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != UPCDistMem {
+		t.Errorf("default algorithm = %s", res.Algorithm)
+	}
+	if res.Chunk != 16 {
+		t.Errorf("default chunk = %d", res.Chunk)
+	}
+	checkRun(t, &uts.Balanced3x7, res)
+}
+
+func TestStatsAccounting(t *testing.T) {
+	res, err := Run(&uts.BenchTiny, Options{Algorithm: UPCDistMem, Threads: 4, Chunk: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-thread node sums were already checked; here check the timers
+	// actually accumulated and the rate/speedup plumbing works.
+	if res.Elapsed <= 0 {
+		t.Error("no elapsed time recorded")
+	}
+	var total time.Duration
+	for i := range res.Threads {
+		for _, st := range res.Threads[i].InState {
+			total += st
+		}
+	}
+	if total <= 0 {
+		t.Error("no per-state time recorded")
+	}
+	if res.Rate() <= 0 {
+		t.Error("zero rate")
+	}
+	res.SeqRate = res.Rate() // pretend baseline == parallel rate
+	if e := res.Efficiency(); e <= 0 || e > 1.01 {
+		t.Errorf("efficiency = %f", e)
+	}
+}
+
+func TestProbeRNG(t *testing.T) {
+	r := NewProbeOrder(1, 2)
+	for i := 0; i < 1000; i++ {
+		v := r.Victim(2, 8)
+		if v == 2 || v < 0 || v >= 8 {
+			t.Fatalf("victim(%d) out of range: %d", 2, v)
+		}
+	}
+	perm := r.Cycle(3, 6, nil)
+	if len(perm) != 5 {
+		t.Fatalf("cycle length %d", len(perm))
+	}
+	seen := map[int]bool{}
+	for _, v := range perm {
+		if v == 3 || seen[v] {
+			t.Fatalf("bad cycle %v", perm)
+		}
+		seen[v] = true
+	}
+	// Determinism per (seed, thread).
+	a := NewProbeOrder(7, 1)
+	b := NewProbeOrder(7, 1)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("ProbeOrder not deterministic")
+		}
+	}
+}
+
+func TestHierarchicalVariantCorrect(t *testing.T) {
+	intra := pgas.SharedMemory
+	for _, threads := range []int{4, 9} {
+		res, err := Run(&uts.BenchTiny, Options{
+			Algorithm: UPCDistMemHier, Threads: threads, Chunk: 4,
+			NodeSize: 4, IntraModel: &intra,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkRun(t, &uts.BenchTiny, res)
+	}
+	// Without a topology the variant must behave like plain distmem.
+	res, err := Run(&uts.BenchTiny, Options{Algorithm: UPCDistMemHier, Threads: 4, Chunk: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRun(t, &uts.BenchTiny, res)
+}
+
+func TestHierarchicalOptionsValidation(t *testing.T) {
+	if _, err := Run(&uts.BenchTiny, Options{Algorithm: UPCDistMemHier, NodeSize: -1}); err == nil {
+		t.Error("negative node size accepted")
+	}
+}
+
+func TestCycleHier(t *testing.T) {
+	r := NewProbeOrder(1, 5)
+	// 12 threads in nodes of 4; me = 5 lives on node 1 = {4,5,6,7}.
+	perm := r.CycleHier(5, 12, 4, nil)
+	if len(perm) != 11 {
+		t.Fatalf("perm length %d", len(perm))
+	}
+	sameNode := map[int]bool{4: true, 6: true, 7: true}
+	for i, v := range perm {
+		if v == 5 {
+			t.Fatal("self in probe cycle")
+		}
+		if i < 3 && !sameNode[v] {
+			t.Errorf("position %d is off-node victim %d; same-node must come first", i, v)
+		}
+		if i >= 3 && sameNode[v] {
+			t.Errorf("position %d is same-node victim %d; should be in prefix", i, v)
+		}
+	}
+	// nodeSize <= 1 degrades to a plain cycle.
+	flat := r.CycleHier(5, 12, 1, nil)
+	if len(flat) != 11 {
+		t.Fatalf("flat perm length %d", len(flat))
+	}
+}
+
+func TestStaticBaselineCorrect(t *testing.T) {
+	// No balancing, but the count invariant still holds, and the imbalance
+	// on a critical binomial tree must be dramatic.
+	res, err := Run(&uts.BenchTiny, Options{Algorithm: Static, Threads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRun(t, &uts.BenchTiny, res)
+	if res.Sum(func(th *stats.Thread) int64 { return th.Steals }) != 0 {
+		t.Error("static baseline must never steal")
+	}
+	if res.Imbalance() < 2 {
+		t.Errorf("imbalance %.2f suspiciously even for static partitioning of a critical tree", res.Imbalance())
+	}
+	// Single thread degenerates to sequential.
+	res1, err := Run(&uts.Balanced3x7, Options{Algorithm: Static, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRun(t, &uts.Balanced3x7, res1)
+}
+
+func TestStaticMoreThreadsThanRootChildren(t *testing.T) {
+	// Threads beyond the root fan-out get nothing; counts must still match.
+	sp := uts.Spec{Name: "small-fanout", Kind: uts.Binomial, Seed: 3, B0: 3, M: 2, Q: 0.3}
+	res, err := Run(&sp, Options{Algorithm: Static, Threads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uts.SearchSequential(&sp)
+	if res.Nodes() != want.Nodes {
+		t.Errorf("nodes = %d, want %d", res.Nodes(), want.Nodes)
+	}
+}
+
+// TestCycleIsPermutationProperty property-checks that probe cycles are
+// exactly the other threads, each once, for arbitrary (seed, me, n).
+func TestCycleIsPermutationProperty(t *testing.T) {
+	f := func(seed int64, me8, n8 uint8) bool {
+		n := int(n8%63) + 2 // 2..64
+		me := int(me8) % n
+		r := NewProbeOrder(seed, me)
+		perm := r.Cycle(me, n, nil)
+		if len(perm) != n-1 {
+			return false
+		}
+		seen := make(map[int]bool, len(perm))
+		for _, v := range perm {
+			if v < 0 || v >= n || v == me || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCycleHierPartitionProperty property-checks the locality-aware cycle:
+// a permutation of all other threads with every same-node victim strictly
+// before every off-node victim.
+func TestCycleHierPartitionProperty(t *testing.T) {
+	f := func(seed int64, me8, n8, g8 uint8) bool {
+		n := int(n8%63) + 2
+		me := int(me8) % n
+		g := int(g8%8) + 1
+		r := NewProbeOrder(seed, me)
+		perm := r.CycleHier(me, n, g, nil)
+		if len(perm) != n-1 {
+			return false
+		}
+		seen := make(map[int]bool, len(perm))
+		offNodeSeen := false
+		for _, v := range perm {
+			if v < 0 || v >= n || v == me || seen[v] {
+				return false
+			}
+			seen[v] = true
+			same := g > 1 && v/g == me/g
+			if same && offNodeSeen {
+				return false // same-node victim after an off-node one
+			}
+			if !same {
+				offNodeSeen = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunCtxCancellation(t *testing.T) {
+	for _, alg := range append(append([]Algorithm{}, Algorithms...), Static, UPCDistMemHier, Sequential) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel() // aborted before the search starts
+		res, err := RunCtx(ctx, &uts.BenchMedium, Options{Algorithm: alg, Threads: 4, Chunk: 8})
+		if err == nil {
+			t.Fatalf("%s: cancelled run returned no error", alg)
+		}
+		if res == nil {
+			t.Fatalf("%s: cancelled run returned no partial result", alg)
+		}
+		want := int64(481599)
+		if res.Nodes() >= want {
+			t.Errorf("%s: pre-cancelled run still explored the whole tree (%d nodes)", alg, res.Nodes())
+		}
+	}
+}
+
+func TestRunCtxMidFlightCancellation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-dependent")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := RunCtx(ctx, &uts.BenchLarge, Options{Algorithm: UPCDistMem, Threads: 4, Chunk: 16})
+	if err == nil {
+		t.Skip("machine finished BenchLarge before the 5ms deadline?!")
+	}
+	if el := time.Since(start); el > 3*time.Second {
+		t.Errorf("cancellation took %v; workers not checking the abort flag", el)
+	}
+}
+
+func TestRunCtxUncancelledIsComplete(t *testing.T) {
+	res, err := RunCtx(context.Background(), &uts.BenchTiny, Options{Algorithm: UPCSharedMem, Threads: 4, Chunk: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRun(t, &uts.BenchTiny, res)
+}

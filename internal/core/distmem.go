@@ -1,0 +1,323 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pgas"
+	"repro/internal/stack"
+	"repro/internal/stats"
+	"repro/internal/term"
+	"repro/internal/uts"
+)
+
+// noThief is the empty value of a request word.
+const noThief = -1
+
+// privStack is one thread's state in the distributed-memory algorithm
+// (Section 3.3.3). The DFS stack and steal pool are touched only by their
+// owner — no locks anywhere on the work path. Thieves interact through two
+// words: they read workAvail one-sidedly, and write their ID into request;
+// the owner polls request (a local read) and answers by writing into the
+// thief's response slot.
+type privStack struct {
+	local stack.Deque // owner only
+	pool  stack.Pool  // owner only
+
+	// workAvail: −1 when the thread has no work at all, otherwise the
+	// number of stealable chunks (0 = working, no surplus). Probed
+	// remotely without locking.
+	workAvail atomic.Int32
+
+	// request holds the ID of the thief currently asking this thread for
+	// work, or noThief. Thieves claim it with compare-and-swap (the
+	// paper's lock-protected request variable); the owner resets it after
+	// responding.
+	request atomic.Int32
+
+	// resp/respReady form this thread's *incoming* response slot: a victim
+	// this thread has requested from writes the granted chunks here (two
+	// remote writes in the paper: amount and address). respReady carries
+	// the release/acquire ordering for resp.
+	resp      []stack.Chunk
+	respReady atomic.Bool
+}
+
+type distRun struct {
+	sp     *uts.Spec
+	opt    Options
+	dom    *pgas.Domain
+	stacks []*privStack
+	sb     *term.StreamBarrier
+	hier   bool // locality-aware probe order (upc-distmem-hier)
+}
+
+// runDistMem executes upc-distmem, or upc-distmem-hier when hier is set.
+func runDistMem(sp *uts.Spec, opt Options, res *Result, hier bool) error {
+	dom, err := pgas.NewDomain(opt.Threads, opt.Model)
+	if err != nil {
+		return err
+	}
+	dom.SetTopology(opt.NodeSize, opt.IntraModel)
+	r := &distRun{sp: sp, opt: opt, dom: dom, sb: term.NewStreamBarrier(dom), hier: hier}
+	r.stacks = make([]*privStack, opt.Threads)
+	for i := range r.stacks {
+		r.stacks[i] = &privStack{}
+		r.stacks[i].request.Store(noThief)
+	}
+
+	var wg sync.WaitGroup
+	for me := 0; me < opt.Threads; me++ {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			w := &distWorker{run: r, me: me, rng: NewProbeOrder(opt.Seed, me), t: &res.Threads[me]}
+			if me == 0 {
+				w.stack().local.Push(uts.Root(sp))
+			}
+			w.main()
+		}(me)
+	}
+	wg.Wait()
+	return nil
+}
+
+type distWorker struct {
+	run     *distRun
+	me      int
+	rng     *ProbeOrder
+	t       *stats.Thread
+	scratch []uts.Node
+	perm    []int
+}
+
+func (w *distWorker) stack() *privStack { return w.run.stacks[w.me] }
+
+func (w *distWorker) main() {
+	w.t.StartTimers(time.Now())
+	defer func() { w.t.StopTimers(time.Now()) }()
+	for {
+		w.work()
+		if w.run.opt.abort.Load() {
+			return
+		}
+		w.stack().workAvail.Store(-1)
+		w.t.Switch(stats.Searching, time.Now())
+		if w.search() {
+			w.t.Switch(stats.Working, time.Now())
+			continue
+		}
+		w.t.Switch(stats.Idle, time.Now())
+		w.t.TermBarrierEntries++
+		if w.terminate() {
+			w.service() // answer any last raced-in request with a denial
+			return
+		}
+		w.t.Switch(stats.Working, time.Now())
+	}
+}
+
+// work explores nodes until local stack and steal pool are both empty.
+// The owner polls its request word every iteration — a local read whose
+// cost is negligible, which is the whole point of the design.
+func (w *distWorker) work() {
+	sp, st := w.run.sp, w.run.sp.Stream()
+	k := w.run.opt.Chunk
+	s := w.stack()
+	sinceYield := 0
+	for {
+		if sinceYield++; sinceYield >= yieldEvery {
+			sinceYield = 0
+			if w.run.opt.abort.Load() {
+				return
+			}
+			runtime.Gosched()
+		}
+		w.service()
+		n, ok := s.local.Pop()
+		if !ok {
+			// Reacquire from the thread's own pool: owner-only, no lock.
+			c, ok2 := s.pool.TakeNewest()
+			if !ok2 {
+				return
+			}
+			s.workAvail.Store(int32(s.pool.Len()))
+			w.t.Reacquires++
+			s.local.PushAll(c)
+			continue
+		}
+		w.t.Nodes++
+		if n.NumKids == 0 {
+			w.t.Leaves++
+		} else {
+			w.scratch = uts.Children(sp, st, &n, w.scratch[:0])
+			s.local.PushAll(w.scratch)
+		}
+		w.t.NoteDepth(s.local.Len())
+		if s.local.Len() >= 2*k {
+			s.pool.Put(s.local.TakeBottom(k))
+			s.workAvail.Store(int32(s.pool.Len()))
+			w.t.Releases++
+		}
+	}
+}
+
+// service answers a pending steal request: half of the available chunks if
+// any (Section 3.3.2's rapid diffusion), or a zero-chunk denial. Costs the
+// owner two remote writes only when a request is actually pending.
+func (w *distWorker) service() {
+	s := w.stack()
+	thief := s.request.Load()
+	if thief == noThief {
+		return
+	}
+	var chunks []stack.Chunk
+	if s.pool.Len() > 0 {
+		chunks = s.pool.TakeHalf()
+		s.workAvail.Store(int32(s.pool.Len()))
+	}
+	// Two remote writes: the amount granted and the work's address.
+	w.run.dom.ChargeRef(w.me, int(thief))
+	w.run.dom.ChargeRef(w.me, int(thief))
+	ts := w.run.stacks[thief]
+	ts.resp = chunks
+	ts.respReady.Store(true)
+	s.request.Store(noThief) // local write
+	w.t.Requests++
+}
+
+// search probes other threads in pseudo-random cycles, stealing when it
+// finds surplus. It returns true with work on the local stack, or false
+// when a full cycle saw every other thread entirely out of work.
+func (w *distWorker) search() bool {
+	n := w.run.dom.Threads()
+	if n == 1 {
+		return false
+	}
+	for {
+		sawWorker := false
+		if w.run.hier {
+			w.perm = w.rng.CycleHier(w.me, n, w.run.dom.NodeSize(), w.perm)
+		} else {
+			w.perm = w.rng.Cycle(w.me, n, w.perm)
+		}
+		for _, v := range w.perm {
+			w.service()
+			wa := w.probe(v)
+			if wa > 0 {
+				w.t.Switch(stats.Stealing, time.Now())
+				ok := w.steal(v)
+				w.t.Switch(stats.Searching, time.Now())
+				if ok {
+					return true
+				}
+			}
+			if wa >= 0 {
+				sawWorker = true
+			}
+		}
+		if !sawWorker {
+			return false
+		}
+		if w.run.opt.abort.Load() {
+			return false
+		}
+		runtime.Gosched()
+	}
+}
+
+func (w *distWorker) probe(v int) int32 {
+	w.run.dom.ChargeRef(w.me, v)
+	w.t.Probes++
+	return w.run.stacks[v].workAvail.Load()
+}
+
+// steal runs the asynchronous request/response protocol: claim the
+// victim's request word, wait for the owner's answer, then transfer the
+// granted chunks with a one-sided get. The wait always terminates: a
+// victim in any state — working, searching, or parked in the termination
+// barrier — keeps servicing its request word, and termination cannot be
+// announced while this thread is outside the barrier.
+func (w *distWorker) steal(v int) bool {
+	r := w.run
+	vs := r.stacks[v]
+
+	// Write our ID into the lock-protected request variable.
+	r.dom.ChargeLockRTT(w.me, v)
+	if !vs.request.CompareAndSwap(noThief, int32(w.me)) {
+		w.t.FailedSteals++
+		return false
+	}
+
+	// Await the response in our own slot: spinning on local memory.
+	me := w.stack()
+	for !me.respReady.Load() {
+		if w.run.opt.abort.Load() {
+			w.t.FailedSteals++
+			return false
+		}
+		w.service() // we may be someone else's victim meanwhile
+		runtime.Gosched()
+	}
+	chunks := me.resp
+	me.resp = nil
+	me.respReady.Store(false)
+
+	if len(chunks) == 0 {
+		w.t.FailedSteals++
+		return false
+	}
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	// One-sided get of the granted work.
+	r.dom.ChargeBulk(w.me, v, total*nodeBytes)
+	w.t.Steals++
+	w.t.ChunksGot += int64(len(chunks))
+
+	me.local.PushAll(chunks[0])
+	for _, c := range chunks[1:] {
+		me.pool.Put(c)
+	}
+	me.workAvail.Store(int32(me.pool.Len()))
+	return true
+}
+
+// terminate enters the streamlined barrier and, while waiting, keeps
+// servicing steal requests and inspects one other thread at a time,
+// leaving the barrier before any steal attempt.
+func (w *distWorker) terminate() bool {
+	sb := w.run.sb
+	if sb.Enter(w.me) {
+		return true
+	}
+	n := w.run.dom.Threads()
+	for {
+		if w.run.opt.abort.Load() {
+			return true
+		}
+		w.service()
+		if sb.Done(w.me) {
+			return true
+		}
+		v := w.rng.Victim(w.me, n)
+		if wa := w.probe(v); wa > 0 {
+			if !sb.Leave(w.me) {
+				return true
+			}
+			w.t.Switch(stats.Stealing, time.Now())
+			ok := w.steal(v)
+			w.t.Switch(stats.Idle, time.Now())
+			if ok {
+				return false
+			}
+			if sb.Enter(w.me) {
+				return true
+			}
+		}
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,24 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/uts"
+)
+
+// Running the paper's distributed-memory work-stealing algorithm with four
+// goroutine threads. The node count always equals the sequential count.
+func ExampleRun() {
+	res, err := core.Run(&uts.Balanced3x7, core.Options{
+		Algorithm: core.UPCDistMem,
+		Threads:   4,
+		Chunk:     8,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res.Nodes(), res.Leaves())
+	// Output: 3280 2187
+}

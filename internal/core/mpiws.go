@@ -1,0 +1,227 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/stack"
+	"repro/internal/stats"
+	"repro/internal/uts"
+)
+
+// runMPIWS executes the message-passing work-stealing baseline of Section
+// 3.2 (after Dinan et al. [2]): stealing is a request/response message
+// exchange, working ranks poll for requests at a user-supplied interval,
+// and termination uses the Dijkstra token-ring algorithm [9].
+func runMPIWS(sp *uts.Spec, opt Options, res *Result) error {
+	comm, err := msg.NewComm(opt.Threads, opt.Model)
+	if err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	for me := 0; me < opt.Threads; me++ {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			w := &mpiWorker{
+				sp:    sp,
+				abort: opt.abort,
+				comm:  comm,
+				me:    me,
+				n:     opt.Threads,
+				k:     opt.Chunk,
+				poll:  opt.PollInterval,
+				rng:   NewProbeOrder(opt.Seed, me),
+				t:     &res.Threads[me],
+			}
+			if me == 0 {
+				w.local.Push(uts.Root(sp))
+				// Rank 0 owns the initial (conceptually black) token; the
+				// first circulated round is never conclusive.
+				w.haveToken = true
+				w.tokenColor = msg.Black
+				w.firstPass = true
+			}
+			w.main()
+		}(me)
+	}
+	wg.Wait()
+	return nil
+}
+
+type mpiWorker struct {
+	sp    *uts.Spec
+	abort *atomic.Bool
+	comm  *msg.Comm
+	me    int
+	n     int
+	k     int
+	poll  int
+	rng   *ProbeOrder
+	t     *stats.Thread
+
+	local   stack.Deque
+	scratch []uts.Node
+
+	// Dijkstra token-ring state.
+	color       msg.Color // this process's color; black after sending work
+	haveToken   bool
+	tokenColor  msg.Color
+	firstPass   bool
+	outstanding bool // a steal request awaits its reply
+	terminated  bool
+}
+
+func (w *mpiWorker) main() {
+	w.t.StartTimers(time.Now())
+	defer func() { w.t.StopTimers(time.Now()) }()
+	for !w.terminated {
+		if w.local.Len() > 0 {
+			w.work()
+		} else {
+			w.idle()
+		}
+	}
+}
+
+// work explores nodes, polling the message queue every poll-interval nodes
+// — the cost/latency tradeoff the paper's Section 3.2 highlights.
+func (w *mpiWorker) work() {
+	st := w.sp.Stream()
+	since, sinceYield := 0, 0
+	for w.local.Len() > 0 && !w.terminated {
+		n, _ := w.local.Pop()
+		w.t.Nodes++
+		if n.NumKids == 0 {
+			w.t.Leaves++
+		} else {
+			w.scratch = uts.Children(w.sp, st, &n, w.scratch[:0])
+			w.local.PushAll(w.scratch)
+		}
+		w.t.NoteDepth(w.local.Len())
+		if since++; since >= w.poll {
+			since = 0
+			w.drain()
+		}
+		if sinceYield++; sinceYield >= yieldEvery {
+			sinceYield = 0
+			if w.abort.Load() {
+				w.terminated = true
+				return
+			}
+			runtime.Gosched()
+		}
+	}
+	w.drain()
+}
+
+// drain handles every pending message.
+func (w *mpiWorker) drain() {
+	for {
+		m, ok := w.comm.Recv(w.me)
+		if !ok {
+			return
+		}
+		w.handle(m)
+	}
+}
+
+// handle processes one message.
+func (w *mpiWorker) handle(m msg.Message) {
+	switch m.Tag {
+	case msg.TagStealRequest:
+		w.t.Requests++
+		if w.local.Len() >= 2*w.k {
+			chunk := w.local.TakeBottom(w.k)
+			w.color = msg.Black // work moved: taint this round
+			w.t.Releases++
+			w.comm.Send(w.me, m.From, msg.Message{Tag: msg.TagWork, Chunks: []stack.Chunk{chunk}})
+		} else {
+			w.comm.Send(w.me, m.From, msg.Message{Tag: msg.TagNoWork})
+		}
+	case msg.TagWork:
+		w.outstanding = false
+		w.t.Steals++
+		w.t.ChunksGot += int64(len(m.Chunks))
+		for _, c := range m.Chunks {
+			w.local.PushAll(c)
+		}
+	case msg.TagNoWork:
+		w.outstanding = false
+		w.t.FailedSteals++
+	case msg.TagToken:
+		w.haveToken = true
+		w.tokenColor = m.Color
+	case msg.TagTerminate:
+		w.terminated = true
+	}
+}
+
+// idle is the searching/termination state: issue steal requests, answer
+// other ranks' messages, and take part in token circulation. A rank passes
+// the token only when passive — stack empty, no outstanding request, and
+// inbox drained — which, with instantaneous message enqueue, is what makes
+// the white-round conclusion sound.
+func (w *mpiWorker) idle() {
+	w.t.Switch(stats.Searching, time.Now())
+	defer w.t.Switch(stats.Working, time.Now())
+	for w.local.Len() == 0 && !w.terminated {
+		if m, ok := w.comm.Recv(w.me); ok {
+			w.handle(m)
+			continue
+		}
+		if w.n == 1 {
+			w.terminated = true
+			return
+		}
+		// Inbox empty here: safe to pass the token if we are passive.
+		if w.haveToken && !w.outstanding {
+			w.passToken()
+			continue
+		}
+		if w.abort.Load() {
+			w.terminated = true
+			return
+		}
+		if !w.outstanding {
+			v := w.rng.Victim(w.me, w.n)
+			w.t.Probes++
+			w.comm.Send(w.me, v, msg.Message{Tag: msg.TagStealRequest})
+			w.outstanding = true
+			continue
+		}
+		runtime.Gosched()
+	}
+}
+
+// passToken applies the Dijkstra rules. Rank 0 judges the completed round
+// and either announces termination or recirculates a white token; other
+// ranks taint the token if they are black and whiten themselves after
+// passing.
+func (w *mpiWorker) passToken() {
+	w.haveToken = false
+	if w.me == 0 {
+		if !w.firstPass && w.tokenColor == msg.White && w.color == msg.White {
+			// A full white round with rank 0 white and passive: no work
+			// anywhere. Announce termination to every rank.
+			for j := 1; j < w.n; j++ {
+				w.comm.Send(w.me, j, msg.Message{Tag: msg.TagTerminate})
+			}
+			w.terminated = true
+			return
+		}
+		w.firstPass = false
+		w.color = msg.White
+		w.comm.Send(w.me, 1%w.n, msg.Message{Tag: msg.TagToken, Color: msg.White})
+		return
+	}
+	c := w.tokenColor
+	if w.color == msg.Black {
+		c = msg.Black
+	}
+	w.color = msg.White
+	w.comm.Send(w.me, (w.me+1)%w.n, msg.Message{Tag: msg.TagToken, Color: c})
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pgas"
+	"repro/internal/stack"
+	"repro/internal/stats"
+	"repro/internal/term"
+	"repro/internal/uts"
+)
+
+// nodeBytes is the nominal wire size of one node descriptor (20-byte RNG
+// state plus height and child count), used for bandwidth charging.
+const nodeBytes = 28
+
+// sharedStack is one thread's stack in the shared-memory algorithm
+// (Section 3.1, Figure 2): a local region the owner manipulates without
+// synchronization and a lock-guarded shared region holding whole chunks.
+type sharedStack struct {
+	lk   *pgas.Lock
+	pool stack.Pool // guarded by lk
+
+	// workAvail is probed remotely without locking. For the streamlined-
+	// termination variants it is a tri-state (Section 3.3.1): −1 when the
+	// thread is entirely out of work, otherwise the number of stealable
+	// chunks (0 = working but no surplus). The plain shared-memory
+	// algorithm uses only the chunk count.
+	workAvail atomic.Int32
+}
+
+// sharedRun bundles the state shared by all threads of one run.
+type sharedRun struct {
+	sp      *uts.Spec
+	opt     Options
+	variant sharedVariant
+	dom     *pgas.Domain
+	stacks  []*sharedStack
+	cb      *term.CancelBarrier // sharedmem termination
+	sb      *term.StreamBarrier // streamlined termination
+}
+
+// runShared executes upc-sharedmem / upc-term / upc-term-rapdif.
+func runShared(sp *uts.Spec, opt Options, res *Result, v sharedVariant) error {
+	dom, err := pgas.NewDomain(opt.Threads, opt.Model)
+	if err != nil {
+		return err
+	}
+	r := &sharedRun{sp: sp, opt: opt, variant: v, dom: dom}
+	r.stacks = make([]*sharedStack, opt.Threads)
+	for i := range r.stacks {
+		r.stacks[i] = &sharedStack{lk: dom.NewLock(i)}
+	}
+	if v.streamTerm {
+		r.sb = term.NewStreamBarrier(dom)
+	} else {
+		r.cb = term.NewCancelBarrier(dom)
+		r.cb.SetAbort(opt.abort)
+	}
+
+	var wg sync.WaitGroup
+	for me := 0; me < opt.Threads; me++ {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			w := &sharedWorker{run: r, me: me, rng: NewProbeOrder(opt.Seed, me), t: &res.Threads[me]}
+			if me == 0 {
+				w.local.Push(uts.Root(sp))
+			}
+			w.main()
+		}(me)
+	}
+	wg.Wait()
+	return nil
+}
+
+// sharedWorker is one thread's execution state.
+type sharedWorker struct {
+	run     *sharedRun
+	me      int
+	local   stack.Deque
+	rng     *ProbeOrder
+	t       *stats.Thread
+	scratch []uts.Node
+	perm    []int
+}
+
+func (w *sharedWorker) stack() *sharedStack { return w.run.stacks[w.me] }
+
+// main is the Figure-1 state machine.
+func (w *sharedWorker) main() {
+	w.t.StartTimers(time.Now())
+	defer func() { w.t.StopTimers(time.Now()) }()
+	for {
+		w.work()
+		if w.run.opt.abort.Load() {
+			return
+		}
+		if w.run.variant.streamTerm {
+			w.stack().workAvail.Store(-1)
+		}
+		w.t.Switch(stats.Searching, time.Now())
+		if w.search() {
+			w.t.Switch(stats.Working, time.Now())
+			continue
+		}
+		w.t.Switch(stats.Idle, time.Now())
+		w.t.TermBarrierEntries++
+		if w.terminate() {
+			return
+		}
+		w.t.Switch(stats.Working, time.Now())
+	}
+}
+
+// work explores nodes until both the local region and the thread's own
+// shared region are empty ("Working" in Figure 1).
+func (w *sharedWorker) work() {
+	sp, st := w.run.sp, w.run.sp.Stream()
+	k := w.run.opt.Chunk
+	sinceYield := 0
+	for {
+		if sinceYield++; sinceYield >= yieldEvery {
+			sinceYield = 0
+			if w.run.opt.abort.Load() {
+				return
+			}
+			runtime.Gosched()
+		}
+		n, ok := w.local.Pop()
+		if !ok {
+			if !w.reacquire() {
+				return
+			}
+			continue
+		}
+		w.t.Nodes++
+		if n.NumKids == 0 {
+			w.t.Leaves++
+		} else {
+			w.scratch = uts.Children(sp, st, &n, w.scratch[:0])
+			w.local.PushAll(w.scratch)
+		}
+		w.t.NoteDepth(w.local.Len())
+		// Release surplus once the local region has a comfortable depth
+		// (at least 2k, per Section 3.1).
+		if w.local.Len() >= 2*k {
+			w.release(k)
+		}
+	}
+}
+
+// release moves the k oldest local nodes into the shared region, making
+// them stealable, and — under the shared-memory algorithm — resets the
+// cancelable barrier, a remote lock operation charged to this thread.
+func (w *sharedWorker) release(k int) {
+	s := w.stack()
+	chunk := w.local.TakeBottom(k)
+	s.lk.Acquire(w.me)
+	s.pool.Put(chunk)
+	s.workAvail.Store(int32(s.pool.Len()))
+	s.lk.Release(w.me)
+	w.t.Releases++
+	if !w.run.variant.streamTerm {
+		w.run.cb.Cancel(w.me)
+	}
+}
+
+// reacquire moves the newest chunk of the thread's own shared region back
+// onto the local stack. It reports false if no chunk was available.
+func (w *sharedWorker) reacquire() bool {
+	s := w.stack()
+	s.lk.Acquire(w.me)
+	c, ok := s.pool.TakeNewest()
+	if ok {
+		s.workAvail.Store(int32(s.pool.Len()))
+	}
+	s.lk.Release(w.me)
+	if !ok {
+		return false
+	}
+	w.t.Reacquires++
+	w.local.PushAll(c)
+	return true
+}
+
+// search performs one or more full pseudo-random probe cycles over the
+// other threads ("Work Discovery"). It returns true once work has been
+// stolen onto the local stack. It returns false when the thread should
+// move to termination detection: immediately after one empty cycle under
+// the shared-memory algorithm, or only after a cycle in which every other
+// thread was entirely out of work under streamlined termination.
+func (w *sharedWorker) search() bool {
+	r := w.run
+	n := r.dom.Threads()
+	if n == 1 {
+		return false
+	}
+	for {
+		sawWorker := false
+		w.perm = w.rng.Cycle(w.me, n, w.perm)
+		for _, v := range w.perm {
+			wa := w.probe(v)
+			if wa > 0 {
+				w.t.Switch(stats.Stealing, time.Now())
+				ok := w.steal(v)
+				w.t.Switch(stats.Searching, time.Now())
+				if ok {
+					return true
+				}
+			}
+			if wa >= 0 {
+				sawWorker = true
+			}
+		}
+		if !r.variant.streamTerm {
+			// Shared-memory algorithm: one empty cycle sends the thread
+			// to the cancelable barrier.
+			return false
+		}
+		if !sawWorker {
+			// Streamlined termination: every other thread reported −1
+			// (no work at all); only now head for the barrier.
+			return false
+		}
+		if w.run.opt.abort.Load() {
+			return false
+		}
+		runtime.Gosched()
+	}
+}
+
+// probe reads a victim's work-available count without locking.
+func (w *sharedWorker) probe(v int) int32 {
+	w.run.dom.ChargeRef(w.me, v)
+	w.t.Probes++
+	return w.run.stacks[v].workAvail.Load()
+}
+
+// steal locks the victim's stack, reserves one chunk (or half the chunks
+// under rapid diffusion), releases the lock, and transfers the reservation
+// with a one-sided get. The first chunk lands on the thief's local stack;
+// any further chunks go straight into the thief's own shared region, making
+// the thief a work source for others (Section 3.3.2).
+func (w *sharedWorker) steal(v int) bool {
+	r := w.run
+	vs := r.stacks[v]
+	vs.lk.Acquire(w.me)
+	var chunks []stack.Chunk
+	if r.variant.stealHalf {
+		chunks = vs.pool.TakeHalf()
+	} else if c, ok := vs.pool.TakeOldest(); ok {
+		chunks = append(chunks, c)
+	}
+	if len(chunks) > 0 {
+		vs.workAvail.Store(int32(vs.pool.Len()))
+	}
+	vs.lk.Release(w.me)
+	if len(chunks) == 0 {
+		w.t.FailedSteals++
+		return false
+	}
+
+	// Transfer outside the critical region: the victim keeps working
+	// while the one-sided get completes.
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	r.dom.ChargeBulk(w.me, v, total*nodeBytes)
+	w.t.Steals++
+	w.t.ChunksGot += int64(len(chunks))
+
+	w.local.PushAll(chunks[0])
+	if len(chunks) > 1 {
+		ms := w.stack()
+		ms.lk.Acquire(w.me)
+		for _, c := range chunks[1:] {
+			ms.pool.Put(c)
+		}
+		ms.workAvail.Store(int32(ms.pool.Len()))
+		ms.lk.Release(w.me)
+	} else if r.variant.streamTerm {
+		// Back to "working, no surplus".
+		w.stack().workAvail.Store(0)
+	}
+	return true
+}
+
+// terminate runs the termination-detection protocol. It returns true when
+// the whole computation is finished and false when the thread acquired (or
+// may acquire) work and should resume the main loop.
+func (w *sharedWorker) terminate() bool {
+	if !w.run.variant.streamTerm {
+		return w.run.cb.Enter(w.me)
+	}
+	sb := w.run.sb
+	if sb.Enter(w.me) {
+		return true
+	}
+	// While waiting, inspect a single thread at a time so as not to
+	// overwhelm any remaining workers (Section 3.3.1).
+	n := w.run.dom.Threads()
+	for {
+		if w.run.opt.abort.Load() {
+			return true
+		}
+		if sb.Done(w.me) {
+			return true
+		}
+		v := w.rng.Victim(w.me, n)
+		if wa := w.probe(v); wa > 0 {
+			if !sb.Leave(w.me) {
+				return true
+			}
+			w.t.Switch(stats.Stealing, time.Now())
+			ok := w.steal(v)
+			w.t.Switch(stats.Idle, time.Now())
+			if ok {
+				return false
+			}
+			if sb.Enter(w.me) {
+				return true
+			}
+		}
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/stack"
+	"repro/internal/stats"
+	"repro/internal/uts"
+)
+
+// runStatic executes the no-load-balancing baseline: the root's children
+// are dealt round-robin to the threads up front and each thread searches
+// its share with no stealing and no further coordination. This is the
+// strategy the paper's introduction rules out — "the state space often has
+// unpredictable and irregular structure that can not be statically
+// partitioned" — and it exists here to quantify that: on the critical
+// binomial trees, one subtree usually holds >99% of the nodes, so static
+// partitioning approaches sequential performance regardless of thread
+// count while every work-stealing implementation stays near-linear.
+func runStatic(sp *uts.Spec, opt Options, res *Result) error {
+	st := sp.Stream()
+	root := uts.Root(sp)
+	kids := uts.Children(sp, st, &root, nil)
+
+	var wg sync.WaitGroup
+	for me := 0; me < opt.Threads; me++ {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			t := &res.Threads[me]
+			t.StartTimers(time.Now())
+			defer func() { t.StopTimers(time.Now()) }()
+			if me == 0 {
+				t.Nodes++ // the root itself
+				if root.NumKids == 0 {
+					t.Leaves++
+				}
+			}
+			var local stack.Deque
+			for i := me; i < len(kids); i += opt.Threads {
+				local.Push(kids[i])
+			}
+			var scratch []uts.Node
+			sinceYield := 0
+			for {
+				n, ok := local.Pop()
+				if !ok {
+					break
+				}
+				t.Nodes++
+				if n.NumKids == 0 {
+					t.Leaves++
+				} else {
+					scratch = uts.Children(sp, st, &n, scratch[:0])
+					local.PushAll(scratch)
+				}
+				t.NoteDepth(local.Len())
+				if sinceYield++; sinceYield >= yieldEvery {
+					sinceYield = 0
+					if opt.abort.Load() {
+						break
+					}
+					runtime.Gosched()
+				}
+			}
+			t.Switch(stats.Idle, time.Now())
+		}(me)
+	}
+	wg.Wait()
+	return nil
+}

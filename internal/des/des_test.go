@@ -1,0 +1,441 @@
+package des
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pgas"
+	"repro/internal/stats"
+	"repro/internal/uts"
+)
+
+var desSeqCache = map[string]uts.Count{}
+
+func seqCount(t *testing.T, sp *uts.Spec) uts.Count {
+	t.Helper()
+	if c, ok := desSeqCache[sp.Name]; ok {
+		return c
+	}
+	c := uts.SearchSequential(sp)
+	desSeqCache[sp.Name] = c
+	return c
+}
+
+func checkCounts(t *testing.T, sp *uts.Spec, res *core.Result) {
+	t.Helper()
+	want := seqCount(t, sp)
+	if got := res.Nodes(); got != want.Nodes {
+		t.Errorf("%s/%s: nodes = %d, want %d", res.Algorithm, sp.Name, got, want.Nodes)
+	}
+	if got := res.Leaves(); got != want.Leaves {
+		t.Errorf("%s/%s: leaves = %d, want %d", res.Algorithm, sp.Name, got, want.Leaves)
+	}
+}
+
+func TestSimulatedCountsMatchSequential(t *testing.T) {
+	for _, alg := range core.Algorithms {
+		for _, pes := range []int{1, 2, 7, 16} {
+			res, err := Run(&uts.BenchTiny, Config{Algorithm: alg, PEs: pes, Chunk: 4})
+			if err != nil {
+				t.Fatalf("%s/%d PEs: %v", alg, pes, err)
+			}
+			checkCounts(t, &uts.BenchTiny, res)
+		}
+	}
+}
+
+func TestSimulatedTreeFamilies(t *testing.T) {
+	for _, alg := range core.Algorithms {
+		for _, sp := range []*uts.Spec{&uts.GeoLinear, &uts.Balanced3x7, &uts.HybridSmall} {
+			res, err := Run(sp, Config{Algorithm: alg, PEs: 8, Chunk: 8})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", alg, sp.Name, err)
+			}
+			checkCounts(t, sp, res)
+		}
+	}
+}
+
+func TestSimulationDeterministic(t *testing.T) {
+	run := func() (*core.Result, error) {
+		return Run(&uts.BenchTiny, Config{Algorithm: core.UPCDistMem, PEs: 12, Chunk: 4, Seed: 3})
+	}
+	a, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Elapsed != b.Elapsed {
+		t.Errorf("makespans differ: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+	for i := range a.Threads {
+		if a.Threads[i].Nodes != b.Threads[i].Nodes || a.Threads[i].Steals != b.Threads[i].Steals {
+			t.Fatalf("PE %d: per-PE stats differ across identical runs", i)
+		}
+	}
+}
+
+func TestSimulatedSpeedupScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-PE simulations")
+	}
+	// Virtual speedup on an unbalanced tree must grow substantially with
+	// PE count for the paper's best algorithm.
+	var prev float64
+	for _, pes := range []int{1, 4, 16} {
+		res, err := Run(&uts.BenchSmall, Config{Algorithm: core.UPCDistMem, PEs: pes, Chunk: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkCounts(t, &uts.BenchSmall, res)
+		s := res.Speedup()
+		if s < prev {
+			t.Errorf("speedup fell from %.2f to %.2f going to %d PEs", prev, s, pes)
+		}
+		prev = s
+	}
+	if prev < 8 {
+		t.Errorf("16-PE speedup = %.2f, want >= 8 (50%% efficiency)", prev)
+	}
+}
+
+func TestSimulatedSinglePERateMatchesModel(t *testing.T) {
+	// With one PE there is no communication: virtual rate must equal the
+	// model's sequential rate almost exactly.
+	res, err := Run(&uts.BenchTiny, Config{Algorithm: core.UPCDistMem, PEs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff := res.Rate() / res.SeqRate
+	if eff < 0.95 || eff > 1.05 {
+		t.Errorf("single-PE efficiency = %.3f, want ~1.0", eff)
+	}
+}
+
+func TestSimulatedZeroLatencyModelSafe(t *testing.T) {
+	// A zero-cost model must not hang the event loop (costs are clamped
+	// to 1ns).
+	m := pgas.Model{Name: "zero"}
+	res, err := Run(&uts.Balanced3x7, Config{Algorithm: core.UPCSharedMem, PEs: 4, Chunk: 4, Model: &m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCounts(t, &uts.Balanced3x7, res)
+}
+
+func TestSimulatedStatsPopulated(t *testing.T) {
+	res, err := Run(&uts.BenchTiny, Config{Algorithm: core.UPCDistMem, PEs: 8, Chunk: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum(func(th *stats.Thread) int64 { return th.Steals }) == 0 {
+		t.Error("no steals recorded on an 8-PE unbalanced run")
+	}
+	if res.Elapsed <= 0 {
+		t.Error("no virtual makespan")
+	}
+	bd := res.StateBreakdown()
+	if bd[stats.Working] <= 0 { // Working fraction
+		t.Error("no working time recorded")
+	}
+	if res.WorkingFraction() <= 0.2 {
+		t.Errorf("working fraction %.2f suspiciously low", res.WorkingFraction())
+	}
+}
+
+func TestSimulatedChunkExtremes(t *testing.T) {
+	for _, alg := range core.Algorithms {
+		for _, k := range []int{1, 64} {
+			res, err := Run(&uts.BenchTiny, Config{Algorithm: alg, PEs: 6, Chunk: k})
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", alg, k, err)
+			}
+			checkCounts(t, &uts.BenchTiny, res)
+		}
+	}
+}
+
+func TestSimulatedManyPEsSmallTree(t *testing.T) {
+	// More PEs than chunks of work: most PEs never get any; termination
+	// must still be clean for every protocol.
+	for _, alg := range core.Algorithms {
+		res, err := Run(&uts.Balanced3x7, Config{Algorithm: alg, PEs: 64, Chunk: 8})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		checkCounts(t, &uts.Balanced3x7, res)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(&uts.BenchTiny, Config{Algorithm: "bogus"}); err == nil {
+		t.Error("bogus algorithm accepted")
+	}
+	if _, err := Run(&uts.BenchTiny, Config{Algorithm: core.Sequential}); err == nil {
+		t.Error("sequential is not simulatable")
+	}
+	if _, err := Run(&uts.BenchTiny, Config{PEs: -2}); err == nil {
+		t.Error("negative PEs accepted")
+	}
+	if _, err := Run(&uts.BenchTiny, Config{Chunk: -1}); err == nil {
+		t.Error("negative chunk accepted")
+	}
+	bad := uts.Spec{Kind: uts.Binomial, B0: 3, M: 2, Q: 0.8}
+	if _, err := Run(&bad, Config{}); err == nil {
+		t.Error("supercritical spec accepted")
+	}
+}
+
+func TestCostClamping(t *testing.T) {
+	cs := newCosts(&pgas.Model{})
+	if cs.remoteRef < time.Nanosecond || cs.localRef < time.Nanosecond ||
+		cs.nodeCost < time.Nanosecond || cs.lockRTT < time.Nanosecond {
+		t.Error("zero costs not clamped")
+	}
+	cs = newCosts(&pgas.KittyHawk)
+	if cs.lockRTT != pgas.KittyHawk.LockRTT || cs.remoteRef != pgas.KittyHawk.RemoteRef {
+		t.Error("non-zero costs altered by clamping")
+	}
+	if cs.bulk(1024) != cs.remoteRef+pgas.KittyHawk.PerKB {
+		t.Errorf("bulk(1KiB) = %v", cs.bulk(1024))
+	}
+}
+
+func TestSimulatedHierarchical(t *testing.T) {
+	for _, alg := range []core.Algorithm{core.UPCDistMem, core.UPCDistMemHier} {
+		res, err := Run(&uts.BenchTiny, Config{
+			Algorithm: alg, PEs: 16, Chunk: 4,
+			Model: &pgas.Topsail, NodeSize: 4, Intra: &pgas.Altix,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		checkCounts(t, &uts.BenchTiny, res)
+	}
+}
+
+func TestSimulatedHierWithoutTopologyMatchesFlat(t *testing.T) {
+	// With no NodeSize the hier variant must produce the identical
+	// deterministic schedule as plain distmem.
+	a, err := Run(&uts.BenchTiny, Config{Algorithm: core.UPCDistMem, PEs: 8, Chunk: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(&uts.BenchTiny, Config{Algorithm: core.UPCDistMemHier, PEs: 8, Chunk: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Elapsed != b.Elapsed {
+		t.Errorf("flat vs hier-without-topology makespans differ: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+}
+
+func TestRunTraced(t *testing.T) {
+	res, tr, err := RunTraced(&uts.BenchTiny, Config{
+		Algorithm: core.UPCTermRapdif, PEs: 8, Chunk: 4,
+	}, 10*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCounts(t, &uts.BenchTiny, res)
+	if len(tr.Samples) == 0 {
+		t.Fatal("no samples collected")
+	}
+	// Samples are time-ordered and cover the run.
+	for i := 1; i < len(tr.Samples); i++ {
+		if tr.Samples[i].T < tr.Samples[i-1].T {
+			t.Fatal("samples out of order")
+		}
+	}
+	if last := tr.Samples[len(tr.Samples)-1].T; last < res.Elapsed-tr.Interval {
+		t.Errorf("sampling stopped at %v, before makespan %v", last, res.Elapsed)
+	}
+	// Work sources must have been observed at some point on an 8-PE run.
+	if tr.TimeToSources(1) < 0 {
+		t.Error("never observed a single work source")
+	}
+	if tr.TimeToSources(1000) != -1 {
+		t.Error("TimeToSources(1000) should be 'never'")
+	}
+	if _, _, err := RunTraced(&uts.BenchTiny, Config{}, 0); err == nil {
+		t.Error("zero trace interval accepted")
+	}
+}
+
+func TestSimulatedExtensionCountsMatch(t *testing.T) {
+	res, err := Run(&uts.GeoLinear, Config{
+		Algorithm: core.UPCDistMemHier, PEs: 12, Chunk: 8,
+		Model: &pgas.Topsail, NodeSize: 3, Intra: &pgas.Altix,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCounts(t, &uts.GeoLinear, res)
+}
+
+func TestSimulatedStaticBaseline(t *testing.T) {
+	res, err := Run(&uts.BenchTiny, Config{Algorithm: core.Static, PEs: 8, Chunk: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCounts(t, &uts.BenchTiny, res)
+	// Static partitioning of a critical tree: virtual speedup must be far
+	// from linear (the paper's premise).
+	if s := res.Speedup(); s > 4 {
+		t.Errorf("static speedup %.1f on 8 PEs is implausibly good", s)
+	}
+	// On a tree big enough to amortize steal costs, work stealing must beat
+	// static partitioning decisively.
+	staticBig, err := Run(&uts.BenchSmall, Config{Algorithm: core.Static, PEs: 8, Chunk: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stealBig, err := Run(&uts.BenchSmall, Config{Algorithm: core.UPCDistMem, PEs: 8, Chunk: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stealBig.Speedup() <= 1.5*staticBig.Speedup() {
+		t.Errorf("work stealing (%.1f) should decisively beat static partitioning (%.1f)",
+			stealBig.Speedup(), staticBig.Speedup())
+	}
+}
+
+// TestPaperShapeRegression pins the paper's central qualitative claims at
+// a deterministic mid-size configuration, so any change to the protocols
+// or the cost model that breaks a headline result fails loudly:
+//
+//  1. upc-sharedmem collapses at small chunk sizes (Figure 4);
+//  2. the refinements are ordered: term < rapdif-or-equal < distmem at
+//     small chunks;
+//  3. upc-distmem beats static partitioning by a wide margin.
+func TestPaperShapeRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mid-size simulations")
+	}
+	rate := func(alg core.Algorithm, chunk int) float64 {
+		res, err := Run(&uts.BenchSmall, Config{Algorithm: alg, PEs: 32, Chunk: chunk, Model: &pgas.KittyHawk})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		checkCounts(t, &uts.BenchSmall, res)
+		return res.Rate()
+	}
+	sharedK2 := rate(core.UPCSharedMem, 2)
+	termK2 := rate(core.UPCTerm, 2)
+	distK2 := rate(core.UPCDistMem, 2)
+	if !(sharedK2 < termK2 && termK2 < distK2) {
+		t.Errorf("refinement ordering broken at chunk 2: sharedmem=%.2gM term=%.2gM distmem=%.2gM",
+			sharedK2/1e6, termK2/1e6, distK2/1e6)
+	}
+	if distK2 < 3*sharedK2 {
+		t.Errorf("sharedmem low-chunk collapse missing: distmem=%.2gM only %.1fx sharedmem=%.2gM",
+			distK2/1e6, distK2/sharedK2, sharedK2/1e6)
+	}
+	staticRate := rate(core.Static, 2)
+	if distK2 < 2*staticRate {
+		t.Errorf("work stealing (%.2gM) should far exceed static partitioning (%.2gM)",
+			distK2/1e6, staticRate/1e6)
+	}
+}
+
+// TestSeedSweepAllProtocols fuzzes the protocol interleavings: every
+// algorithm, many probe-order seeds, counts must match exactly every time.
+func TestSeedSweepAllProtocols(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep")
+	}
+	algs := append(append([]core.Algorithm{}, core.Algorithms...), core.UPCDistMemHier, core.Static)
+	for _, alg := range algs {
+		for seed := int64(0); seed < 8; seed++ {
+			res, err := Run(&uts.BenchTiny, Config{Algorithm: alg, PEs: 11, Chunk: 3, Seed: seed})
+			if err != nil {
+				t.Fatalf("%s seed=%d: %v", alg, seed, err)
+			}
+			checkCounts(t, &uts.BenchTiny, res)
+		}
+	}
+}
+
+// TestPathologicalCostModel stresses the event loop with extreme cost
+// ratios: locks five orders of magnitude above node cost must slow the
+// lock-dependent protocols but never wedge or corrupt them.
+func TestPathologicalCostModel(t *testing.T) {
+	nasty := pgas.Model{
+		Name:      "nasty",
+		LocalRef:  time.Nanosecond,
+		RemoteRef: 50 * time.Microsecond,
+		PerKB:     100 * time.Microsecond,
+		LockRTT:   10 * time.Millisecond,
+		NodeCost:  100 * time.Nanosecond,
+	}
+	for _, alg := range core.Algorithms {
+		res, err := Run(&uts.Balanced3x7, Config{Algorithm: alg, PEs: 5, Chunk: 4, Model: &nasty})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		checkCounts(t, &uts.Balanced3x7, res)
+	}
+}
+
+func TestTuneChunk(t *testing.T) {
+	cfg := Config{Algorithm: core.UPCDistMem, PEs: 8, Model: &pgas.KittyHawk}
+	best, results, err := TuneChunk(&uts.BenchTiny, cfg, []int{2, 16, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results for %d candidates", len(results))
+	}
+	for k, res := range results {
+		checkCounts(t, &uts.BenchTiny, res)
+		if res.Rate() > results[best].Rate() {
+			t.Errorf("chunk %d (%.2gM/s) beats reported best %d (%.2gM/s)",
+				k, res.Rate()/1e6, best, results[best].Rate()/1e6)
+		}
+	}
+	// Default candidate axis.
+	best, results, err = TuneChunk(&uts.Balanced3x7, Config{Algorithm: core.UPCTerm, PEs: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 8 || results[best] == nil {
+		t.Errorf("default sweep produced %d results", len(results))
+	}
+	if _, _, err := TuneChunk(&uts.Balanced3x7, cfg, []int{0}); err == nil {
+		t.Error("chunk candidate 0 accepted")
+	}
+}
+
+// TestInBarrierStealPathExercised pins configurations in which the rare
+// Section 3.3.1 race actually occurs — threads reach the termination
+// barrier while work remains, probe from inside it, and leave to steal —
+// and verifies the protocol stays exact through it. The barrier-entry
+// count exceeding the PE count is the witness that the path ran (the
+// simulator is deterministic, so these witnesses are stable).
+func TestInBarrierStealPathExercised(t *testing.T) {
+	cases := []struct {
+		alg  core.Algorithm
+		pes  int
+		seed int64
+	}{
+		{core.UPCTerm, 16, 3},
+		{core.UPCTerm, 32, 4},
+		{core.UPCDistMem, 32, 1},
+	}
+	for _, tc := range cases {
+		res, err := Run(&uts.BenchTiny, Config{Algorithm: tc.alg, PEs: tc.pes, Chunk: 1, Seed: tc.seed})
+		if err != nil {
+			t.Fatalf("%s/%d/%d: %v", tc.alg, tc.pes, tc.seed, err)
+		}
+		checkCounts(t, &uts.BenchTiny, res)
+		entries := res.Sum(func(th *stats.Thread) int64 { return th.TermBarrierEntries })
+		if entries <= int64(tc.pes) {
+			t.Errorf("%s pes=%d seed=%d: barrier entries %d <= %d; in-barrier steal no longer exercised — pick a new witness config",
+				tc.alg, tc.pes, tc.seed, entries, tc.pes)
+		}
+	}
+}

@@ -1,0 +1,338 @@
+package des
+
+import (
+	"math/bits"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stack"
+	"repro/internal/stats"
+	"repro/internal/uts"
+)
+
+// simDistRun is the run state of the simulated distributed-memory
+// algorithm (Section 3.3.3).
+type simDistRun struct {
+	sp  *uts.Spec
+	cfg Config
+	cs  costs
+	pes []*simDistPE
+
+	// Two-level topology (Section 6.2 future work): PEs in nodes of
+	// nodeSize consecutive IDs, same-node references charged to intra.
+	nodeSize int
+	intra    costs
+	hier     bool // locality-aware probe order (upc-distmem-hier)
+
+	sbCount     int
+	sbAnnounced bool
+
+	finish func(*Proc)
+}
+
+// sameNode reports whether PEs a and b share a cluster node.
+func (r *simDistRun) sameNode(a, b int) bool {
+	return r.nodeSize > 1 && a/r.nodeSize == b/r.nodeSize
+}
+
+// refCost is one one-sided reference from a to b's partition.
+func (r *simDistRun) refCost(a, b int) time.Duration {
+	if r.sameNode(a, b) {
+		return r.intra.remoteRef
+	}
+	return r.cs.remoteRef
+}
+
+// lockCost is one lock round trip from a to b's partition.
+func (r *simDistRun) lockCost(a, b int) time.Duration {
+	if r.sameNode(a, b) {
+		return r.intra.lockRTT
+	}
+	return r.cs.lockRTT
+}
+
+// bulkCost is a one-sided transfer of n bytes between a and b.
+func (r *simDistRun) bulkCost(a, b, n int) time.Duration {
+	if r.sameNode(a, b) {
+		return r.intra.bulk(n)
+	}
+	return r.cs.bulk(n)
+}
+
+// simDistPE is one simulated PE: owner-only stack and pool, a request
+// word claimed by thieves, and an incoming response slot.
+type simDistPE struct {
+	r     *simDistRun
+	p     *Proc
+	me    int
+	t     *stats.Thread
+	state stats.State
+
+	local     stack.Deque
+	pool      stack.Pool
+	workAvail int
+	request   int // thief ID or -1
+
+	resp      []stack.Chunk
+	respReady bool
+
+	rng     *core.ProbeOrder
+	scratch []uts.Node
+	perm    []int
+}
+
+func simDistMem(sim *Sim, sp *uts.Spec, cfg Config, cs costs, res *core.Result, finish func(*Proc)) (sampler, error) {
+	r := &simDistRun{sp: sp, cfg: cfg, cs: cs, finish: finish,
+		hier: cfg.Algorithm == core.UPCDistMemHier}
+	if cfg.NodeSize >= 2 && cfg.Intra != nil {
+		r.nodeSize = cfg.NodeSize
+		r.intra = newCosts(cfg.Intra)
+	}
+	r.pes = make([]*simDistPE, cfg.PEs)
+	for i := 0; i < cfg.PEs; i++ {
+		pe := &simDistPE{r: r, me: i, t: &res.Threads[i], request: -1, rng: core.NewProbeOrder(cfg.Seed, i)}
+		r.pes[i] = pe
+		if i == 0 {
+			pe.local.Push(uts.Root(sp))
+		}
+		sim.Spawn(func(p *Proc) {
+			pe.p = p
+			pe.main()
+			r.finish(p)
+		})
+	}
+	return func() (sources, working int) {
+		for _, pe := range r.pes {
+			if pe.workAvail > 0 {
+				sources++
+			}
+			if pe.local.Len() > 0 || pe.pool.Len() > 0 {
+				working++
+			}
+		}
+		return
+	}, nil
+}
+
+func (pe *simDistPE) advance(d time.Duration) {
+	pe.t.AddState(pe.state, d)
+	pe.p.Advance(d)
+}
+
+func (pe *simDistPE) main() {
+	for {
+		pe.work()
+		pe.workAvail = -1
+		pe.state = stats.Searching
+		if pe.search() {
+			pe.state = stats.Working
+			continue
+		}
+		pe.state = stats.Idle
+		pe.t.TermBarrierEntries++
+		if pe.terminate() {
+			pe.service()
+			return
+		}
+		pe.state = stats.Working
+	}
+}
+
+// work explores nodes batch-wise. The real implementation polls its
+// request word every node; the simulator services requests at batch
+// boundaries and release points, bounding event counts while keeping the
+// response latency within one batch of node work.
+func (pe *simDistPE) work() {
+	cs := &pe.r.cs
+	sp := pe.r.sp
+	st := sp.Stream()
+	k := pe.r.cfg.Chunk
+	batch := pe.r.cfg.Batch
+	pending := 0
+	flush := func() {
+		if pending > 0 {
+			pe.advance(time.Duration(pending) * cs.nodeCost)
+			pending = 0
+		}
+		pe.service()
+	}
+	for {
+		n, ok := pe.local.Pop()
+		if !ok {
+			flush()
+			c, ok2 := pe.pool.TakeNewest()
+			if !ok2 {
+				return
+			}
+			pe.workAvail = pe.pool.Len()
+			pe.t.Reacquires++
+			pe.local.PushAll(c)
+			continue
+		}
+		pending++
+		pe.t.Nodes++
+		if n.NumKids == 0 {
+			pe.t.Leaves++
+		} else {
+			pe.scratch = uts.Children(sp, st, &n, pe.scratch[:0])
+			pe.local.PushAll(pe.scratch)
+		}
+		pe.t.NoteDepth(pe.local.Len())
+		if pe.local.Len() >= 2*k {
+			flush()
+			pe.pool.Put(pe.local.TakeBottom(k))
+			pe.workAvail = pe.pool.Len()
+			pe.t.Releases++
+		} else if pending >= batch {
+			flush()
+		}
+	}
+}
+
+// service answers a pending request: half the pool (rapid diffusion) or a
+// denial, for the cost of two remote writes.
+func (pe *simDistPE) service() {
+	if pe.request < 0 {
+		return
+	}
+	thief := pe.r.pes[pe.request]
+	var chunks []stack.Chunk
+	if pe.pool.Len() > 0 {
+		chunks = pe.pool.TakeHalf()
+		pe.workAvail = pe.pool.Len()
+	}
+	pe.advance(2 * pe.r.refCost(pe.me, thief.me)) // amount + address writes
+	thief.resp = chunks
+	thief.respReady = true
+	pe.request = -1
+	pe.t.Requests++
+}
+
+func (pe *simDistPE) search() bool {
+	n := len(pe.r.pes)
+	if n == 1 {
+		return false
+	}
+	for {
+		sawWorker := false
+		if pe.r.hier {
+			pe.perm = pe.rng.CycleHier(pe.me, n, pe.r.nodeSize, pe.perm)
+		} else {
+			pe.perm = pe.rng.Cycle(pe.me, n, pe.perm)
+		}
+		for _, v := range pe.perm {
+			pe.service()
+			wa := pe.probe(v)
+			if wa > 0 {
+				pe.state = stats.Stealing
+				ok := pe.steal(v)
+				pe.state = stats.Searching
+				if ok {
+					return true
+				}
+			}
+			if wa >= 0 {
+				sawWorker = true
+			}
+		}
+		if !sawWorker {
+			return false
+		}
+	}
+}
+
+func (pe *simDistPE) probe(v int) int {
+	pe.advance(pe.r.refCost(pe.me, v))
+	pe.t.Probes++
+	return pe.r.pes[v].workAvail
+}
+
+// steal claims the victim's request word and polls its own response slot
+// until the owner answers. The wait is a poll loop rather than a blocking
+// sleep because the waiting thief must keep servicing its own request word
+// (two thieves can be each other's victims).
+func (pe *simDistPE) steal(v int) bool {
+	r := pe.r
+	cs := &r.cs
+	vs := r.pes[v]
+
+	pe.advance(r.lockCost(pe.me, v)) // lock-protected request-word write
+	if vs.request != -1 {
+		pe.t.FailedSteals++
+		return false
+	}
+	vs.request = pe.me
+
+	for !pe.respReady {
+		pe.service()
+		pe.advance(cs.respPoll)
+	}
+	chunks := pe.resp
+	pe.resp = nil
+	pe.respReady = false
+
+	if len(chunks) == 0 {
+		pe.t.FailedSteals++
+		return false
+	}
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	pe.advance(r.bulkCost(pe.me, v, total*nodeBytes)) // one-sided get
+	pe.t.Steals++
+	pe.t.ChunksGot += int64(len(chunks))
+
+	pe.local.PushAll(chunks[0])
+	for _, c := range chunks[1:] {
+		pe.pool.Put(c)
+	}
+	pe.workAvail = pe.pool.Len()
+	return true
+}
+
+func (pe *simDistPE) sbEnter() bool {
+	r := pe.r
+	pe.advance(r.cs.remoteRef)
+	r.sbCount++
+	if r.sbCount == len(r.pes) {
+		if len(r.pes) > 1 {
+			pe.advance(time.Duration(bits.Len(uint(len(r.pes)-1))) * r.cs.remoteRef)
+		}
+		r.sbAnnounced = true
+		return true
+	}
+	return false
+}
+
+func (pe *simDistPE) terminate() bool {
+	r := pe.r
+	if pe.sbEnter() {
+		return true
+	}
+	n := len(r.pes)
+	for {
+		pe.service()
+		pe.advance(r.cs.remoteRef) // poll the announcement flag
+		if r.sbAnnounced {
+			return true
+		}
+		v := pe.rng.Victim(pe.me, n)
+		if wa := pe.probe(v); wa > 0 {
+			if r.sbAnnounced {
+				return true
+			}
+			pe.advance(r.cs.remoteRef) // leave the barrier
+			r.sbCount--
+			pe.state = stats.Stealing
+			ok := pe.steal(v)
+			pe.state = stats.Idle
+			if ok {
+				return false
+			}
+			if pe.sbEnter() {
+				return true
+			}
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package des_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/pgas"
+	"repro/internal/uts"
+)
+
+// Simulating 64 processors of the paper's Kitty Hawk cluster. The
+// simulation is deterministic: identical configuration, identical result,
+// including the virtual makespan and every per-PE counter.
+func ExampleRun() {
+	res, err := des.Run(&uts.Balanced3x7, des.Config{
+		Algorithm: core.UPCDistMem,
+		PEs:       64,
+		Chunk:     8,
+		Model:     &pgas.KittyHawk,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res.Nodes(), res.Leaves())
+	// Output: 3280 2187
+}

@@ -1,0 +1,255 @@
+package des
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/msg"
+	"repro/internal/stack"
+	"repro/internal/stats"
+	"repro/internal/uts"
+)
+
+// simMsg is one in-flight message: visible to the receiver once virtual
+// time reaches arriveAt.
+type simMsg struct {
+	arriveAt time.Duration
+	from     int
+	tag      msg.Tag
+	chunks   []stack.Chunk
+	color    msg.Color
+}
+
+// simMPIRun is the run state of the simulated mpi-ws baseline.
+type simMPIRun struct {
+	sp     *uts.Spec
+	cfg    Config
+	cs     costs
+	pes    []*simMPIPE
+	finish func(*Proc)
+}
+
+// simMPIPE is one simulated MPI rank.
+type simMPIPE struct {
+	r     *simMPIRun
+	p     *Proc
+	me    int
+	t     *stats.Thread
+	state stats.State
+
+	local   stack.Deque
+	inbox   []simMsg
+	scratch []uts.Node
+	rng     *core.ProbeOrder
+
+	color       msg.Color
+	haveToken   bool
+	tokenColor  msg.Color
+	firstPass   bool
+	outstanding bool
+	terminated  bool
+}
+
+func simMPIWS(sim *Sim, sp *uts.Spec, cfg Config, cs costs, res *core.Result, finish func(*Proc)) (sampler, error) {
+	r := &simMPIRun{sp: sp, cfg: cfg, cs: cs, finish: finish}
+	r.pes = make([]*simMPIPE, cfg.PEs)
+	for i := 0; i < cfg.PEs; i++ {
+		pe := &simMPIPE{r: r, me: i, t: &res.Threads[i], rng: core.NewProbeOrder(cfg.Seed, i)}
+		r.pes[i] = pe
+		if i == 0 {
+			pe.local.Push(uts.Root(sp))
+			pe.haveToken = true
+			pe.tokenColor = msg.Black
+			pe.firstPass = true
+		}
+		sim.Spawn(func(p *Proc) {
+			pe.p = p
+			pe.main()
+			r.finish(p)
+		})
+	}
+	return func() (sources, working int) {
+		for _, pe := range r.pes {
+			// An MPI rank is a work source when it has enough stack to
+			// satisfy a request (the 2k surplus rule of handle()).
+			if pe.local.Len() >= 2*r.cfg.Chunk {
+				sources++
+			}
+			if pe.local.Len() > 0 {
+				working++
+			}
+		}
+		return
+	}, nil
+}
+
+func (pe *simMPIPE) advance(d time.Duration) {
+	pe.t.AddState(pe.state, d)
+	pe.p.Advance(d)
+}
+
+// send charges the sender the injection overhead and delivers the message
+// after the transfer latency.
+func (pe *simMPIPE) send(to int, tag msg.Tag, chunks []stack.Chunk, color msg.Color) {
+	size := 16
+	for _, c := range chunks {
+		size += nodeBytes * len(c)
+	}
+	pe.advance(pe.r.cs.localRef) // injection overhead
+	dst := pe.r.pes[to]
+	dst.inbox = append(dst.inbox, simMsg{
+		arriveAt: pe.p.Now() + pe.r.cs.bulk(size),
+		from:     pe.me,
+		tag:      tag,
+		chunks:   chunks,
+		color:    color,
+	})
+}
+
+// recv returns the oldest message that has arrived by now.
+func (pe *simMPIPE) recv() (simMsg, bool) {
+	now := pe.p.Now()
+	for i, m := range pe.inbox {
+		if m.arriveAt <= now {
+			pe.inbox = append(pe.inbox[:i], pe.inbox[i+1:]...)
+			return m, true
+		}
+	}
+	return simMsg{}, false
+}
+
+func (pe *simMPIPE) main() {
+	for !pe.terminated {
+		if pe.local.Len() > 0 {
+			pe.work()
+		} else {
+			pe.idle()
+		}
+	}
+}
+
+func (pe *simMPIPE) work() {
+	cs := &pe.r.cs
+	sp := pe.r.sp
+	st := sp.Stream()
+	poll := pe.r.cfg.PollInterval
+	since, pending := 0, 0
+	flush := func() {
+		if pending > 0 {
+			pe.advance(time.Duration(pending) * cs.nodeCost)
+			pending = 0
+		}
+	}
+	for pe.local.Len() > 0 && !pe.terminated {
+		n, _ := pe.local.Pop()
+		pending++
+		pe.t.Nodes++
+		if n.NumKids == 0 {
+			pe.t.Leaves++
+		} else {
+			pe.scratch = uts.Children(sp, st, &n, pe.scratch[:0])
+			pe.local.PushAll(pe.scratch)
+		}
+		pe.t.NoteDepth(pe.local.Len())
+		if since++; since >= poll {
+			since = 0
+			flush()
+			pe.drain()
+		}
+	}
+	flush()
+	pe.drain()
+}
+
+func (pe *simMPIPE) drain() {
+	for {
+		pe.advance(pe.r.cs.iprobe) // MPI_Iprobe costs library time per check
+		m, ok := pe.recv()
+		if !ok {
+			return
+		}
+		pe.handle(m)
+	}
+}
+
+func (pe *simMPIPE) handle(m simMsg) {
+	switch m.tag {
+	case msg.TagStealRequest:
+		pe.t.Requests++
+		if pe.local.Len() >= 2*pe.r.cfg.Chunk {
+			chunk := pe.local.TakeBottom(pe.r.cfg.Chunk)
+			pe.color = msg.Black
+			pe.t.Releases++
+			pe.send(m.from, msg.TagWork, []stack.Chunk{chunk}, 0)
+		} else {
+			pe.send(m.from, msg.TagNoWork, nil, 0)
+		}
+	case msg.TagWork:
+		pe.outstanding = false
+		pe.t.Steals++
+		pe.t.ChunksGot += int64(len(m.chunks))
+		for _, c := range m.chunks {
+			pe.local.PushAll(c)
+		}
+	case msg.TagNoWork:
+		pe.outstanding = false
+		pe.t.FailedSteals++
+	case msg.TagToken:
+		pe.haveToken = true
+		pe.tokenColor = m.color
+	case msg.TagTerminate:
+		pe.terminated = true
+	}
+}
+
+func (pe *simMPIPE) idle() {
+	pe.state = stats.Searching
+	defer func() { pe.state = stats.Working }()
+	for pe.local.Len() == 0 && !pe.terminated {
+		if m, ok := pe.recv(); ok {
+			pe.handle(m)
+			continue
+		}
+		if len(pe.r.pes) == 1 {
+			pe.terminated = true
+			return
+		}
+		// Passive here: no work, nothing visible in the inbox.
+		if pe.haveToken && !pe.outstanding {
+			pe.passToken()
+			continue
+		}
+		if !pe.outstanding {
+			v := pe.rng.Victim(pe.me, len(pe.r.pes))
+			pe.t.Probes++
+			pe.send(v, msg.TagStealRequest, nil, 0)
+			pe.outstanding = true
+			continue
+		}
+		pe.advance(pe.r.cs.idlePoll)
+	}
+}
+
+func (pe *simMPIPE) passToken() {
+	pe.haveToken = false
+	n := len(pe.r.pes)
+	if pe.me == 0 {
+		if !pe.firstPass && pe.tokenColor == msg.White && pe.color == msg.White {
+			for j := 1; j < n; j++ {
+				pe.send(j, msg.TagTerminate, nil, 0)
+			}
+			pe.terminated = true
+			return
+		}
+		pe.firstPass = false
+		pe.color = msg.White
+		pe.send(1%n, msg.TagToken, nil, msg.White)
+		return
+	}
+	c := pe.tokenColor
+	if pe.color == msg.Black {
+		c = msg.Black
+	}
+	pe.color = msg.White
+	pe.send((pe.me+1)%n, msg.TagToken, nil, c)
+}

@@ -1,0 +1,403 @@
+package des
+
+import (
+	"math/bits"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stack"
+	"repro/internal/stats"
+	"repro/internal/uts"
+)
+
+// nodeBytes is the nominal wire size of a node descriptor, matching the
+// bandwidth charging of internal/core.
+const nodeBytes = 28
+
+// sharedMode selects the refinements of the shared-memory family, exactly
+// as core.sharedVariant does for the real implementation.
+type sharedMode struct {
+	streamTerm bool
+	stealHalf  bool
+}
+
+// simSharedRun is the per-run shared state of the simulated shared-memory
+// family. All fields are mutated only by the PE currently scheduled by the
+// event loop, so no synchronization is needed.
+type simSharedRun struct {
+	sp   *uts.Spec
+	cfg  Config
+	cs   costs
+	mode sharedMode
+	pes  []*simSharedPE
+
+	// Cancelable barrier (Section 3.1).
+	cbLock   Lock
+	cbCount  int
+	cbCancel bool
+	cbDone   bool
+
+	// Streamlined barrier (Section 3.3.1).
+	sbCount     int
+	sbAnnounced bool
+
+	finish func(*Proc)
+}
+
+// simSharedPE is one simulated PE of the shared-memory family.
+type simSharedPE struct {
+	r     *simSharedRun
+	p     *Proc
+	me    int
+	t     *stats.Thread
+	state stats.State
+
+	local     stack.Deque
+	lock      Lock
+	pool      stack.Pool
+	workAvail int
+
+	rng     *core.ProbeOrder
+	scratch []uts.Node
+	perm    []int
+}
+
+// simShared sets up the PEs for upc-sharedmem / upc-term / upc-term-rapdif.
+func simShared(sim *Sim, sp *uts.Spec, cfg Config, cs costs, res *core.Result, mode sharedMode, finish func(*Proc)) (sampler, error) {
+	r := &simSharedRun{sp: sp, cfg: cfg, cs: cs, mode: mode, finish: finish}
+	r.pes = make([]*simSharedPE, cfg.PEs)
+	for i := 0; i < cfg.PEs; i++ {
+		pe := &simSharedPE{r: r, me: i, t: &res.Threads[i], rng: core.NewProbeOrder(cfg.Seed, i)}
+		r.pes[i] = pe
+		if i == 0 {
+			pe.local.Push(uts.Root(sp))
+		}
+		sim.Spawn(func(p *Proc) {
+			pe.p = p
+			pe.main()
+			r.finish(p)
+		})
+	}
+	return func() (sources, working int) {
+		for _, pe := range r.pes {
+			if pe.workAvail > 0 {
+				sources++
+			}
+			if pe.local.Len() > 0 || pe.pool.Len() > 0 {
+				working++
+			}
+		}
+		return
+	}, nil
+}
+
+// advance consumes virtual time, charging it to the PE's current state.
+func (pe *simSharedPE) advance(d time.Duration) {
+	pe.t.AddState(pe.state, d)
+	pe.p.Advance(d)
+}
+
+// acquire/release wrap the virtual lock with affinity-dependent costs and
+// charge the queueing wait to the current state.
+func (pe *simSharedPE) acquire(l *Lock, cost time.Duration) {
+	before := pe.p.Now()
+	pe.p.Acquire(l, cost)
+	pe.t.AddState(pe.state, pe.p.Now()-before)
+}
+
+func (pe *simSharedPE) release(l *Lock, cost time.Duration) {
+	before := pe.p.Now()
+	pe.p.Release(l, cost)
+	pe.t.AddState(pe.state, pe.p.Now()-before)
+}
+
+func (pe *simSharedPE) main() {
+	for {
+		pe.work()
+		if pe.r.mode.streamTerm {
+			pe.workAvail = -1
+		}
+		pe.state = stats.Searching
+		if pe.search() {
+			pe.state = stats.Working
+			continue
+		}
+		pe.state = stats.Idle
+		pe.t.TermBarrierEntries++
+		if pe.terminate() {
+			return
+		}
+		pe.state = stats.Working
+	}
+}
+
+// work explores nodes, charging NodeCost per node in batches, releasing
+// surplus chunks at the 2k threshold and reacquiring from the PE's own
+// shared region when the local region drains.
+func (pe *simSharedPE) work() {
+	cs := &pe.r.cs
+	sp := pe.r.sp
+	st := sp.Stream()
+	k := pe.r.cfg.Chunk
+	batch := pe.r.cfg.Batch
+	pending := 0
+	flush := func() {
+		if pending > 0 {
+			pe.advance(time.Duration(pending) * cs.nodeCost)
+			pending = 0
+		}
+	}
+	for {
+		n, ok := pe.local.Pop()
+		if !ok {
+			flush()
+			if !pe.reacquire() {
+				return
+			}
+			continue
+		}
+		pending++
+		pe.t.Nodes++
+		if n.NumKids == 0 {
+			pe.t.Leaves++
+		} else {
+			pe.scratch = uts.Children(sp, st, &n, pe.scratch[:0])
+			pe.local.PushAll(pe.scratch)
+		}
+		pe.t.NoteDepth(pe.local.Len())
+		if pe.local.Len() >= 2*k {
+			flush()
+			pe.releaseChunk(k)
+		} else if pending >= batch {
+			flush()
+		}
+	}
+}
+
+// releaseChunk moves k nodes into the PE's shared region under its own
+// lock — where the owner can be delayed behind queued remote thieves, the
+// interference Section 3.3.3 eliminates — and, under the shared-memory
+// algorithm, resets the cancelable barrier.
+func (pe *simSharedPE) releaseChunk(k int) {
+	cs := &pe.r.cs
+	chunk := pe.local.TakeBottom(k)
+	pe.acquire(&pe.lock, cs.localRef)
+	pe.advance(cs.localRef) // in-lock pointer updates, local affinity
+	pe.pool.Put(chunk)
+	pe.workAvail = pe.pool.Len()
+	pe.release(&pe.lock, cs.localRef)
+	pe.t.Releases++
+	if !pe.r.mode.streamTerm {
+		pe.cbCancelOp()
+	}
+}
+
+func (pe *simSharedPE) reacquire() bool {
+	cs := &pe.r.cs
+	pe.acquire(&pe.lock, cs.localRef)
+	pe.advance(cs.localRef) // in-lock pointer updates, local affinity
+	c, ok := pe.pool.TakeNewest()
+	if ok {
+		pe.workAvail = pe.pool.Len()
+	}
+	pe.release(&pe.lock, cs.localRef)
+	if !ok {
+		return false
+	}
+	pe.t.Reacquires++
+	pe.local.PushAll(c)
+	return true
+}
+
+func (pe *simSharedPE) search() bool {
+	r := pe.r
+	n := len(r.pes)
+	if n == 1 {
+		return false
+	}
+	for {
+		sawWorker := false
+		pe.perm = pe.rng.Cycle(pe.me, n, pe.perm)
+		for _, v := range pe.perm {
+			wa := pe.probe(v)
+			if wa > 0 {
+				pe.state = stats.Stealing
+				ok := pe.steal(v)
+				pe.state = stats.Searching
+				if ok {
+					return true
+				}
+			}
+			if wa >= 0 {
+				sawWorker = true
+			}
+		}
+		if !r.mode.streamTerm {
+			return false
+		}
+		if !sawWorker {
+			return false
+		}
+	}
+}
+
+func (pe *simSharedPE) probe(v int) int {
+	pe.advance(pe.r.cs.remoteRef)
+	pe.t.Probes++
+	return pe.r.pes[v].workAvail
+}
+
+func (pe *simSharedPE) steal(v int) bool {
+	r := pe.r
+	cs := &r.cs
+	vs := r.pes[v]
+	pe.acquire(&vs.lock, cs.lockRTT)
+	// The reservation manipulates the victim's stack pointers remotely
+	// while holding the lock — this is the hold period during which the
+	// paper observes working threads being delayed by thieves.
+	pe.advance(2 * cs.remoteRef)
+	var chunks []stack.Chunk
+	if r.mode.stealHalf {
+		chunks = vs.pool.TakeHalf()
+	} else if c, ok := vs.pool.TakeOldest(); ok {
+		chunks = append(chunks, c)
+	}
+	if len(chunks) > 0 {
+		vs.workAvail = vs.pool.Len()
+	}
+	pe.release(&vs.lock, cs.lockRTT)
+	if len(chunks) == 0 {
+		pe.t.FailedSteals++
+		return false
+	}
+
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	pe.advance(cs.bulk(total * nodeBytes))
+	pe.t.Steals++
+	pe.t.ChunksGot += int64(len(chunks))
+
+	pe.local.PushAll(chunks[0])
+	if len(chunks) > 1 {
+		pe.acquire(&pe.lock, cs.localRef)
+		for _, c := range chunks[1:] {
+			pe.pool.Put(c)
+		}
+		pe.workAvail = pe.pool.Len()
+		pe.release(&pe.lock, cs.localRef)
+	} else if r.mode.streamTerm {
+		pe.workAvail = 0
+	}
+	return true
+}
+
+// lockCost is the cancelable barrier's lock cost: its state has affinity
+// to PE 0.
+func (pe *simSharedPE) barrierLockCost() time.Duration {
+	if pe.me == 0 {
+		return pe.r.cs.localRef
+	}
+	return pe.r.cs.lockRTT
+}
+
+// cbEnter mirrors term.CancelBarrier.Enter under virtual time, including
+// the remote spinning on the cancellation/termination flags.
+// barrierFlagCost is the in-lock flag-manipulation cost of the cancelable
+// barrier: local for PE 0, one remote reference otherwise.
+func (pe *simSharedPE) barrierFlagCost() time.Duration {
+	if pe.me == 0 {
+		return pe.r.cs.localRef
+	}
+	return pe.r.cs.remoteRef
+}
+
+func (pe *simSharedPE) cbEnter() bool {
+	r := pe.r
+	pe.acquire(&r.cbLock, pe.barrierLockCost())
+	pe.advance(pe.barrierFlagCost())
+	r.cbCount++
+	if r.cbCount == len(r.pes) {
+		r.cbDone = true
+	}
+	pe.release(&r.cbLock, pe.barrierLockCost())
+
+	for !r.cbCancel && !r.cbDone {
+		pe.advance(pe.r.cs.remoteRef) // remote flag spin
+	}
+
+	pe.acquire(&r.cbLock, pe.barrierLockCost())
+	pe.advance(pe.barrierFlagCost())
+	if r.cbDone {
+		pe.release(&r.cbLock, pe.barrierLockCost())
+		return true
+	}
+	r.cbCount--
+	r.cbCancel = false
+	pe.release(&r.cbLock, pe.barrierLockCost())
+	return false
+}
+
+// cbCancelOp mirrors term.CancelBarrier.Cancel: a remote lock round trip
+// on every release, the dominant overhead of the shared-memory algorithm
+// at small chunk sizes (Section 4.2.1).
+func (pe *simSharedPE) cbCancelOp() {
+	r := pe.r
+	pe.acquire(&r.cbLock, pe.barrierLockCost())
+	pe.advance(pe.barrierFlagCost())
+	if r.cbCount > 0 && !r.cbDone {
+		r.cbCancel = true
+	}
+	pe.release(&r.cbLock, pe.barrierLockCost())
+}
+
+// sbEnter mirrors term.StreamBarrier.Enter: one remote reference, and the
+// last arrival pays the log-depth tree announcement.
+func (pe *simSharedPE) sbEnter() bool {
+	r := pe.r
+	pe.advance(r.cs.remoteRef)
+	r.sbCount++
+	if r.sbCount == len(r.pes) {
+		if len(r.pes) > 1 {
+			pe.advance(time.Duration(bits.Len(uint(len(r.pes)-1))) * r.cs.remoteRef)
+		}
+		r.sbAnnounced = true
+		return true
+	}
+	return false
+}
+
+func (pe *simSharedPE) terminate() bool {
+	r := pe.r
+	if !r.mode.streamTerm {
+		return pe.cbEnter()
+	}
+	if pe.sbEnter() {
+		return true
+	}
+	n := len(r.pes)
+	for {
+		pe.advance(r.cs.remoteRef) // poll the announcement flag
+		if r.sbAnnounced {
+			return true
+		}
+		v := pe.rng.Victim(pe.me, n)
+		if wa := pe.probe(v); wa > 0 {
+			if r.sbAnnounced {
+				return true
+			}
+			pe.advance(r.cs.remoteRef) // leave the barrier
+			r.sbCount--
+			pe.state = stats.Stealing
+			ok := pe.steal(v)
+			pe.state = stats.Idle
+			if ok {
+				return false
+			}
+			if pe.sbEnter() {
+				return true
+			}
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package des is a deterministic discrete-event simulator that runs the
+// paper's work-stealing protocols at cluster scale (hundreds to thousands
+// of processing elements) on a single machine.
+//
+// Each simulated PE executes the *same protocol logic* as the real
+// goroutine implementations in internal/core — real UTS nodes are
+// generated, real stacks are manipulated, real steal/termination decisions
+// are taken — but time is virtual: exploring a node costs Model.NodeCost,
+// a remote reference costs Model.RemoteRef, a lock acquisition queues
+// behind the current holder, and so on. Because the event loop is
+// sequential and tie-broken deterministically, a simulation is an exact
+// function of (tree spec, algorithm, machine profile, seed): every figure
+// regenerated from it is bit-reproducible.
+//
+// The simulator is process-oriented: each PE is a goroutine whose
+// execution is interleaved one-at-a-time by the event loop. A PE calls
+// Proc.Advance to consume virtual time, Proc.Block/Proc.Wake for
+// sleep/wakeup (used by lock queues), and otherwise manipulates shared
+// simulation state freely — exactly one PE runs at any instant, so there
+// are no data races by construction.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Sim is one simulation instance.
+type Sim struct {
+	events   evHeap
+	seq      uint64
+	now      int64 // virtual time, ns
+	nprocs   int
+	finished int
+	stuck    bool
+}
+
+// New creates an empty simulation.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return time.Duration(s.now) }
+
+// procStatus is what a parked PE asked for.
+type procStatus int
+
+const (
+	statusRunnable procStatus = iota // wants to run again after a delay
+	statusBlocked                    // waits for an explicit Wake
+	statusFinished                   // body returned
+)
+
+// Proc is the simulator-side handle of one PE.
+type Proc struct {
+	id     int
+	sim    *Sim
+	wake   chan struct{}
+	park   chan struct{}
+	status procStatus
+	delay  int64
+}
+
+// ID returns the PE number.
+func (p *Proc) ID() int { return p.id }
+
+// Now returns the current virtual time (valid only while running).
+func (p *Proc) Now() time.Duration { return time.Duration(p.sim.now) }
+
+// Spawn registers a PE with the given body, scheduled to start at virtual
+// time zero. Must be called before Run.
+func (s *Sim) Spawn(body func(p *Proc)) *Proc {
+	p := &Proc{id: s.nprocs, sim: s, wake: make(chan struct{}), park: make(chan struct{})}
+	s.nprocs++
+	go func() {
+		<-p.wake
+		body(p)
+		p.status = statusFinished
+		p.park <- struct{}{}
+	}()
+	s.schedule(p, 0)
+	return p
+}
+
+// schedule enqueues a run event for p at virtual time t.
+func (s *Sim) schedule(p *Proc, t int64) {
+	s.seq++
+	heap.Push(&s.events, ev{t: t, seq: s.seq, p: p})
+}
+
+// Run executes the simulation until every spawned PE has finished. It
+// returns an error if the event queue drains while PEs are still blocked —
+// a protocol deadlock, which the test suite treats as a hard failure.
+func (s *Sim) Run() error {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(ev)
+		if e.t < s.now {
+			return fmt.Errorf("des: time went backwards (%d < %d)", e.t, s.now)
+		}
+		s.now = e.t
+		e.p.wake <- struct{}{}
+		<-e.p.park
+		switch e.p.status {
+		case statusRunnable:
+			s.schedule(e.p, s.now+e.p.delay)
+		case statusBlocked:
+			// Another PE must Wake it later.
+		case statusFinished:
+			s.finished++
+		}
+	}
+	if s.finished != s.nprocs {
+		s.stuck = true
+		return fmt.Errorf("des: deadlock: %d of %d PEs still blocked at t=%v",
+			s.nprocs-s.finished, s.nprocs, s.Now())
+	}
+	return nil
+}
+
+// Advance consumes d of virtual time: the PE is descheduled and resumes
+// once the clock reaches now+d. Negative delays are treated as zero.
+func (p *Proc) Advance(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.status = statusRunnable
+	p.delay = int64(d)
+	p.park <- struct{}{}
+	<-p.wake
+}
+
+// Block parks the PE until another PE calls Wake on it.
+func (p *Proc) Block() {
+	p.status = statusBlocked
+	p.park <- struct{}{}
+	<-p.wake
+}
+
+// Wake schedules a blocked PE q to resume at the current virtual time plus
+// d. Calling Wake on a PE that is not blocked corrupts the schedule; the
+// lock discipline in this package is the only caller.
+func (p *Proc) Wake(q *Proc, d time.Duration) {
+	p.sim.schedule(q, p.sim.now+int64(d))
+}
+
+// ev is one scheduled resumption.
+type ev struct {
+	t   int64
+	seq uint64
+	p   *Proc
+}
+
+// evHeap is a min-heap on (t, seq); the seq tie-break makes simultaneous
+// events fire in FIFO order, keeping runs deterministic.
+type evHeap []ev
+
+func (h evHeap) Len() int { return len(h) }
+func (h evHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h evHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *evHeap) Push(x interface{}) { *h = append(*h, x.(ev)) }
+func (h *evHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Lock is a virtual-time mutex with FIFO queueing. Contention behaves as
+// on real hardware: a PE that requests a held lock waits for every earlier
+// requester — this is how the simulator reproduces the paper's observation
+// that remote thieves can keep a victim's stack locked for long stretches.
+type Lock struct {
+	held  bool
+	queue []*Proc
+}
+
+// Acquire takes the lock, first consuming cost (the acquisition RTT), then
+// queueing behind the current holder if necessary.
+func (p *Proc) Acquire(l *Lock, cost time.Duration) {
+	p.Advance(cost)
+	if !l.held {
+		l.held = true
+		return
+	}
+	l.queue = append(l.queue, p)
+	p.Block()
+	// Woken by Release with the lock already assigned to us.
+}
+
+// Release hands the lock to the oldest waiter, if any, and consumes cost
+// (the release RTT) on the calling PE.
+func (p *Proc) Release(l *Lock, cost time.Duration) {
+	if !l.held {
+		panic("des: release of unheld lock")
+	}
+	if len(l.queue) > 0 {
+		next := l.queue[0]
+		copy(l.queue, l.queue[1:])
+		l.queue = l.queue[:len(l.queue)-1]
+		p.Wake(next, 0) // lock stays held, now by next
+	} else {
+		l.held = false
+	}
+	p.Advance(cost)
+}

@@ -1,0 +1,94 @@
+package des
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stack"
+	"repro/internal/stats"
+	"repro/internal/uts"
+)
+
+// simStatic is the simulated no-load-balancing baseline: the root's
+// children are dealt round-robin and each PE explores its share to
+// completion in isolation. Its makespan is the largest share — on critical
+// binomial trees, essentially the whole tree on one PE — which is the
+// quantitative form of the paper's premise that UTS cannot be statically
+// partitioned.
+func simStatic(sim *Sim, sp *uts.Spec, cfg Config, cs costs, res *core.Result, finish func(*Proc)) (sampler, error) {
+	st := sp.Stream()
+	root := uts.Root(sp)
+	kids := uts.Children(sp, st, &root, nil)
+
+	pes := make([]*simStaticPE, cfg.PEs)
+	for i := 0; i < cfg.PEs; i++ {
+		pe := &simStaticPE{sp: sp, cs: cs, me: i, t: &res.Threads[i], batch: cfg.Batch}
+		pes[i] = pe
+		if i == 0 {
+			pe.extraRoot = &root
+		}
+		for j := i; j < len(kids); j += cfg.PEs {
+			pe.local.Push(kids[j])
+		}
+		sim.Spawn(func(p *Proc) {
+			pe.p = p
+			pe.run()
+			finish(p)
+		})
+	}
+	return func() (sources, working int) {
+		for _, pe := range pes {
+			if pe.local.Len() > 0 {
+				working++
+			}
+		}
+		return 0, working
+	}, nil
+}
+
+type simStaticPE struct {
+	sp        *uts.Spec
+	cs        costs
+	p         *Proc
+	me        int
+	t         *stats.Thread
+	batch     int
+	local     stack.Deque
+	extraRoot *uts.Node
+	scratch   []uts.Node
+}
+
+func (pe *simStaticPE) run() {
+	st := pe.sp.Stream()
+	if pe.extraRoot != nil {
+		pe.t.Nodes++
+		if pe.extraRoot.NumKids == 0 {
+			pe.t.Leaves++
+		}
+	}
+	pending := 0
+	for {
+		n, ok := pe.local.Pop()
+		if !ok {
+			break
+		}
+		pending++
+		pe.t.Nodes++
+		if n.NumKids == 0 {
+			pe.t.Leaves++
+		} else {
+			pe.scratch = uts.Children(pe.sp, st, &n, pe.scratch[:0])
+			pe.local.PushAll(pe.scratch)
+		}
+		pe.t.NoteDepth(pe.local.Len())
+		if pending >= pe.batch {
+			pe.t.AddState(stats.Working, time.Duration(pending)*pe.cs.nodeCost)
+			pe.p.Advance(time.Duration(pending) * pe.cs.nodeCost)
+			pending = 0
+		}
+	}
+	if pending > 0 {
+		pe.t.AddState(stats.Working, time.Duration(pending)*pe.cs.nodeCost)
+		pe.p.Advance(time.Duration(pending) * pe.cs.nodeCost)
+	}
+}

@@ -1,0 +1,43 @@
+package des
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/uts"
+)
+
+// TuneChunk finds the best steal granularity for a configuration by
+// simulating the candidate chunk sizes and returning the one with the
+// highest exploration rate, along with each candidate's result.
+//
+// This automates the manual tuning the paper's Section 4.2.1 describes:
+// the chunk-size sweet spot is a plateau whose position depends on the
+// machine's message costs and that narrows with processor count, so a
+// deployment at a new scale needs re-tuning. A simulated sweep under the
+// machine's cost model answers in seconds what a testbed sweep answers in
+// machine-hours. Candidates default to the Figure 4 axis {1,2,...,128}.
+func TuneChunk(sp *uts.Spec, cfg Config, candidates []int) (best int, results map[int]*core.Result, err error) {
+	if len(candidates) == 0 {
+		candidates = []int{1, 2, 4, 8, 16, 32, 64, 128}
+	}
+	results = make(map[int]*core.Result, len(candidates))
+	bestRate := -1.0
+	for _, k := range candidates {
+		if k < 1 {
+			return 0, nil, fmt.Errorf("des: chunk candidate %d out of range", k)
+		}
+		c := cfg
+		c.Chunk = k
+		c.Batch = 0 // re-derive the service batch from each chunk size
+		res, runErr := Run(sp, c)
+		if runErr != nil {
+			return 0, nil, fmt.Errorf("des: tuning chunk %d: %w", k, runErr)
+		}
+		results[k] = res
+		if r := res.Rate(); r > bestRate {
+			bestRate, best = r, k
+		}
+	}
+	return best, results, nil
+}

@@ -1,0 +1,127 @@
+package msg
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/stack"
+	"repro/internal/uts"
+)
+
+func TestSendRecvFIFO(t *testing.T) {
+	c, err := NewComm(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.Send(0, 1, Message{Tag: Tag(i % 3)})
+	}
+	if c.Pending(1) != 10 {
+		t.Fatalf("Pending = %d", c.Pending(1))
+	}
+	for i := 0; i < 10; i++ {
+		m, ok := c.Recv(1)
+		if !ok {
+			t.Fatalf("recv %d failed", i)
+		}
+		if m.From != 0 || m.Tag != Tag(i%3) {
+			t.Fatalf("recv %d: got from=%d tag=%v", i, m.From, m.Tag)
+		}
+	}
+	if _, ok := c.Recv(1); ok {
+		t.Error("recv from empty inbox succeeded")
+	}
+}
+
+func TestSendToSelf(t *testing.T) {
+	c, _ := NewComm(1, nil)
+	c.Send(0, 0, Message{Tag: TagToken, Color: Black})
+	m, ok := c.Recv(0)
+	if !ok || m.Tag != TagToken || m.Color != Black {
+		t.Fatalf("self-send lost: %v %v", m, ok)
+	}
+}
+
+func TestWorkPayloadSurvives(t *testing.T) {
+	c, _ := NewComm(2, nil)
+	chunks := []stack.Chunk{{uts.Node{Height: 7}}, {uts.Node{Height: 8}, uts.Node{Height: 9}}}
+	c.Send(1, 0, Message{Tag: TagWork, Chunks: chunks})
+	m, ok := c.Recv(0)
+	if !ok || len(m.Chunks) != 2 || m.Chunks[1][1].Height != 9 {
+		t.Fatalf("payload corrupted: %+v", m)
+	}
+}
+
+func TestInvalidComm(t *testing.T) {
+	if _, err := NewComm(0, nil); err == nil {
+		t.Error("zero-rank comm should fail")
+	}
+}
+
+func TestSendOutOfRangePanics(t *testing.T) {
+	c, _ := NewComm(2, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("send to rank 5 of 2 should panic")
+		}
+	}()
+	c.Send(0, 5, Message{})
+}
+
+// TestConcurrentSendersOneReceiver checks message conservation under
+// concurrent senders: none lost, none duplicated.
+func TestConcurrentSendersOneReceiver(t *testing.T) {
+	const senders, per = 8, 500
+	c, _ := NewComm(senders+1, nil)
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Send(s+1, 0, Message{Tag: TagStealRequest, Color: Color(i)})
+			}
+		}(s)
+	}
+	wg.Wait()
+	got := map[int][]int{}
+	for {
+		m, ok := c.Recv(0)
+		if !ok {
+			break
+		}
+		got[m.From] = append(got[m.From], int(m.Color))
+	}
+	total := 0
+	for s := 1; s <= senders; s++ {
+		seq := got[s]
+		total += len(seq)
+		// Per-sender FIFO order must hold even under interleaving.
+		for i := 1; i < len(seq); i++ {
+			if seq[i] != seq[i-1]+1 {
+				t.Fatalf("sender %d: out-of-order delivery %v then %v", s, seq[i-1], seq[i])
+			}
+		}
+	}
+	if total != senders*per {
+		t.Fatalf("received %d of %d messages", total, senders*per)
+	}
+}
+
+func TestTagAndColorStrings(t *testing.T) {
+	for _, tag := range []Tag{TagStealRequest, TagWork, TagNoWork, TagToken, TagTerminate, Tag(99)} {
+		if tag.String() == "" {
+			t.Errorf("tag %d: empty string", int(tag))
+		}
+	}
+	if White.String() != "white" || Black.String() != "black" {
+		t.Error("color names wrong")
+	}
+}
+
+func TestMessageSizeCharging(t *testing.T) {
+	m := Message{Chunks: []stack.Chunk{make([]uts.Node, 10)}}
+	if m.size() != 16+240 {
+		t.Errorf("size = %d, want 256", m.size())
+	}
+}

@@ -1,0 +1,39 @@
+package rng
+
+import "encoding/binary"
+
+// BRG is the SHA-1 based splittable stream from the UTS distribution
+// (named after the Brian Gladman reference implementation UTS shipped).
+// A node's state is a SHA-1 digest; child states are digests of the parent
+// state concatenated with the 4-byte big-endian child index. This is the
+// generator used for all results in the paper: the sequential exploration
+// rate of UTS is essentially the machine's SHA-1 throughput. The digest
+// comes from this package's own RFC 3174 implementation (sha1.go), just
+// as UTS shipped its own; the tests cross-check it against crypto/sha1.
+//
+// BRG is safe for concurrent use; it holds no state.
+type BRG struct{}
+
+// Init returns the root state: SHA-1 of the 4-byte big-endian seed.
+func (BRG) Init(seed int32) State {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], uint32(seed))
+	return State(sha1Sum(buf[:]))
+}
+
+// Spawn hashes the parent state and the child index into the child state.
+func (BRG) Spawn(s *State, i int) State {
+	var buf [StateSize + 4]byte
+	copy(buf[:StateSize], s[:])
+	binary.BigEndian.PutUint32(buf[StateSize:], uint32(i))
+	return State(sha1Sum(buf[:]))
+}
+
+// Rand interprets the last four state bytes as a big-endian word and masks
+// it to 31 bits, per the UTS POS_MASK convention.
+func (BRG) Rand(s *State) int32 {
+	return int32(binary.BigEndian.Uint32(s[StateSize-4:]) & posMask)
+}
+
+// Name reports "BRG".
+func (BRG) Name() string { return "BRG" }

@@ -1,0 +1,231 @@
+package rng
+
+import (
+	"crypto/sha1"
+	"testing"
+	"testing/quick"
+)
+
+var streams = []Stream{BRG{}, ALFG{}}
+
+func TestInitDeterministic(t *testing.T) {
+	for _, s := range streams {
+		a := s.Init(42)
+		b := s.Init(42)
+		if a != b {
+			t.Errorf("%s: Init(42) not deterministic: %x vs %x", s.Name(), a, b)
+		}
+	}
+}
+
+func TestInitSeedSensitivity(t *testing.T) {
+	for _, s := range streams {
+		seen := map[State]int32{}
+		for seed := int32(0); seed < 1000; seed++ {
+			st := s.Init(seed)
+			if prev, dup := seen[st]; dup {
+				t.Fatalf("%s: seeds %d and %d collide", s.Name(), prev, seed)
+			}
+			seen[st] = seed
+		}
+	}
+}
+
+func TestSpawnDeterministic(t *testing.T) {
+	for _, s := range streams {
+		root := s.Init(0)
+		a := s.Spawn(&root, 7)
+		b := s.Spawn(&root, 7)
+		if a != b {
+			t.Errorf("%s: Spawn not deterministic", s.Name())
+		}
+	}
+}
+
+func TestSpawnSiblingsDistinct(t *testing.T) {
+	for _, s := range streams {
+		root := s.Init(0)
+		seen := map[State]int{}
+		for i := 0; i < 2000; i++ {
+			c := s.Spawn(&root, i)
+			if prev, dup := seen[c]; dup {
+				t.Fatalf("%s: children %d and %d collide", s.Name(), prev, i)
+			}
+			seen[c] = i
+		}
+	}
+}
+
+func TestSpawnDoesNotMutateParent(t *testing.T) {
+	for _, s := range streams {
+		root := s.Init(5)
+		before := root
+		_ = s.Spawn(&root, 0)
+		if root != before {
+			t.Errorf("%s: Spawn mutated parent state", s.Name())
+		}
+	}
+}
+
+func TestRandRange(t *testing.T) {
+	for _, s := range streams {
+		st := s.Init(1)
+		for i := 0; i < 10000; i++ {
+			v := s.Rand(&st)
+			if v < 0 || int64(v) >= RandMax {
+				t.Fatalf("%s: Rand out of range: %d", s.Name(), v)
+			}
+			st = s.Spawn(&st, int(v)%3)
+		}
+	}
+}
+
+// TestRandUniformity is a coarse chi-square-free sanity check: over a long
+// spawn chain the mean of Rand/RandMax should approach 1/2 and each of 16
+// buckets should receive a plausible share.
+func TestRandUniformity(t *testing.T) {
+	const n = 50000
+	for _, s := range streams {
+		var sum float64
+		var buckets [16]int
+		st := s.Init(3)
+		for i := 0; i < n; i++ {
+			v := s.Rand(&st)
+			sum += float64(v) / float64(RandMax)
+			buckets[v>>27]++
+			st = s.Spawn(&st, i&1)
+		}
+		mean := sum / n
+		if mean < 0.47 || mean > 0.53 {
+			t.Errorf("%s: mean %.4f outside [0.47,0.53]", s.Name(), mean)
+		}
+		for b, c := range buckets {
+			exp := n / 16
+			if c < exp*7/10 || c > exp*13/10 {
+				t.Errorf("%s: bucket %d has %d of expected %d", s.Name(), b, c, exp)
+			}
+		}
+	}
+}
+
+// TestSpawnAvalancheProperty checks, via testing/quick, that spawning two
+// different child indices from a random parent state yields different child
+// states, and that Rand depends on the state (not on the stream receiver).
+func TestSpawnAvalancheProperty(t *testing.T) {
+	for _, s := range streams {
+		s := s
+		f := func(raw [StateSize]byte, i, j uint8) bool {
+			if i == j {
+				return true
+			}
+			st := State(raw)
+			a := s.Spawn(&st, int(i))
+			b := s.Spawn(&st, int(j))
+			return a != b
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	cases := map[string]string{
+		"BRG": "BRG", "brg": "BRG", "sha1": "BRG", "SHA1": "BRG",
+		"ALFG": "ALFG", "alfg": "ALFG",
+	}
+	for in, want := range cases {
+		s := New(in)
+		if s == nil || s.Name() != want {
+			t.Errorf("New(%q) = %v, want %s", in, s, want)
+		}
+	}
+	if New("nope") != nil {
+		t.Error("New(nope) should be nil")
+	}
+}
+
+// TestBRGKnownAnswer pins the BRG construction against an independently
+// computed SHA-1 value so that accidental changes to the byte layout are
+// caught. SHA1(00 00 00 00) is a fixed public value.
+func TestBRGKnownAnswer(t *testing.T) {
+	st := BRG{}.Init(0)
+	const want = "9069ca78e7450a285173431b3e52c5c25299e473"
+	got := ""
+	for _, b := range st {
+		got += string("0123456789abcdef"[b>>4]) + string("0123456789abcdef"[b&15])
+	}
+	if got != want {
+		t.Errorf("BRG.Init(0) = %s, want %s", got, want)
+	}
+}
+
+func BenchmarkSpawnBRG(b *testing.B) {
+	s := BRG{}
+	st := s.Init(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st = s.Spawn(&st, i&1)
+	}
+}
+
+func BenchmarkSpawnALFG(b *testing.B) {
+	s := ALFG{}
+	st := s.Init(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st = s.Spawn(&st, i&1)
+	}
+}
+
+// TestSHA1AgainstStdlib cross-checks the from-scratch RFC 3174
+// implementation against crypto/sha1 on random inputs of every length
+// class (empty, sub-block, exact block, padding overflow, multi-block).
+func TestSHA1AgainstStdlib(t *testing.T) {
+	f := func(data []byte) bool {
+		return sha1Sum(data) == sha1.Sum(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	for _, n := range []int{0, 1, 23, 55, 56, 63, 64, 65, 119, 120, 127, 128, 1000} {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i * 37)
+		}
+		if sha1Sum(data) != sha1.Sum(data) {
+			t.Errorf("length %d: digest mismatch vs crypto/sha1", n)
+		}
+	}
+}
+
+// TestSHA1KnownVectors pins the FIPS 180-1 / RFC 3174 published vectors.
+func TestSHA1KnownVectors(t *testing.T) {
+	hex := func(d [20]byte) string {
+		const digits = "0123456789abcdef"
+		out := make([]byte, 40)
+		for i, b := range d {
+			out[2*i] = digits[b>>4]
+			out[2*i+1] = digits[b&15]
+		}
+		return string(out)
+	}
+	vectors := map[string]string{
+		"":    "da39a3ee5e6b4b0d3255bfef95601890afd80709",
+		"abc": "a9993e364706816aba3e25717850c26c9cd0d89d",
+		"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq": "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
+	}
+	for in, want := range vectors {
+		if got := hex(sha1Sum([]byte(in))); got != want {
+			t.Errorf("SHA1(%q) = %s, want %s", in, got, want)
+		}
+	}
+	// The million-'a' vector exercises long multi-block hashing.
+	million := make([]byte, 1_000_000)
+	for i := range million {
+		million[i] = 'a'
+	}
+	if got := hex(sha1Sum(million)); got != "34aa973cd4c4daa4f61eeb2bdbad27316534016f" {
+		t.Errorf("SHA1(1M x 'a') = %s", got)
+	}
+}

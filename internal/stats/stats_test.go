@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStateStrings(t *testing.T) {
+	want := map[State]string{Working: "working", Searching: "searching", Stealing: "stealing", Idle: "idle"}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), name)
+		}
+	}
+	if State(42).String() == "" {
+		t.Error("out-of-range state should stringify")
+	}
+	if len(States) != 4 {
+		t.Errorf("States has %d entries", len(States))
+	}
+}
+
+func TestTimers(t *testing.T) {
+	var th Thread
+	t0 := time.Unix(0, 0)
+	th.StartTimers(t0)
+	th.Switch(Searching, t0.Add(100*time.Millisecond))
+	th.Switch(Stealing, t0.Add(150*time.Millisecond))
+	th.Switch(Working, t0.Add(170*time.Millisecond))
+	th.StopTimers(t0.Add(270 * time.Millisecond))
+
+	if th.InState[Working] != 200*time.Millisecond {
+		t.Errorf("working = %v", th.InState[Working])
+	}
+	if th.InState[Searching] != 50*time.Millisecond {
+		t.Errorf("searching = %v", th.InState[Searching])
+	}
+	if th.InState[Stealing] != 20*time.Millisecond {
+		t.Errorf("stealing = %v", th.InState[Stealing])
+	}
+	// StopTimers freezes: a second stop must not double-charge.
+	th.StopTimers(t0.Add(400 * time.Millisecond))
+	if th.InState[Working] != 200*time.Millisecond {
+		t.Errorf("double-charged after second stop: %v", th.InState[Working])
+	}
+}
+
+func TestSwitchWithoutStartIsSafe(t *testing.T) {
+	var th Thread
+	th.Switch(Searching, time.Now()) // no StartTimers: must not panic or charge
+	var total time.Duration
+	for _, d := range th.InState {
+		total += d
+	}
+	// The first Switch after a zero curSince charges nothing.
+	if total != 0 {
+		t.Errorf("charged %v without a started timer", total)
+	}
+}
+
+func TestAddStateAndNoteDepth(t *testing.T) {
+	var th Thread
+	th.AddState(Working, time.Second)
+	th.AddState(Idle, 2*time.Second)
+	if th.InState[Working] != time.Second || th.InState[Idle] != 2*time.Second {
+		t.Error("AddState accounting wrong")
+	}
+	th.NoteDepth(5)
+	th.NoteDepth(3)
+	th.NoteDepth(9)
+	if th.MaxStackDepth != 9 {
+		t.Errorf("MaxStackDepth = %d", th.MaxStackDepth)
+	}
+}
+
+func mkRun() *Run {
+	r := &Run{Elapsed: time.Second, SeqRate: 1000}
+	r.Threads = make([]Thread, 4)
+	for i := range r.Threads {
+		r.Threads[i].ID = i
+		r.Threads[i].Nodes = int64(500 * (i + 1)) // 500,1000,1500,2000 = 5000
+		r.Threads[i].Leaves = int64(100 * (i + 1))
+		r.Threads[i].Steals = int64(i)
+		r.Threads[i].Probes = int64(10 * i)
+		r.Threads[i].AddState(Working, 800*time.Millisecond)
+		r.Threads[i].AddState(Searching, 150*time.Millisecond)
+		r.Threads[i].AddState(Idle, 50*time.Millisecond)
+	}
+	return r
+}
+
+func TestRunAggregates(t *testing.T) {
+	r := mkRun()
+	if r.Nodes() != 5000 {
+		t.Errorf("Nodes = %d", r.Nodes())
+	}
+	if r.Leaves() != 1000 {
+		t.Errorf("Leaves = %d", r.Leaves())
+	}
+	if got := r.Sum(func(th *Thread) int64 { return th.Steals }); got != 6 {
+		t.Errorf("Sum(steals) = %d", got)
+	}
+	if r.Rate() != 5000 {
+		t.Errorf("Rate = %g", r.Rate())
+	}
+	if r.Speedup() != 5 {
+		t.Errorf("Speedup = %g", r.Speedup())
+	}
+	if r.Efficiency() != 1.25 {
+		t.Errorf("Efficiency = %g", r.Efficiency())
+	}
+	if r.StealsPerSecond() != 6 {
+		t.Errorf("StealsPerSecond = %g", r.StealsPerSecond())
+	}
+}
+
+func TestWorkingFractionAndBreakdown(t *testing.T) {
+	r := mkRun()
+	if wf := r.WorkingFraction(); wf < 0.799 || wf > 0.801 {
+		t.Errorf("WorkingFraction = %g, want 0.8", wf)
+	}
+	bd := r.StateBreakdown()
+	var sum float64
+	for _, f := range bd {
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("breakdown fractions sum to %g", sum)
+	}
+	if bd[Searching] < 0.149 || bd[Searching] > 0.151 {
+		t.Errorf("searching fraction = %g", bd[Searching])
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	r := mkRun()
+	// max=2000, mean=1250 → 1.6
+	if im := r.Imbalance(); im < 1.599 || im > 1.601 {
+		t.Errorf("Imbalance = %g", im)
+	}
+	perfect := &Run{Threads: make([]Thread, 3)}
+	for i := range perfect.Threads {
+		perfect.Threads[i].Nodes = 100
+	}
+	if im := perfect.Imbalance(); im != 1 {
+		t.Errorf("perfect imbalance = %g", im)
+	}
+}
+
+func TestZeroValueEdges(t *testing.T) {
+	var r Run
+	if r.Rate() != 0 || r.Speedup() != 0 || r.Efficiency() != 0 ||
+		r.StealsPerSecond() != 0 || r.Imbalance() != 0 || r.WorkingFraction() != 0 {
+		t.Error("zero run should yield zero metrics")
+	}
+	zeroNodes := &Run{Threads: make([]Thread, 2), Elapsed: time.Second}
+	if zeroNodes.Imbalance() != 0 {
+		t.Error("all-zero node counts should give zero imbalance")
+	}
+}
+
+func TestSummaryContents(t *testing.T) {
+	r := mkRun()
+	s := r.Summary()
+	for _, want := range []string{"threads=4", "nodes=5000", "speedup=5.0", "working=80.0%", "imbalance"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+	// Without a baseline, no speedup line.
+	r.SeqRate = 0
+	if strings.Contains(r.Summary(), "speedup") {
+		t.Error("speedup reported without a baseline")
+	}
+}
+
+func TestPerThreadTable(t *testing.T) {
+	r := mkRun()
+	out := r.PerThreadTable()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+len(r.Threads) {
+		t.Fatalf("table has %d lines, want %d", len(lines), 1+len(r.Threads))
+	}
+	if !strings.Contains(lines[0], "maxdep") || !strings.Contains(lines[0], "work%") {
+		t.Errorf("header missing columns: %q", lines[0])
+	}
+	if !strings.Contains(out, "2000") { // thread 3's node count
+		t.Errorf("table missing per-thread data:\n%s", out)
+	}
+	// Empty run renders just the header without panicking.
+	empty := &Run{}
+	if got := strings.Count(empty.PerThreadTable(), "\n"); got != 1 {
+		t.Errorf("empty table has %d lines", got)
+	}
+}

@@ -1,0 +1,204 @@
+package term
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/pgas"
+)
+
+func dom(t *testing.T, n int) *pgas.Domain {
+	t.Helper()
+	d, err := pgas.NewDomain(n, &pgas.SharedMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestCancelBarrierAllEnterTerminates(t *testing.T) {
+	const p = 8
+	b := NewCancelBarrier(dom(t, p))
+	var wg sync.WaitGroup
+	var terminated atomic.Int32
+	for me := 0; me < p; me++ {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			if b.Enter(me) {
+				terminated.Add(1)
+			}
+		}(me)
+	}
+	wg.Wait()
+	if terminated.Load() != p {
+		t.Errorf("%d of %d threads saw termination", terminated.Load(), p)
+	}
+}
+
+func TestCancelBarrierCancelWakesWaiter(t *testing.T) {
+	const p = 2
+	b := NewCancelBarrier(dom(t, p))
+	result := make(chan bool, 1)
+	go func() { result <- b.Enter(0) }()
+
+	// Wait until thread 0 is actually parked at the barrier.
+	deadline := time.Now().Add(2 * time.Second)
+	for b.Waiting() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("thread never reached barrier")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.Cancel(1) // a working thread released work
+	select {
+	case got := <-result:
+		if got {
+			t.Error("canceled barrier reported termination")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancel did not wake the waiter")
+	}
+	if b.Waiting() != 0 {
+		t.Errorf("count = %d after cancel exit", b.Waiting())
+	}
+}
+
+func TestCancelBarrierStaleCancelDoesNotBlockTermination(t *testing.T) {
+	// A cancel with no waiters leaves the flag set; termination must still
+	// be reachable: the first waiter consumes the stale cancel (returns
+	// false), re-enters, and then all arrive.
+	const p = 4
+	b := NewCancelBarrier(dom(t, p))
+	b.Cancel(0) // no waiters: should be a no-op (guarded), flag stays clear
+	var wg sync.WaitGroup
+	var term atomic.Int32
+	for me := 0; me < p; me++ {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			for !b.Enter(me) {
+			}
+			term.Add(1)
+		}(me)
+	}
+	wg.Wait()
+	if term.Load() != p {
+		t.Errorf("%d of %d terminated", term.Load(), p)
+	}
+}
+
+func TestCancelBarrierRepeatedCycles(t *testing.T) {
+	// Stress the cancel/re-enter path: one worker cancels repeatedly while
+	// others wait, then everyone converges.
+	const p = 4
+	b := NewCancelBarrier(dom(t, p))
+	var wg sync.WaitGroup
+	var term atomic.Int32
+	for me := 1; me < p; me++ {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			for !b.Enter(me) {
+			}
+			term.Add(1)
+		}(me)
+	}
+	for i := 0; i < 50; i++ {
+		b.Cancel(0)
+		time.Sleep(time.Microsecond)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !b.Enter(0) {
+		}
+		term.Add(1)
+	}()
+	wg.Wait()
+	if term.Load() != p {
+		t.Errorf("%d of %d terminated", term.Load(), p)
+	}
+}
+
+func TestStreamBarrierLastArrivalAnnounces(t *testing.T) {
+	const p = 16
+	b := NewStreamBarrier(dom(t, p))
+	last := 0
+	for me := 0; me < p; me++ {
+		if b.Enter(me) {
+			last++
+			if me != p-1 {
+				t.Errorf("thread %d announced before all arrived", me)
+			}
+		}
+	}
+	if last != 1 {
+		t.Errorf("%d announcers, want exactly 1", last)
+	}
+	if !b.Done(3) {
+		t.Error("Done should report true after announcement")
+	}
+}
+
+func TestStreamBarrierLeaveBeforeSteal(t *testing.T) {
+	const p = 3
+	b := NewStreamBarrier(dom(t, p))
+	if b.Enter(0) || b.Enter(1) {
+		t.Fatal("premature announcement")
+	}
+	// Thread 1 probes, sees work, leaves to steal.
+	if !b.Leave(1) {
+		t.Fatal("Leave before termination should succeed")
+	}
+	if b.Waiting() != 1 {
+		t.Errorf("Waiting = %d", b.Waiting())
+	}
+	// Thread 2 enters: count 2 of 3, no announcement (thread 1 is out
+	// holding a potential steal).
+	if b.Enter(2) {
+		t.Fatal("announced while a thread was outside stealing")
+	}
+	// Thread 1's steal failed; it re-enters as the last arrival.
+	if !b.Enter(1) {
+		t.Fatal("final arrival should announce")
+	}
+	if b.Leave(0) {
+		t.Error("Leave after announcement must be refused")
+	}
+}
+
+func TestStreamBarrierConcurrent(t *testing.T) {
+	// All threads enter concurrently; exactly one announces, everyone
+	// observes Done.
+	const p = 32
+	b := NewStreamBarrier(dom(t, p))
+	var wg sync.WaitGroup
+	var announcers atomic.Int32
+	for me := 0; me < p; me++ {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			if b.Enter(me) {
+				announcers.Add(1)
+				return
+			}
+			for !b.Done(me) {
+				time.Sleep(time.Microsecond)
+			}
+		}(me)
+	}
+	wg.Wait()
+	if announcers.Load() != 1 {
+		t.Errorf("%d announcers, want 1", announcers.Load())
+	}
+}
+
+func TestStreamBarrierSingleThread(t *testing.T) {
+	b := NewStreamBarrier(dom(t, 1))
+	if !b.Enter(0) {
+		t.Error("sole thread entering should announce immediately")
+	}
+}

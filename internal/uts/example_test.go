@@ -1,0 +1,43 @@
+package uts_test
+
+import (
+	"fmt"
+
+	"repro/internal/uts"
+)
+
+// Counting a named sample tree sequentially: the ground truth every
+// parallel implementation must reproduce exactly.
+func ExampleSearchSequential() {
+	c := uts.SearchSequential(&uts.BenchTiny)
+	fmt.Println(c.Nodes, c.Leaves, c.MaxDepth)
+	// Output: 3337 1698 100
+}
+
+// Defining a custom tree: a small subcritical binomial spec.
+func ExampleSpec() {
+	sp := uts.Spec{
+		Name: "demo",
+		Kind: uts.Binomial,
+		Seed: 1,
+		B0:   10,  // root fan-out
+		M:    2,   // children of an interior node
+		Q:    0.3, // probability an interior node has M children
+	}
+	if err := sp.Validate(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	c := uts.SearchSequential(&sp)
+	fmt.Println(c.Nodes)
+	// Output: 21
+}
+
+// The heavy-tailed imbalance that motivates dynamic load balancing: the
+// largest root subtree dwarfs the median one.
+func ExampleRootShares() {
+	shares, total := uts.RootShares(&uts.BenchTiny)
+	fmt.Printf("children=%d total=%d top=%d median=%d\n",
+		len(shares), total, shares[0], shares[len(shares)/2])
+	// Output: children=60 total=3337 top=1585 median=3
+}

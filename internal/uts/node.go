@@ -1,0 +1,130 @@
+package uts
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Node is one tree node. It is self-describing: the RNG state plus the
+// spec determine the node's children completely, so traversals keep nodes
+// only while they sit on a depth-first stack — exactly the property that
+// makes UTS cheap to steal (a stolen chunk is just an array of Node values,
+// 24 bytes each).
+type Node struct {
+	State  rng.State
+	Height int32 // depth below the root; the root has height 0
+	// NumKids caches the child count, computed once when the node is
+	// generated. −1 means "not yet computed".
+	NumKids int32
+}
+
+// Root returns the root node of the tree described by sp.
+func Root(sp *Spec) Node {
+	st := sp.Stream()
+	n := Node{State: st.Init(sp.Seed), Height: 0, NumKids: -1}
+	n.NumKids = int32(numChildren(sp, st, &n))
+	return n
+}
+
+// Children appends the children of n to dst and returns the extended slice.
+// The append order is child index 0..k−1, so a depth-first traversal that
+// pops from the end of dst explores the highest-index subtree first — any
+// fixed convention is fine; this one matches pushing onto a LIFO stack.
+func Children(sp *Spec, st rng.Stream, n *Node, dst []Node) []Node {
+	k := int(n.NumKids)
+	if k < 0 {
+		k = numChildren(sp, st, n)
+		n.NumKids = int32(k)
+	}
+	g := sp.Granularity
+	if g < 1 {
+		g = 1
+	}
+	for i := 0; i < k; i++ {
+		// Compute granularity: g spawns per child, the child taking the
+		// state of the last one (UTS -g). The first g−1 evaluations are
+		// the knob that scales per-node computation.
+		s := st.Spawn(&n.State, i*g)
+		for j := 1; j < g; j++ {
+			s = st.Spawn(&n.State, i*g+j)
+		}
+		c := Node{
+			State:   s,
+			Height:  n.Height + 1,
+			NumKids: -1,
+		}
+		c.NumKids = int32(numChildren(sp, st, &c))
+		dst = append(dst, c)
+	}
+	return dst
+}
+
+// numChildren computes the child count for a node under the spec.
+func numChildren(sp *Spec, st rng.Stream, n *Node) int {
+	var k int
+	switch sp.Kind {
+	case Binomial:
+		if n.Height == 0 {
+			k = sp.B0
+		} else {
+			k = binomialKids(sp, st, n)
+		}
+	case Geometric:
+		k = geometricKids(sp, st, n)
+	case Hybrid:
+		cut := int32(sp.Shift * float64(sp.GenMx))
+		if n.Height < cut {
+			k = geometricKids(sp, st, n)
+		} else if n.Height == 0 {
+			k = sp.B0
+		} else {
+			k = binomialKids(sp, st, n)
+		}
+	case Balanced:
+		if int(n.Height) < sp.GenMx {
+			k = sp.B0
+		}
+	}
+	if k > MaxChildren && sp.Kind != Binomial {
+		// Binomial B0/M are validated against the cap up front; geometric
+		// draws are unbounded and must be clipped, as in the UTS sources.
+		k = MaxChildren
+	}
+	return k
+}
+
+// binomialKids draws M with probability Q, else 0, by comparing the node's
+// 31-bit random value against Q scaled to the RNG range.
+func binomialKids(sp *Spec, st rng.Stream, n *Node) int {
+	if st.Rand(&n.State) < int32(sp.Q*float64(rng.RandMax)) {
+		return sp.M
+	}
+	return 0
+}
+
+// geometricKids draws from a geometric distribution with mean geoBranch(d):
+// with p = 1/(1+b), the count floor(log(u)/log(1−p)) has mean b. Depths at
+// or below GenMx are leaves.
+func geometricKids(sp *Spec, st rng.Stream, n *Node) int {
+	d := int(n.Height)
+	if d >= sp.GenMx {
+		return 0
+	}
+	b := sp.geoBranch(d)
+	if b < 1e-12 {
+		return 0
+	}
+	p := 1 / (1 + b)
+	u := float64(st.Rand(&n.State)) / float64(rng.RandMax)
+	// Guard u == 0: log(0) is −Inf which would give a huge count before
+	// the MaxChildren clip; treat it as the largest representable draw.
+	if u <= 0 {
+		return MaxChildren
+	}
+	k := int(math.Log(u) / math.Log(1-p))
+	if k < 0 {
+		k = 0
+	}
+	return k
+}

@@ -1,0 +1,102 @@
+package uts
+
+import (
+	"context"
+	"sort"
+	"time"
+)
+
+// Count summarizes one complete traversal of a UTS tree. All parallel
+// implementations in internal/core must reproduce Nodes and Leaves exactly;
+// MaxDepth is schedule-independent as well.
+type Count struct {
+	Nodes    int64 // total nodes visited (including the root)
+	Leaves   int64 // nodes with zero children
+	MaxDepth int32 // maximum height observed
+	Elapsed  time.Duration
+}
+
+// Rate returns the exploration rate in nodes per second.
+func (c Count) Rate() float64 {
+	if c.Elapsed <= 0 {
+		return 0
+	}
+	return float64(c.Nodes) / c.Elapsed.Seconds()
+}
+
+// SearchSequential explores the whole tree depth-first on the calling
+// goroutine and returns the exact node count. It is the correctness oracle
+// and the denominator of every speedup number in this repository (the
+// paper's Section 4.1 sequential baseline).
+func SearchSequential(sp *Spec) Count {
+	c, _ := SearchSequentialCtx(context.Background(), sp)
+	return c
+}
+
+// SearchSequentialCtx is SearchSequential with cooperative cancellation:
+// the context is polled every few thousand nodes so that runaway trees
+// (e.g. the full 157-billion-node paper tree) can be abandoned. The partial
+// count accumulated so far is returned along with ctx.Err().
+func SearchSequentialCtx(ctx context.Context, sp *Spec) (Count, error) {
+	const pollEvery = 4096
+	st := sp.Stream()
+	start := time.Now()
+
+	var c Count
+	stack := make([]Node, 0, 4096)
+	stack = append(stack, Root(sp))
+	sincePoll := 0
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c.Nodes++
+		if n.Height > c.MaxDepth {
+			c.MaxDepth = n.Height
+		}
+		if n.NumKids == 0 {
+			c.Leaves++
+		} else {
+			stack = Children(sp, st, &n, stack)
+		}
+		if sincePoll++; sincePoll >= pollEvery {
+			sincePoll = 0
+			if err := ctx.Err(); err != nil {
+				c.Elapsed = time.Since(start)
+				return c, err
+			}
+		}
+	}
+	c.Elapsed = time.Since(start)
+	return c, nil
+}
+
+// RootShares returns the sizes of the subtrees under each root child,
+// sorted descending, plus the total node count. It quantifies the
+// imbalance claim of Section 4.1 ("over 99.9% of the work is contained in
+// just one of the 2000 subtrees below the root"): on critical binomial
+// trees the largest share dominates utterly, which is why static
+// partitioning fails and chunk-level stealing succeeds.
+func RootShares(sp *Spec) (shares []int64, total int64) {
+	st := sp.Stream()
+	root := Root(sp)
+	total = 1
+	kids := Children(sp, st, &root, nil)
+	shares = make([]int64, 0, len(kids))
+	stack := make([]Node, 0, 4096)
+	for _, kid := range kids {
+		var n int64
+		stack = append(stack[:0], kid)
+		for len(stack) > 0 {
+			nd := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			n++
+			if nd.NumKids != 0 {
+				stack = Children(sp, st, &nd, stack)
+			}
+		}
+		shares = append(shares, n)
+		total += n
+	}
+	sort.Slice(shares, func(i, j int) bool { return shares[i] > shares[j] })
+	return shares, total
+}
