@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race short bench experiments experiments-full clean
+.PHONY: all build test race short bench bench-smoke experiments experiments-full clean
 
 all: build test
 
@@ -21,6 +21,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every benchmark: catches bit-rot in benchmark code
+# without measuring anything. Cheap enough for CI.
+bench-smoke:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
 
 # Regenerate every paper table/figure at quick scale (~3 min).
 experiments:

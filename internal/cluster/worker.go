@@ -21,6 +21,7 @@ func (n *node) search() error {
 		rng:   core.NewProbeOrder(n.cfg.Seed, n.cfg.Rank),
 		ranks: n.cfg.Ranks,
 		me:    n.cfg.Rank,
+		ex:    uts.NewExpander(n.cfg.Spec),
 	}
 	if w.me == 0 {
 		w.local.Push(uts.Root(w.sp))
@@ -39,10 +40,9 @@ type clusterWorker struct {
 	ranks int
 	rng   *core.ProbeOrder
 
-	local   stack.Deque
-	pool    stack.Pool
-	scratch []uts.Node
-	perm    []int
+	local stack.Deque
+	pool  stack.Pool
+	ex    *uts.Expander
 }
 
 func (w *clusterWorker) main() error {
@@ -78,7 +78,6 @@ func (w *clusterWorker) main() error {
 // polling the request word (a local atomic) every node.
 func (w *clusterWorker) work() error {
 	t := &w.n.t
-	st := w.sp.Stream()
 	sinceYield := 0
 	for {
 		if sinceYield++; sinceYield >= 256 {
@@ -103,8 +102,7 @@ func (w *clusterWorker) work() error {
 		if node.NumKids == 0 {
 			t.Leaves++
 		} else {
-			w.scratch = uts.Children(w.sp, st, &node, w.scratch[:0])
-			w.local.PushAll(w.scratch)
+			w.local.PushAll(w.ex.Children(&node))
 		}
 		t.NoteDepth(w.local.Len())
 		if w.local.Len() >= 2*w.k {
@@ -157,8 +155,7 @@ func (w *clusterWorker) discover() (bool, error) {
 	t := &w.n.t
 	for {
 		sawWorker := false
-		w.perm = w.rng.Cycle(w.me, w.ranks, w.perm)
-		for _, v := range w.perm {
+		for _, v := range w.rng.Cycle(w.me, w.ranks) {
 			if err := w.service(); err != nil {
 				return false, err
 			}

@@ -256,8 +256,23 @@ const yieldEvery = 64
 
 // ProbeOrder is a small per-thread xorshift64* generator for pseudo-random
 // probe orders; it keeps probe sequences deterministic per (seed, thread)
-// without sharing math/rand state across threads.
-type ProbeOrder struct{ s uint64 }
+// without sharing math/rand state across threads. It also owns the probe
+// permutation used for full cycles: the victim list for a given (me, n,
+// nodeSize) is built once and only re-shuffled on later cycles, so a
+// worker that fails many probe cycles in a row does not rebuild it every
+// time.
+type ProbeOrder struct {
+	s uint64
+
+	// Cached probe cycle. perm holds the n−1 victims (for CycleHier, the
+	// first intra entries are the same-node ones); it is rebuilt only when
+	// me/n/nodeSize change, which for a worker is never after the first
+	// call.
+	perm            []int
+	built           bool
+	me, n, nodeSize int
+	intra           int
+}
 
 func NewProbeOrder(seed int64, me int) *ProbeOrder {
 	s := uint64(seed)*0x9e3779b97f4a7c15 + uint64(me+1)*0xbf58476d1ce4e5b9
@@ -284,43 +299,65 @@ func (r *ProbeOrder) Victim(me, n int) int {
 	return v
 }
 
-// Cycle fills perm with a random permutation of the n−1 threads other than
-// me, for full probe cycles. The slice is reused across calls.
-func (r *ProbeOrder) Cycle(me, n int, perm []int) []int {
-	perm = perm[:0]
-	for i := 0; i < n; i++ {
-		if i != me {
-			perm = append(perm, i)
+// Cycle returns a random permutation of the n−1 threads other than me, for
+// full probe cycles. The returned slice is owned by the ProbeOrder and
+// reused: the identity portion is built on the first call and subsequent
+// calls only re-shuffle it (a Fisher–Yates pass from any permutation is
+// still uniform), so repeated failed cycles cost no rebuilding. The slice
+// is valid until the next Cycle/CycleHier call.
+func (r *ProbeOrder) Cycle(me, n int) []int {
+	if !r.cached(me, n, 1) {
+		r.perm = r.perm[:0]
+		for i := 0; i < n; i++ {
+			if i != me {
+				r.perm = append(r.perm, i)
+			}
 		}
+		r.remember(me, n, 1, len(r.perm))
 	}
-	r.shuffle(perm)
-	return perm
+	r.shuffle(r.perm)
+	return r.perm
 }
 
-// CycleHier fills perm with a locality-aware probe cycle: the threads on
-// me's cluster node (of nodeSize consecutive IDs) come first in random
-// order, then all off-node threads in random order. With nodeSize <= 1 it
-// reduces to Cycle.
-func (r *ProbeOrder) CycleHier(me, n, nodeSize int, perm []int) []int {
+// CycleHier returns a locality-aware probe cycle: the threads on me's
+// cluster node (of nodeSize consecutive IDs) come first in random order,
+// then all off-node threads in random order. With nodeSize <= 1 it reduces
+// to Cycle. Like Cycle it builds the victim list once and re-shuffles the
+// two locality segments on reuse.
+func (r *ProbeOrder) CycleHier(me, n, nodeSize int) []int {
 	if nodeSize <= 1 {
-		return r.Cycle(me, n, perm)
+		return r.Cycle(me, n)
 	}
-	perm = perm[:0]
-	node := me / nodeSize
-	for i := node * nodeSize; i < (node+1)*nodeSize && i < n; i++ {
-		if i != me {
-			perm = append(perm, i)
+	if !r.cached(me, n, nodeSize) {
+		r.perm = r.perm[:0]
+		node := me / nodeSize
+		for i := node * nodeSize; i < (node+1)*nodeSize && i < n; i++ {
+			if i != me {
+				r.perm = append(r.perm, i)
+			}
 		}
-	}
-	intra := len(perm)
-	for i := 0; i < n; i++ {
-		if i/nodeSize != node {
-			perm = append(perm, i)
+		intra := len(r.perm)
+		for i := 0; i < n; i++ {
+			if i/nodeSize != node {
+				r.perm = append(r.perm, i)
+			}
 		}
+		r.remember(me, n, nodeSize, intra)
 	}
-	r.shuffle(perm[:intra])
-	r.shuffle(perm[intra:])
-	return perm
+	r.shuffle(r.perm[:r.intra])
+	r.shuffle(r.perm[r.intra:])
+	return r.perm
+}
+
+// cached reports whether the stored permutation was built for the same
+// cycle parameters.
+func (r *ProbeOrder) cached(me, n, nodeSize int) bool {
+	return r.built && r.me == me && r.n == n && r.nodeSize == nodeSize
+}
+
+func (r *ProbeOrder) remember(me, n, nodeSize, intra int) {
+	r.built = true
+	r.me, r.n, r.nodeSize, r.intra = me, n, nodeSize, intra
 }
 
 // shuffle permutes s in place (Fisher–Yates).

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"testing"
 	"testing/quick"
 	"time"
@@ -239,7 +240,7 @@ func TestProbeRNG(t *testing.T) {
 			t.Fatalf("victim(%d) out of range: %d", 2, v)
 		}
 	}
-	perm := r.Cycle(3, 6, nil)
+	perm := r.Cycle(3, 6)
 	if len(perm) != 5 {
 		t.Fatalf("cycle length %d", len(perm))
 	}
@@ -289,7 +290,7 @@ func TestHierarchicalOptionsValidation(t *testing.T) {
 func TestCycleHier(t *testing.T) {
 	r := NewProbeOrder(1, 5)
 	// 12 threads in nodes of 4; me = 5 lives on node 1 = {4,5,6,7}.
-	perm := r.CycleHier(5, 12, 4, nil)
+	perm := r.CycleHier(5, 12, 4)
 	if len(perm) != 11 {
 		t.Fatalf("perm length %d", len(perm))
 	}
@@ -306,7 +307,7 @@ func TestCycleHier(t *testing.T) {
 		}
 	}
 	// nodeSize <= 1 degrades to a plain cycle.
-	flat := r.CycleHier(5, 12, 1, nil)
+	flat := r.CycleHier(5, 12, 1)
 	if len(flat) != 11 {
 		t.Fatalf("flat perm length %d", len(flat))
 	}
@@ -354,7 +355,7 @@ func TestCycleIsPermutationProperty(t *testing.T) {
 		n := int(n8%63) + 2 // 2..64
 		me := int(me8) % n
 		r := NewProbeOrder(seed, me)
-		perm := r.Cycle(me, n, nil)
+		perm := r.Cycle(me, n)
 		if len(perm) != n-1 {
 			return false
 		}
@@ -381,7 +382,7 @@ func TestCycleHierPartitionProperty(t *testing.T) {
 		me := int(me8) % n
 		g := int(g8%8) + 1
 		r := NewProbeOrder(seed, me)
-		perm := r.CycleHier(me, n, g, nil)
+		perm := r.CycleHier(me, n, g)
 		if len(perm) != n-1 {
 			return false
 		}
@@ -447,4 +448,26 @@ func TestRunCtxUncancelledIsComplete(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkRun(t, &uts.BenchTiny, res)
+}
+
+// BenchmarkProbeOrderCycle measures one victim permutation per iteration —
+// the per-search-cycle cost a thief pays. The list reuse keeps this at one
+// Fisher-Yates pass with no allocation after the first call.
+func BenchmarkProbeOrderCycle(b *testing.B) {
+	for _, n := range []int{16, 256} {
+		b.Run(fmt.Sprintf("flat-n%d", n), func(b *testing.B) {
+			r := NewProbeOrder(1, 3)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r.Cycle(3, n)
+			}
+		})
+		b.Run(fmt.Sprintf("hier-n%d", n), func(b *testing.B) {
+			r := NewProbeOrder(1, 3)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r.CycleHier(3, n, 4)
+			}
+		})
+	}
 }

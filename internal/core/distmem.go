@@ -73,7 +73,7 @@ func runDistMem(sp *uts.Spec, opt Options, res *Result, hier bool) error {
 		wg.Add(1)
 		go func(me int) {
 			defer wg.Done()
-			w := &distWorker{run: r, me: me, rng: NewProbeOrder(opt.Seed, me), t: &res.Threads[me]}
+			w := &distWorker{run: r, me: me, rng: NewProbeOrder(opt.Seed, me), t: &res.Threads[me], ex: uts.NewExpander(sp)}
 			if me == 0 {
 				w.stack().local.Push(uts.Root(sp))
 			}
@@ -85,12 +85,11 @@ func runDistMem(sp *uts.Spec, opt Options, res *Result, hier bool) error {
 }
 
 type distWorker struct {
-	run     *distRun
-	me      int
-	rng     *ProbeOrder
-	t       *stats.Thread
-	scratch []uts.Node
-	perm    []int
+	run *distRun
+	me  int
+	rng *ProbeOrder
+	t   *stats.Thread
+	ex  *uts.Expander
 }
 
 func (w *distWorker) stack() *privStack { return w.run.stacks[w.me] }
@@ -123,7 +122,6 @@ func (w *distWorker) main() {
 // The owner polls its request word every iteration — a local read whose
 // cost is negligible, which is the whole point of the design.
 func (w *distWorker) work() {
-	sp, st := w.run.sp, w.run.sp.Stream()
 	k := w.run.opt.Chunk
 	s := w.stack()
 	sinceYield := 0
@@ -152,8 +150,7 @@ func (w *distWorker) work() {
 		if n.NumKids == 0 {
 			w.t.Leaves++
 		} else {
-			w.scratch = uts.Children(sp, st, &n, w.scratch[:0])
-			s.local.PushAll(w.scratch)
+			s.local.PushAll(w.ex.Children(&n))
 		}
 		w.t.NoteDepth(s.local.Len())
 		if s.local.Len() >= 2*k {
@@ -198,12 +195,13 @@ func (w *distWorker) search() bool {
 	}
 	for {
 		sawWorker := false
+		var perm []int
 		if w.run.hier {
-			w.perm = w.rng.CycleHier(w.me, n, w.run.dom.NodeSize(), w.perm)
+			perm = w.rng.CycleHier(w.me, n, w.run.dom.NodeSize())
 		} else {
-			w.perm = w.rng.Cycle(w.me, n, w.perm)
+			perm = w.rng.Cycle(w.me, n)
 		}
-		for _, v := range w.perm {
+		for _, v := range perm {
 			w.service()
 			wa := w.probe(v)
 			if wa > 0 {

@@ -36,6 +36,7 @@ func runMPIWS(sp *uts.Spec, opt Options, res *Result) error {
 				poll:  opt.PollInterval,
 				rng:   NewProbeOrder(opt.Seed, me),
 				t:     &res.Threads[me],
+				ex:    uts.NewExpander(sp),
 			}
 			if me == 0 {
 				w.local.Push(uts.Root(sp))
@@ -63,8 +64,8 @@ type mpiWorker struct {
 	rng   *ProbeOrder
 	t     *stats.Thread
 
-	local   stack.Deque
-	scratch []uts.Node
+	local stack.Deque
+	ex    *uts.Expander
 
 	// Dijkstra token-ring state.
 	color       msg.Color // this process's color; black after sending work
@@ -90,7 +91,6 @@ func (w *mpiWorker) main() {
 // work explores nodes, polling the message queue every poll-interval nodes
 // — the cost/latency tradeoff the paper's Section 3.2 highlights.
 func (w *mpiWorker) work() {
-	st := w.sp.Stream()
 	since, sinceYield := 0, 0
 	for w.local.Len() > 0 && !w.terminated {
 		n, _ := w.local.Pop()
@@ -98,8 +98,7 @@ func (w *mpiWorker) work() {
 		if n.NumKids == 0 {
 			w.t.Leaves++
 		} else {
-			w.scratch = uts.Children(w.sp, st, &n, w.scratch[:0])
-			w.local.PushAll(w.scratch)
+			w.local.PushAll(w.ex.Children(&n))
 		}
 		w.t.NoteDepth(w.local.Len())
 		if since++; since >= w.poll {

@@ -66,7 +66,7 @@ func runShared(sp *uts.Spec, opt Options, res *Result, v sharedVariant) error {
 		wg.Add(1)
 		go func(me int) {
 			defer wg.Done()
-			w := &sharedWorker{run: r, me: me, rng: NewProbeOrder(opt.Seed, me), t: &res.Threads[me]}
+			w := &sharedWorker{run: r, me: me, rng: NewProbeOrder(opt.Seed, me), t: &res.Threads[me], ex: uts.NewExpander(sp)}
 			if me == 0 {
 				w.local.Push(uts.Root(sp))
 			}
@@ -79,13 +79,12 @@ func runShared(sp *uts.Spec, opt Options, res *Result, v sharedVariant) error {
 
 // sharedWorker is one thread's execution state.
 type sharedWorker struct {
-	run     *sharedRun
-	me      int
-	local   stack.Deque
-	rng     *ProbeOrder
-	t       *stats.Thread
-	scratch []uts.Node
-	perm    []int
+	run   *sharedRun
+	me    int
+	local stack.Deque
+	rng   *ProbeOrder
+	t     *stats.Thread
+	ex    *uts.Expander
 }
 
 func (w *sharedWorker) stack() *sharedStack { return w.run.stacks[w.me] }
@@ -119,7 +118,6 @@ func (w *sharedWorker) main() {
 // work explores nodes until both the local region and the thread's own
 // shared region are empty ("Working" in Figure 1).
 func (w *sharedWorker) work() {
-	sp, st := w.run.sp, w.run.sp.Stream()
 	k := w.run.opt.Chunk
 	sinceYield := 0
 	for {
@@ -141,8 +139,7 @@ func (w *sharedWorker) work() {
 		if n.NumKids == 0 {
 			w.t.Leaves++
 		} else {
-			w.scratch = uts.Children(sp, st, &n, w.scratch[:0])
-			w.local.PushAll(w.scratch)
+			w.local.PushAll(w.ex.Children(&n))
 		}
 		w.t.NoteDepth(w.local.Len())
 		// Release surplus once the local region has a comfortable depth
@@ -201,8 +198,7 @@ func (w *sharedWorker) search() bool {
 	}
 	for {
 		sawWorker := false
-		w.perm = w.rng.Cycle(w.me, n, w.perm)
-		for _, v := range w.perm {
+		for _, v := range w.rng.Cycle(w.me, n) {
 			wa := w.probe(v)
 			if wa > 0 {
 				w.t.Switch(stats.Stealing, time.Now())

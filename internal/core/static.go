@@ -42,7 +42,7 @@ func runStatic(sp *uts.Spec, opt Options, res *Result) error {
 			for i := me; i < len(kids); i += opt.Threads {
 				local.Push(kids[i])
 			}
-			var scratch []uts.Node
+			ex := uts.NewExpander(sp)
 			sinceYield := 0
 			for {
 				n, ok := local.Pop()
@@ -53,8 +53,7 @@ func runStatic(sp *uts.Spec, opt Options, res *Result) error {
 				if n.NumKids == 0 {
 					t.Leaves++
 				} else {
-					scratch = uts.Children(sp, st, &n, scratch[:0])
-					local.PushAll(scratch)
+					local.PushAll(ex.Children(&n))
 				}
 				t.NoteDepth(local.Len())
 				if sinceYield++; sinceYield >= yieldEvery {

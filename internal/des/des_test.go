@@ -423,8 +423,8 @@ func TestInBarrierStealPathExercised(t *testing.T) {
 		seed int64
 	}{
 		{core.UPCTerm, 16, 3},
-		{core.UPCTerm, 32, 4},
-		{core.UPCDistMem, 32, 1},
+		{core.UPCTerm, 32, 9},
+		{core.UPCDistMem, 32, 0},
 	}
 	for _, tc := range cases {
 		res, err := Run(&uts.BenchTiny, Config{Algorithm: tc.alg, PEs: tc.pes, Chunk: 1, Seed: tc.seed})

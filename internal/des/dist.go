@@ -76,9 +76,8 @@ type simDistPE struct {
 	resp      []stack.Chunk
 	respReady bool
 
-	rng     *core.ProbeOrder
-	scratch []uts.Node
-	perm    []int
+	rng *core.ProbeOrder
+	ex  *uts.Expander
 }
 
 func simDistMem(sim *Sim, sp *uts.Spec, cfg Config, cs costs, res *core.Result, finish func(*Proc)) (sampler, error) {
@@ -90,7 +89,7 @@ func simDistMem(sim *Sim, sp *uts.Spec, cfg Config, cs costs, res *core.Result, 
 	}
 	r.pes = make([]*simDistPE, cfg.PEs)
 	for i := 0; i < cfg.PEs; i++ {
-		pe := &simDistPE{r: r, me: i, t: &res.Threads[i], request: -1, rng: core.NewProbeOrder(cfg.Seed, i)}
+		pe := &simDistPE{r: r, me: i, t: &res.Threads[i], request: -1, rng: core.NewProbeOrder(cfg.Seed, i), ex: uts.NewExpander(sp)}
 		r.pes[i] = pe
 		if i == 0 {
 			pe.local.Push(uts.Root(sp))
@@ -144,8 +143,6 @@ func (pe *simDistPE) main() {
 // response latency within one batch of node work.
 func (pe *simDistPE) work() {
 	cs := &pe.r.cs
-	sp := pe.r.sp
-	st := sp.Stream()
 	k := pe.r.cfg.Chunk
 	batch := pe.r.cfg.Batch
 	pending := 0
@@ -174,8 +171,7 @@ func (pe *simDistPE) work() {
 		if n.NumKids == 0 {
 			pe.t.Leaves++
 		} else {
-			pe.scratch = uts.Children(sp, st, &n, pe.scratch[:0])
-			pe.local.PushAll(pe.scratch)
+			pe.local.PushAll(pe.ex.Children(&n))
 		}
 		pe.t.NoteDepth(pe.local.Len())
 		if pe.local.Len() >= 2*k {
@@ -215,12 +211,13 @@ func (pe *simDistPE) search() bool {
 	}
 	for {
 		sawWorker := false
+		var perm []int
 		if pe.r.hier {
-			pe.perm = pe.rng.CycleHier(pe.me, n, pe.r.nodeSize, pe.perm)
+			perm = pe.rng.CycleHier(pe.me, n, pe.r.nodeSize)
 		} else {
-			pe.perm = pe.rng.Cycle(pe.me, n, pe.perm)
+			perm = pe.rng.Cycle(pe.me, n)
 		}
-		for _, v := range pe.perm {
+		for _, v := range perm {
 			pe.service()
 			wa := pe.probe(v)
 			if wa > 0 {

@@ -37,10 +37,10 @@ type simMPIPE struct {
 	t     *stats.Thread
 	state stats.State
 
-	local   stack.Deque
-	inbox   []simMsg
-	scratch []uts.Node
-	rng     *core.ProbeOrder
+	local stack.Deque
+	inbox []simMsg
+	ex    *uts.Expander
+	rng   *core.ProbeOrder
 
 	color       msg.Color
 	haveToken   bool
@@ -54,7 +54,7 @@ func simMPIWS(sim *Sim, sp *uts.Spec, cfg Config, cs costs, res *core.Result, fi
 	r := &simMPIRun{sp: sp, cfg: cfg, cs: cs, finish: finish}
 	r.pes = make([]*simMPIPE, cfg.PEs)
 	for i := 0; i < cfg.PEs; i++ {
-		pe := &simMPIPE{r: r, me: i, t: &res.Threads[i], rng: core.NewProbeOrder(cfg.Seed, i)}
+		pe := &simMPIPE{r: r, me: i, t: &res.Threads[i], rng: core.NewProbeOrder(cfg.Seed, i), ex: uts.NewExpander(sp)}
 		r.pes[i] = pe
 		if i == 0 {
 			pe.local.Push(uts.Root(sp))
@@ -130,8 +130,6 @@ func (pe *simMPIPE) main() {
 
 func (pe *simMPIPE) work() {
 	cs := &pe.r.cs
-	sp := pe.r.sp
-	st := sp.Stream()
 	poll := pe.r.cfg.PollInterval
 	since, pending := 0, 0
 	flush := func() {
@@ -147,8 +145,7 @@ func (pe *simMPIPE) work() {
 		if n.NumKids == 0 {
 			pe.t.Leaves++
 		} else {
-			pe.scratch = uts.Children(sp, st, &n, pe.scratch[:0])
-			pe.local.PushAll(pe.scratch)
+			pe.local.PushAll(pe.ex.Children(&n))
 		}
 		pe.t.NoteDepth(pe.local.Len())
 		if since++; since >= poll {

@@ -57,9 +57,8 @@ type simSharedPE struct {
 	pool      stack.Pool
 	workAvail int
 
-	rng     *core.ProbeOrder
-	scratch []uts.Node
-	perm    []int
+	rng *core.ProbeOrder
+	ex  *uts.Expander
 }
 
 // simShared sets up the PEs for upc-sharedmem / upc-term / upc-term-rapdif.
@@ -67,7 +66,7 @@ func simShared(sim *Sim, sp *uts.Spec, cfg Config, cs costs, res *core.Result, m
 	r := &simSharedRun{sp: sp, cfg: cfg, cs: cs, mode: mode, finish: finish}
 	r.pes = make([]*simSharedPE, cfg.PEs)
 	for i := 0; i < cfg.PEs; i++ {
-		pe := &simSharedPE{r: r, me: i, t: &res.Threads[i], rng: core.NewProbeOrder(cfg.Seed, i)}
+		pe := &simSharedPE{r: r, me: i, t: &res.Threads[i], rng: core.NewProbeOrder(cfg.Seed, i), ex: uts.NewExpander(sp)}
 		r.pes[i] = pe
 		if i == 0 {
 			pe.local.Push(uts.Root(sp))
@@ -136,8 +135,6 @@ func (pe *simSharedPE) main() {
 // shared region when the local region drains.
 func (pe *simSharedPE) work() {
 	cs := &pe.r.cs
-	sp := pe.r.sp
-	st := sp.Stream()
 	k := pe.r.cfg.Chunk
 	batch := pe.r.cfg.Batch
 	pending := 0
@@ -161,8 +158,7 @@ func (pe *simSharedPE) work() {
 		if n.NumKids == 0 {
 			pe.t.Leaves++
 		} else {
-			pe.scratch = uts.Children(sp, st, &n, pe.scratch[:0])
-			pe.local.PushAll(pe.scratch)
+			pe.local.PushAll(pe.ex.Children(&n))
 		}
 		pe.t.NoteDepth(pe.local.Len())
 		if pe.local.Len() >= 2*k {
@@ -217,8 +213,7 @@ func (pe *simSharedPE) search() bool {
 	}
 	for {
 		sawWorker := false
-		pe.perm = pe.rng.Cycle(pe.me, n, pe.perm)
-		for _, v := range pe.perm {
+		for _, v := range pe.rng.Cycle(pe.me, n) {
 			wa := pe.probe(v)
 			if wa > 0 {
 				pe.state = stats.Stealing

@@ -22,7 +22,7 @@ func simStatic(sim *Sim, sp *uts.Spec, cfg Config, cs costs, res *core.Result, f
 
 	pes := make([]*simStaticPE, cfg.PEs)
 	for i := 0; i < cfg.PEs; i++ {
-		pe := &simStaticPE{sp: sp, cs: cs, me: i, t: &res.Threads[i], batch: cfg.Batch}
+		pe := &simStaticPE{sp: sp, cs: cs, me: i, t: &res.Threads[i], batch: cfg.Batch, ex: uts.NewExpander(sp)}
 		pes[i] = pe
 		if i == 0 {
 			pe.extraRoot = &root
@@ -55,11 +55,10 @@ type simStaticPE struct {
 	batch     int
 	local     stack.Deque
 	extraRoot *uts.Node
-	scratch   []uts.Node
+	ex        *uts.Expander
 }
 
 func (pe *simStaticPE) run() {
-	st := pe.sp.Stream()
 	if pe.extraRoot != nil {
 		pe.t.Nodes++
 		if pe.extraRoot.NumKids == 0 {
@@ -77,8 +76,7 @@ func (pe *simStaticPE) run() {
 		if n.NumKids == 0 {
 			pe.t.Leaves++
 		} else {
-			pe.scratch = uts.Children(pe.sp, st, &n, pe.scratch[:0])
-			pe.local.PushAll(pe.scratch)
+			pe.local.PushAll(pe.ex.Children(&n))
 		}
 		pe.t.NoteDepth(pe.local.Len())
 		if pending >= pe.batch {

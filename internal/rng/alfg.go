@@ -82,9 +82,15 @@ func (ALFG) Spawn(s *State, i int) State {
 	return alfgPack(child, pos+1)
 }
 
+// SpawnInto is the write-in-place form of Spawn, mirroring BRG.SpawnInto so
+// traversal loops can use either family without heap traffic.
+func (a ALFG) SpawnInto(dst *State, s *State, i int) {
+	*dst = a.Spawn(s, i)
+}
+
 // Rand returns the cached 31-bit value computed at spawn time.
 func (ALFG) Rand(s *State) int32 {
-	return int32(binary.BigEndian.Uint32(s[16:20]) & posMask)
+	return StateRand(s)
 }
 
 // Name reports "ALFG".

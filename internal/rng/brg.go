@@ -21,8 +21,36 @@ func (BRG) Init(seed int32) State {
 	return State(sha1Sum(buf[:]))
 }
 
-// Spawn hashes the parent state and the child index into the child state.
+// Spawn hashes the parent state and the child index into the child state,
+// through the specialized single-block kernel of sha1spawn.go.
 func (BRG) Spawn(s *State, i int) State {
+	return sha1Spawn(s, i)
+}
+
+// SpawnInto computes the state of child i of s directly into *dst, with no
+// copying and no heap traffic. It is the form the traversal hot loops use.
+func (BRG) SpawnInto(dst *State, s *State, i int) {
+	var z Spawner
+	z.Reset(s)
+	z.SpawnInto(dst, i)
+}
+
+// SpawnMany fills dst[j] with the state of child base+j of s for every j,
+// hoisting the parent-dependent prefix of the kernel (message words and
+// rounds 0..4) once across the whole batch. It is equivalent to len(dst)
+// calls to Spawn with consecutive indices.
+func (BRG) SpawnMany(dst []State, s *State, base int) {
+	var z Spawner
+	z.Reset(s)
+	for j := range dst {
+		z.SpawnInto(&dst[j], base+j)
+	}
+}
+
+// spawnGeneric is the pre-specialization spawn path, retained as the
+// differential reference for the fast kernel (see sha1spawn_test.go) and
+// as the baseline leg of the BenchmarkSpawn suite.
+func spawnGeneric(s *State, i int) State {
 	var buf [StateSize + 4]byte
 	copy(buf[:StateSize], s[:])
 	binary.BigEndian.PutUint32(buf[StateSize:], uint32(i))
@@ -32,7 +60,7 @@ func (BRG) Spawn(s *State, i int) State {
 // Rand interprets the last four state bytes as a big-endian word and masks
 // it to 31 bits, per the UTS POS_MASK convention.
 func (BRG) Rand(s *State) int32 {
-	return int32(binary.BigEndian.Uint32(s[StateSize-4:]) & posMask)
+	return StateRand(s)
 }
 
 // Name reports "BRG".

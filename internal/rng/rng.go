@@ -19,6 +19,8 @@
 // this repository is exactly reproducible.
 package rng
 
+import "encoding/binary"
+
 // StateSize is the size in bytes of a node's RNG state. Both generator
 // families use 20-byte states so that node descriptors are interchangeable.
 const StateSize = 20
@@ -32,6 +34,16 @@ const posMask = 0x7fffffff
 
 // RandMax is one greater than the largest value returned by Stream.Rand.
 const RandMax = 1 << 31
+
+// StateRand reads the 31-bit random value from the trailing four state
+// bytes — the layout both built-in stream families share (BRG stores the
+// digest there; ALFG caches its register output there precisely so the two
+// agree). Hot traversal loops that have established the stream is a
+// built-in call this directly instead of dispatching through the Stream
+// interface, which would force the node's address to escape to the heap.
+func StateRand(s *State) int32 {
+	return int32(binary.BigEndian.Uint32(s[StateSize-4:]) & posMask)
+}
 
 // Stream generates the random values for one UTS tree. Implementations must
 // be pure: identical seeds yield identical trees. Streams are stateless with

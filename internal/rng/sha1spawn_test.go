@@ -1,0 +1,170 @@
+package rng
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// maxChildren mirrors uts.MaxChildren (not imported to keep this package
+// dependency-free); SpawnMany batches in the tree generator never exceed it
+// times the granularity.
+const maxChildren = 100
+
+// refSpawn is the definition the kernel must match: SHA-1 (via crypto/sha1)
+// of the 24-byte parent-state‖big-endian-child-index message.
+func refSpawn(s *State, i int) State {
+	var msg [StateSize + 4]byte
+	copy(msg[:], s[:])
+	binary.BigEndian.PutUint32(msg[StateSize:], uint32(i))
+	return State(sha1.Sum(msg[:]))
+}
+
+// TestSpawnFastAgainstStdlib is the differential property test of the
+// tentpole kernel: on random states and child indices across the whole
+// uint32 range, the specialized single-block kernel must agree bit-for-bit
+// with crypto/sha1 on the 24-byte spawn message.
+func TestSpawnFastAgainstStdlib(t *testing.T) {
+	f := func(raw [StateSize]byte, i uint32) bool {
+		s := State(raw)
+		return sha1Spawn(&s, int(i)) == refSpawn(&s, int(i))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSpawnFastAgainstGeneric pins the fast path against the retained
+// generic sha1Sum path, so the two in-repo implementations cannot drift.
+func TestSpawnFastAgainstGeneric(t *testing.T) {
+	f := func(raw [StateSize]byte, i uint32) bool {
+		s := State(raw)
+		return sha1Spawn(&s, int(i)) == spawnGeneric(&s, int(i))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSpawnFastBoundaryIndices exercises the child-index word at its
+// boundary values, where a padding or byte-order slip would hide from
+// random testing.
+func TestSpawnFastBoundaryIndices(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	indices := []int{0, 1, 2, maxChildren - 1, maxChildren, 255, 256, 65535, 65536,
+		1<<31 - 1, int(uint32(1 << 31)), int(uint32(0xffffffff))}
+	for trial := 0; trial < 50; trial++ {
+		var s State
+		r.Read(s[:])
+		for _, i := range indices {
+			if got, want := sha1Spawn(&s, i), refSpawn(&s, i); got != want {
+				t.Fatalf("index %d: %x, want %x", i, got, want)
+			}
+		}
+	}
+}
+
+// TestSpawnIntoMatchesSpawn checks the in-place form against the value
+// form, including that repeated SpawnInto calls into the same destination
+// fully overwrite it.
+func TestSpawnIntoMatchesSpawn(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	var dst State
+	for trial := 0; trial < 200; trial++ {
+		var s State
+		r.Read(s[:])
+		i := int(uint32(r.Int63()))
+		BRG{}.SpawnInto(&dst, &s, i)
+		if want := (BRG{}).Spawn(&s, i); dst != want {
+			t.Fatalf("SpawnInto diverges from Spawn at index %d", i)
+		}
+	}
+}
+
+// TestSpawnManyMatchesSpawn cross-checks the batched kernel against
+// per-call Spawn for every batch width up to MaxChildren, at both base 0
+// and a granularity-style nonzero base.
+func TestSpawnManyMatchesSpawn(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	var s State
+	r.Read(s[:])
+	dst := make([]State, maxChildren)
+	for k := 1; k <= maxChildren; k++ {
+		for _, base := range []int{0, 7 * k, 1 << 20} {
+			batch := dst[:k]
+			BRG{}.SpawnMany(batch, &s, base)
+			for j, got := range batch {
+				if want := (BRG{}).Spawn(&s, base+j); got != want {
+					t.Fatalf("k=%d base=%d child %d: batch %x, want %x", k, base, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSpawnerReuse checks that one Reset serves SpawnInto calls in any
+// order and any number — the property the per-node hoisting relies on.
+func TestSpawnerReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	var s State
+	r.Read(s[:])
+	var z Spawner
+	z.Reset(&s)
+	order := r.Perm(300)
+	for _, i := range order {
+		var got State
+		z.SpawnInto(&got, i)
+		if want := refSpawn(&s, i); got != want {
+			t.Fatalf("reused Spawner wrong at index %d", i)
+		}
+	}
+}
+
+// BenchmarkSpawn compares the spawn kernel variants. "generic" is the
+// pre-specialization path (per-call pad buffer, length-generic loop),
+// "fast" is the specialized one-shot kernel, "into" removes the return
+// copy, "hoisted" amortizes the parent prefix across a MaxChildren batch,
+// and "crypto-sha1" is the stdlib (amd64 assembly) on the same message —
+// the reference ceiling for a single unbatched evaluation.
+func BenchmarkSpawn(b *testing.B) {
+	var s State = BRG{}.Init(0)
+	b.Run("generic", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s = spawnGeneric(&s, i&1)
+		}
+	})
+	b.Run("fast", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s = sha1Spawn(&s, i&1)
+		}
+	})
+	b.Run("into", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			BRG{}.SpawnInto(&s, &s, i&1)
+		}
+	})
+	b.Run("hoisted", func(b *testing.B) {
+		// Per-spawn cost with the parent prefix hoisted across a full
+		// MaxChildren batch, the shape of one wide node expansion.
+		var dst [maxChildren]State
+		b.ReportAllocs()
+		for i := 0; i < b.N; i += maxChildren {
+			BRG{}.SpawnMany(dst[:], &s, 0)
+		}
+	})
+	b.Run("crypto-sha1", func(b *testing.B) {
+		var msg [StateSize + 4]byte
+		copy(msg[:], s[:])
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			msg[StateSize+3] = byte(i)
+			d := sha1.Sum(msg[:])
+			copy(s[:], d[:])
+		}
+	})
+}

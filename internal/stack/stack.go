@@ -59,9 +59,12 @@ func (d *Deque) TakeBottom(k int) []uts.Node {
 	d.base += k
 	if d.Len() == 0 {
 		d.reset()
-	} else if d.base > 4096 && d.base > len(d.buf)/2 {
-		// Compact occasionally so buf does not grow without bound across
-		// a long run of releases.
+	} else if d.base > len(d.buf)/2 {
+		// Compact whenever the dead prefix outweighs the live suffix, so a
+		// long-lived deque that releases steadily without ever draining
+		// keeps its footprint proportional to Len. The copy moves fewer
+		// elements than were removed since the last compaction, so the
+		// amortized cost per TakeBottom stays O(k).
 		n := copy(d.buf, d.buf[d.base:])
 		d.buf = d.buf[:n]
 		d.base = 0

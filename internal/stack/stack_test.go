@@ -306,3 +306,37 @@ func TestTakeHalfCountProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestDequeBoundedFootprint drives the steady-state release pattern of a
+// long-lived worker — push a few, take a chunk from the bottom, never fully
+// drain — and checks the backing array stays proportional to the live node
+// count instead of growing with the cumulative release total.
+func TestDequeBoundedFootprint(t *testing.T) {
+	var d Deque
+	next := 0
+	for i := 0; i < 64; i++ { // seed some residents
+		d.Push(mk(next))
+		next++
+	}
+	for step := 0; step < 100000; step++ {
+		for i := 0; i < 4; i++ {
+			d.Push(mk(next))
+			next++
+		}
+		d.TakeBottom(4)
+		if c := cap(d.buf); c > 16*64 {
+			t.Fatalf("step %d: cap(buf) = %d for Len = %d; dead prefix not compacted", step, c, d.Len())
+		}
+	}
+	if d.Len() != 64 {
+		t.Fatalf("Len = %d after balanced push/take, want 64", d.Len())
+	}
+	// The survivors must be the 64 newest in order.
+	for i := 0; i < 64; i++ {
+		want := next - 1 - i
+		n, ok := d.Pop()
+		if !ok || int(n.Height) != want {
+			t.Fatalf("pop %d: got (%v, %v), want %d", i, n.Height, ok, want)
+		}
+	}
+}

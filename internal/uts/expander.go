@@ -1,0 +1,41 @@
+package uts
+
+import "repro/internal/rng"
+
+// Expander is a per-traversal child generator: it resolves the spec's
+// stream once and owns a capacity-managed scratch buffer that Children
+// calls reuse, so a worker's steady-state exploration loop performs zero
+// heap allocations. Every traversal loop in this repository — the
+// sequential oracle, the real-concurrency workers in internal/core, and
+// the simulator PEs in internal/des — expands nodes through an Expander,
+// which keeps the Figure 3 comparison apples-to-apples: all
+// implementations pay exactly the same per-node generation cost.
+//
+// An Expander is owned by a single goroutine; create one per worker.
+type Expander struct {
+	sp  *Spec
+	st  rng.Stream
+	buf []Node
+}
+
+// NewExpander returns an Expander for sp. The scratch buffer starts at the
+// MaxChildren cap, so only a wide root (binomial B0 above the cap) ever
+// grows it; after that one growth it is never reallocated.
+func NewExpander(sp *Spec) *Expander {
+	return &Expander{sp: sp, st: sp.Stream(), buf: make([]Node, 0, MaxChildren)}
+}
+
+// Spec returns the tree spec the Expander was built for.
+func (e *Expander) Spec() *Spec { return e.sp }
+
+// Children returns the children of n in the Expander's scratch buffer.
+// The slice is valid only until the next Children call: callers copy the
+// nodes onto their own stack (e.g. Deque.PushAll) before expanding any of
+// them. It returns an empty slice for leaves.
+func (e *Expander) Children(n *Node) []Node {
+	e.buf = Children(e.sp, e.st, n, e.buf[:0])
+	return e.buf
+}
+
+// Root returns the root node of the Expander's tree.
+func (e *Expander) Root() Node { return Root(e.sp) }

@@ -31,58 +31,138 @@ func Root(sp *Spec) Node {
 // The append order is child index 0..k−1, so a depth-first traversal that
 // pops from the end of dst explores the highest-index subtree first — any
 // fixed convention is fine; this one matches pushing onto a LIFO stack.
+//
+// This is the traversal hot path: for the built-in stream families it runs
+// entirely on concrete code (the batched SHA-1 spawn kernel for BRG, the
+// inlinable concrete methods for ALFG) and performs no heap allocation
+// beyond amortized growth of dst — in particular n never escapes, so
+// callers can keep their current node in a stack variable. Third-party
+// Stream implementations take a generic path that costs two short-lived
+// allocations per expansion (state copies made so the interface calls
+// cannot leak n).
 func Children(sp *Spec, st rng.Stream, n *Node, dst []Node) []Node {
 	k := int(n.NumKids)
 	if k < 0 {
 		k = numChildren(sp, st, n)
 		n.NumKids = int32(k)
 	}
+	if k == 0 {
+		return dst
+	}
 	g := sp.Granularity
 	if g < 1 {
 		g = 1
 	}
-	for i := 0; i < k; i++ {
-		// Compute granularity: g spawns per child, the child taking the
-		// state of the last one (UTS -g). The first g−1 evaluations are
-		// the knob that scales per-node computation.
-		s := st.Spawn(&n.State, i*g)
-		for j := 1; j < g; j++ {
-			s = st.Spawn(&n.State, i*g+j)
+
+	// Grow dst once up front (append's amortized policy, without append's
+	// temporary for the added elements), then fill the new tail in place.
+	base := len(dst)
+	if total := base + k; total <= cap(dst) {
+		dst = dst[:total]
+	} else {
+		grown := make([]Node, total, total+total/2)
+		copy(grown, dst[:base])
+		dst = grown
+	}
+	kids := dst[base:]
+	h := n.Height + 1
+
+	switch st.(type) {
+	case rng.BRG:
+		// Fast path: one Spawner hoists the parent-dependent prefix of the
+		// SHA-1 block across all k·g spawns of this node.
+		var z rng.Spawner
+		z.Reset(&n.State)
+		idx := 0
+		for i := range kids {
+			c := &kids[i]
+			// Compute granularity (UTS -g): g spawns per child, the child
+			// taking the state of the last one. The first g−1 evaluations
+			// are the knob that scales per-node computation; they must run
+			// in full, so they share c.State as a discard target.
+			for j := 1; j < g; j++ {
+				z.SpawnInto(&c.State, idx)
+				idx++
+			}
+			z.SpawnInto(&c.State, idx)
+			idx++
+			c.Height = h
+			c.NumKids = int32(childCount(sp, h, rng.StateRand(&c.State)))
 		}
-		c := Node{
-			State:   s,
-			Height:  n.Height + 1,
-			NumKids: -1,
+	case rng.ALFG:
+		var a rng.ALFG
+		idx := 0
+		for i := range kids {
+			c := &kids[i]
+			for j := 1; j < g; j++ {
+				a.SpawnInto(&c.State, &n.State, idx)
+				idx++
+			}
+			a.SpawnInto(&c.State, &n.State, idx)
+			idx++
+			c.Height = h
+			c.NumKids = int32(childCount(sp, h, rng.StateRand(&c.State)))
 		}
-		c.NumKids = int32(numChildren(sp, st, &c))
-		dst = append(dst, c)
+	default:
+		// Generic streams: work on copies so the interface calls leak the
+		// copies, not n or the dst backing array.
+		ps := n.State
+		var tmp rng.State
+		idx := 0
+		for i := range kids {
+			c := &kids[i]
+			s := st.Spawn(&ps, idx)
+			idx++
+			for j := 1; j < g; j++ {
+				s = st.Spawn(&ps, idx)
+				idx++
+			}
+			tmp = s
+			c.State = s
+			c.Height = h
+			c.NumKids = int32(childCount(sp, h, st.Rand(&tmp)))
+		}
 	}
 	return dst
 }
 
 // numChildren computes the child count for a node under the spec.
 func numChildren(sp *Spec, st rng.Stream, n *Node) int {
+	switch st.(type) {
+	case rng.BRG, rng.ALFG:
+		// Both built-in families expose the node's draw in the trailing
+		// state bytes; reading it directly keeps n on the caller's stack.
+		return childCount(sp, n.Height, rng.StateRand(&n.State))
+	}
+	tmp := n.State
+	return childCount(sp, n.Height, st.Rand(&tmp))
+}
+
+// childCount maps a node's height and 31-bit random draw to its child
+// count under the spec. The draw is consulted only by the kinds that use
+// one (binomial non-root, geometric, the hybrid mix of the two).
+func childCount(sp *Spec, height, r int32) int {
 	var k int
 	switch sp.Kind {
 	case Binomial:
-		if n.Height == 0 {
+		if height == 0 {
 			k = sp.B0
 		} else {
-			k = binomialKids(sp, st, n)
+			k = binomialCount(sp, r)
 		}
 	case Geometric:
-		k = geometricKids(sp, st, n)
+		k = geometricCount(sp, height, r)
 	case Hybrid:
 		cut := int32(sp.Shift * float64(sp.GenMx))
-		if n.Height < cut {
-			k = geometricKids(sp, st, n)
-		} else if n.Height == 0 {
+		if height < cut {
+			k = geometricCount(sp, height, r)
+		} else if height == 0 {
 			k = sp.B0
 		} else {
-			k = binomialKids(sp, st, n)
+			k = binomialCount(sp, r)
 		}
 	case Balanced:
-		if int(n.Height) < sp.GenMx {
+		if int(height) < sp.GenMx {
 			k = sp.B0
 		}
 	}
@@ -94,20 +174,20 @@ func numChildren(sp *Spec, st rng.Stream, n *Node) int {
 	return k
 }
 
-// binomialKids draws M with probability Q, else 0, by comparing the node's
+// binomialCount draws M with probability Q, else 0, by comparing the node's
 // 31-bit random value against Q scaled to the RNG range.
-func binomialKids(sp *Spec, st rng.Stream, n *Node) int {
-	if st.Rand(&n.State) < int32(sp.Q*float64(rng.RandMax)) {
+func binomialCount(sp *Spec, r int32) int {
+	if r < int32(sp.Q*float64(rng.RandMax)) {
 		return sp.M
 	}
 	return 0
 }
 
-// geometricKids draws from a geometric distribution with mean geoBranch(d):
+// geometricCount draws from a geometric distribution with mean geoBranch(d):
 // with p = 1/(1+b), the count floor(log(u)/log(1−p)) has mean b. Depths at
 // or below GenMx are leaves.
-func geometricKids(sp *Spec, st rng.Stream, n *Node) int {
-	d := int(n.Height)
+func geometricCount(sp *Spec, height, r int32) int {
+	d := int(height)
 	if d >= sp.GenMx {
 		return 0
 	}
@@ -116,7 +196,7 @@ func geometricKids(sp *Spec, st rng.Stream, n *Node) int {
 		return 0
 	}
 	p := 1 / (1 + b)
-	u := float64(st.Rand(&n.State)) / float64(rng.RandMax)
+	u := float64(r) / float64(rng.RandMax)
 	// Guard u == 0: log(0) is −Inf which would give a huge count before
 	// the MaxChildren clip; treat it as the largest representable draw.
 	if u <= 0 {

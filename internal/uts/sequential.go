@@ -3,6 +3,7 @@ package uts
 import (
 	"context"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -33,6 +34,19 @@ func SearchSequential(sp *Spec) Count {
 	return c
 }
 
+// seqStacks pools the DFS stacks of sequential traversals so repeated
+// searches (tuning sweeps, benchmark iterations) run with zero steady-state
+// allocations. Stacks that ballooned on a huge tree are dropped rather than
+// pinned (see seqStackKeep).
+var seqStacks = sync.Pool{New: func() any {
+	s := make([]Node, 0, 4096)
+	return &s
+}}
+
+// seqStackKeep is the largest stack capacity, in nodes, returned to the
+// pool. Above it (≈7 MB of nodes) the memory is left to the GC.
+const seqStackKeep = 1 << 18
+
 // SearchSequentialCtx is SearchSequential with cooperative cancellation:
 // the context is polled every few thousand nodes so that runaway trees
 // (e.g. the full 157-billion-node paper tree) can be abandoned. The partial
@@ -43,7 +57,14 @@ func SearchSequentialCtx(ctx context.Context, sp *Spec) (Count, error) {
 	start := time.Now()
 
 	var c Count
-	stack := make([]Node, 0, 4096)
+	sp0 := seqStacks.Get().(*[]Node)
+	stack := (*sp0)[:0]
+	defer func() {
+		if cap(stack) <= seqStackKeep {
+			*sp0 = stack[:0]
+			seqStacks.Put(sp0)
+		}
+	}()
 	stack = append(stack, Root(sp))
 	sincePoll := 0
 	for len(stack) > 0 {
