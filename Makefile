@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race short bench bench-smoke experiments experiments-full clean
+.PHONY: all build test race short bench bench-smoke bench-obs experiments experiments-full clean
 
 all: build test
 
@@ -26,6 +26,15 @@ bench:
 # without measuring anything. Cheap enough for CI.
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
+
+# Tracer overhead gate. A disabled tracer (nil lanes, one nil check per
+# protocol call, nothing on the per-node loop) must keep
+# BenchmarkTracerDisabled and BenchmarkSequentialSearch within 2% of the
+# pre-tracer numbers in results/BENCH_PR1.json; BenchmarkTracerEnabled
+# and BenchmarkLaneRec show the full recording cost (~hundreds of ns per
+# protocol event, zero allocations).
+bench-obs:
+	$(GO) test -run '^$$' -bench 'Tracer|LaneRec|SequentialSearch' -benchtime=2s .
 
 # Regenerate every paper table/figure at quick scale (~3 min).
 experiments:

@@ -12,6 +12,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/des"
+	"repro/internal/obs"
 	"repro/internal/pgas"
 	"repro/internal/stats"
 	"repro/internal/uts"
@@ -99,6 +100,52 @@ func BenchmarkRealRun(b *testing.B) {
 			}
 			b.ReportMetric(float64(steals)/float64(b.N), "steals/run")
 		})
+	}
+}
+
+// BenchmarkTracerDisabled and BenchmarkTracerEnabled bracket the cost of
+// the internal/obs event tracer on a real concurrent run. Disabled means
+// the workers hold nil lanes and every recording call is one nil check —
+// the difference against pre-tracer builds must stay under 2% (compare
+// BenchmarkSequentialSearch against results/BENCH_PR1.json). Enabled
+// shows the full recording cost for scale: the protocol path only, never
+// the per-node loop.
+func BenchmarkTracerDisabled(b *testing.B) { benchTracedRun(b, false) }
+func BenchmarkTracerEnabled(b *testing.B)  { benchTracedRun(b, true) }
+
+func benchTracedRun(b *testing.B, traced bool) {
+	b.ReportAllocs()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		opt := core.Options{Algorithm: core.UPCDistMem, Threads: 4, Chunk: 8}
+		if traced {
+			opt.Tracer = obs.New(4, 0)
+		}
+		res, err := core.Run(&uts.BenchTiny, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Nodes() != 3337 {
+			b.Fatalf("count mismatch: %d", res.Nodes())
+		}
+		if traced {
+			events += res.Obs.Events
+		}
+	}
+	if traced {
+		b.ReportMetric(float64(events)/float64(b.N), "events/run")
+	}
+}
+
+// BenchmarkLaneRec measures the raw cost of recording one event into a
+// lane's ring — the per-protocol-operation price of an enabled tracer.
+func BenchmarkLaneRec(b *testing.B) {
+	tr := obs.New(1, 0)
+	l := tr.Lane(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Rec(obs.KindProbeResult, 1, int64(i))
 	}
 }
 

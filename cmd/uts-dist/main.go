@@ -21,6 +21,7 @@ import (
 	"os/exec"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/uts"
 )
 
@@ -36,6 +37,9 @@ func run() int {
 	tree := flag.String("tree", "bench-small", "named sample tree")
 	chunk := flag.Int("chunk", 16, "steal granularity k (nodes)")
 	seed := flag.Int64("seed", 0, "probe-order seed")
+	traceOut := flag.String("trace", "", "write Chrome trace_event JSON per rank (rank 0 to the path, rank N to path.rankN)")
+	timeline := flag.Bool("timeline", false, "print rank 0's steal-protocol event timeline")
+	hist := flag.Bool("hist", false, "record protocol events and fold rank 0's histograms into the summary")
 	flag.Parse()
 
 	sp := uts.ByName(*tree)
@@ -45,13 +49,19 @@ func run() int {
 	}
 
 	if *launch > 0 {
-		return launchLocal(*launch, *coord, *tree, *chunk, *seed, sp)
+		return launchLocal(*launch, *coord, *tree, *chunk, *seed, *traceOut, *timeline, *hist, sp)
 	}
 
-	res, err := cluster.Run(cluster.Config{
+	cfg := cluster.Config{
 		Rank: *rank, Ranks: *ranks, Coord: *coord,
 		Spec: sp, Chunk: *chunk, Seed: *seed,
-	})
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" || *timeline || *hist {
+		tracer = obs.New(*ranks, 0)
+		cfg.Tracer = tracer
+	}
+	res, err := cluster.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -59,13 +69,38 @@ func run() int {
 	if res != nil { // rank 0
 		fmt.Printf("tree=%s ranks=%d chunk=%d\n", sp.String(), *ranks, *chunk)
 		fmt.Print(res.Summary())
+		if *timeline {
+			if err := obs.WriteTimeline(os.Stdout, tracer); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+		}
+	}
+	if *traceOut != "" {
+		path := rankTracePath(*traceOut, *rank)
+		if err := obs.WriteChromeTraceFile(path, tracer); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if *rank == 0 {
+			fmt.Printf("trace written to %s\n", path)
+		}
 	}
 	return 0
 }
 
+// rankTracePath places rank 0's trace at the requested path and every
+// other rank's alongside it with a .rankN suffix.
+func rankTracePath(path string, rank int) string {
+	if rank == 0 {
+		return path
+	}
+	return fmt.Sprintf("%s.rank%d", path, rank)
+}
+
 // launchLocal runs rank 0 in-process and spawns ranks 1..n-1 as child
 // processes of this binary, all against the same coordinator address.
-func launchLocal(n int, coord, tree string, chunk int, seed int64, sp *uts.Spec) int {
+func launchLocal(n int, coord, tree string, chunk int, seed int64, traceOut string, timeline, hist bool, sp *uts.Spec) int {
 	self, err := os.Executable()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -73,14 +108,18 @@ func launchLocal(n int, coord, tree string, chunk int, seed int64, sp *uts.Spec)
 	}
 	children := make([]*exec.Cmd, 0, n-1)
 	for r := 1; r < n; r++ {
-		cmd := exec.Command(self,
+		args := []string{
 			"-rank", fmt.Sprint(r),
 			"-ranks", fmt.Sprint(n),
 			"-coord", coord,
 			"-tree", tree,
 			"-chunk", fmt.Sprint(chunk),
 			"-seed", fmt.Sprint(seed),
-		)
+		}
+		if traceOut != "" {
+			args = append(args, "-trace", traceOut)
+		}
+		cmd := exec.Command(self, args...)
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
@@ -90,10 +129,16 @@ func launchLocal(n int, coord, tree string, chunk int, seed int64, sp *uts.Spec)
 		children = append(children, cmd)
 	}
 
-	res, err := cluster.Run(cluster.Config{
+	cfg := cluster.Config{
 		Rank: 0, Ranks: n, Coord: coord,
 		Spec: sp, Chunk: chunk, Seed: seed,
-	})
+	}
+	var tracer *obs.Tracer
+	if traceOut != "" || timeline || hist {
+		tracer = obs.New(n, 0)
+		cfg.Tracer = tracer
+	}
+	res, err := cluster.Run(cfg)
 	status := 0
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -108,6 +153,20 @@ func launchLocal(n int, coord, tree string, chunk int, seed int64, sp *uts.Spec)
 	if res != nil {
 		fmt.Printf("tree=%s ranks=%d chunk=%d (local processes)\n", sp.String(), n, chunk)
 		fmt.Print(res.Summary())
+		if timeline {
+			if err := obs.WriteTimeline(os.Stdout, tracer); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				status = 1
+			}
+		}
+	}
+	if traceOut != "" {
+		if err := obs.WriteChromeTraceFile(traceOut, tracer); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			status = 1
+		} else {
+			fmt.Printf("trace written to %s (plus .rankN files)\n", traceOut)
+		}
 	}
 	return status
 }

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/des"
+	"repro/internal/obs"
 	"repro/internal/pgas"
 	"repro/internal/uts"
 )
@@ -28,6 +29,10 @@ func main() {
 	poll := flag.Int("poll", 8, "mpi-ws polling interval (nodes)")
 	seed := flag.Int64("seed", 0, "probe-order seed")
 	verbose := flag.Bool("verbose", false, "print the per-thread counter table")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (open in ui.perfetto.dev)")
+	timeline := flag.Bool("timeline", false, "print the merged steal-protocol event timeline")
+	hist := flag.Bool("hist", false, "record protocol events and fold latency histograms into the summary")
+	ring := flag.Int("ring", 0, "per-PE trace ring capacity in events (0 = default)")
 	flag.Parse()
 
 	sp := uts.ByName(*tree)
@@ -40,14 +45,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
 		os.Exit(2)
 	}
-	res, err := des.Run(sp, des.Config{
+	cfg := des.Config{
 		Algorithm:    core.Algorithm(*alg),
 		PEs:          *pes,
 		Chunk:        *chunk,
 		Model:        model,
 		PollInterval: *poll,
 		Seed:         *seed,
-	})
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" || *timeline || *hist {
+		tracer = obs.NewVirtual(*pes, *ring)
+		cfg.Tracer = tracer
+	}
+	res, err := des.Run(sp, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -56,6 +67,19 @@ func main() {
 	fmt.Print(res.Summary())
 	if *verbose {
 		fmt.Print(res.PerThreadTable())
+	}
+	if *timeline {
+		if err := obs.WriteTimeline(os.Stdout, tracer); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		if err := obs.WriteChromeTraceFile(*traceOut, tracer); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/des"
+	"repro/internal/obs"
 	"repro/internal/pgas"
 	"repro/internal/uts"
 )
@@ -33,6 +34,9 @@ func main() {
 	profile := flag.String("profile", "kittyhawk", "machine profile")
 	buckets := flag.Int("buckets", 40, "time buckets in the chart")
 	width := flag.Int("width", 50, "chart width in characters")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (open in ui.perfetto.dev)")
+	timeline := flag.Bool("timeline", false, "print the merged steal-protocol event timeline")
+	hist := flag.Bool("hist", false, "print the steal-protocol latency histograms")
 	flag.Parse()
 
 	sp := uts.ByName(*tree)
@@ -57,9 +61,13 @@ func main() {
 	if interval <= 0 {
 		interval = time.Microsecond
 	}
-	res, trace, err := des.RunTraced(sp, des.Config{
-		Algorithm: core.Algorithm(*alg), PEs: *pes, Chunk: *chunk, Model: model,
-	}, interval)
+	cfg := des.Config{Algorithm: core.Algorithm(*alg), PEs: *pes, Chunk: *chunk, Model: model}
+	var tracer *obs.Tracer
+	if *traceOut != "" || *timeline || *hist {
+		tracer = obs.NewVirtual(*pes, 0)
+		cfg.Tracer = tracer
+	}
+	res, trace, err := des.RunTraced(sp, cfg, interval)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -101,5 +109,21 @@ func main() {
 		fmt.Printf("\nreached %d work sources (P/4) at %v\n", *pes/4, t.Round(time.Microsecond))
 	} else {
 		fmt.Printf("\nnever reached %d work sources (P/4)\n", *pes/4)
+	}
+	if *hist && res.Obs != nil {
+		fmt.Print("\n" + res.Obs.String())
+	}
+	if *timeline {
+		if err := obs.WriteTimeline(os.Stdout, tracer); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		if err := obs.WriteChromeTraceFile(*traceOut, tracer); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pgas"
 	"repro/internal/uts"
 )
@@ -34,6 +35,10 @@ func main() {
 	verbose := flag.Bool("verbose", false, "print the per-thread counter table")
 	baseline := flag.Bool("baseline", false, "measure the sequential rate first for speedup reporting")
 	trees := flag.Bool("trees", false, "list sample trees and exit")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (open in ui.perfetto.dev)")
+	timeline := flag.Bool("timeline", false, "print the merged steal-protocol event timeline")
+	hist := flag.Bool("hist", false, "record protocol events and fold latency histograms into the summary")
+	ring := flag.Int("ring", 0, "per-thread trace ring capacity in events (0 = default)")
 	flag.Parse()
 
 	if *trees {
@@ -72,6 +77,11 @@ func main() {
 		Model:        model,
 		Seed:         *seed,
 	}
+	var tracer *obs.Tracer
+	if *traceOut != "" || *timeline || *hist {
+		tracer = obs.New(*threads, *ring)
+		opt.Tracer = tracer
+	}
 	if *baseline {
 		c := uts.SearchSequential(sp)
 		opt.SeqRate = c.Rate()
@@ -86,6 +96,19 @@ func main() {
 	fmt.Print(res.Summary())
 	if *verbose {
 		fmt.Print(res.PerThreadTable())
+	}
+	if *timeline {
+		if err := obs.WriteTimeline(os.Stdout, tracer); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		if err := obs.WriteChromeTraceFile(*traceOut, tracer); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
 	}
 }
 

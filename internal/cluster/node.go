@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stack"
 	"repro/internal/stats"
 	"repro/internal/uts"
@@ -35,6 +36,11 @@ type Config struct {
 	Seed int64
 	// DialTimeout bounds bootstrap connection attempts; default 10s.
 	DialTimeout time.Duration
+	// Tracer, when non-nil, records this rank's steal-protocol events
+	// into lane Rank (build it with obs.New(Ranks, ringSize) so lane
+	// numbering matches rank numbering). Traces are per-process: each
+	// rank writes its own file; there is no cross-rank event merge.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -163,13 +169,16 @@ func Run(cfg Config) (*stats.Run, error) {
 		return nil, nil
 	}
 
-	// Rank 0: wait for every other rank's stats, then aggregate.
+	// Rank 0: wait for every other rank's stats, then aggregate. The
+	// tracer summary covers rank 0's own lane only (remote ranks write
+	// their own trace files).
 	n.statsWG.Wait()
 	run := &stats.Run{Elapsed: time.Since(start)}
 	run.Threads = append(run.Threads, n.t)
 	n.statsMu.Lock()
 	run.Threads = append(run.Threads, n.collected...)
 	n.statsMu.Unlock()
+	run.Obs = cfg.Tracer.Summary()
 	return run, nil
 }
 

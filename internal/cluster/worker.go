@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stack"
 	"repro/internal/stats"
 	"repro/internal/uts"
@@ -22,6 +23,7 @@ func (n *node) search() error {
 		ranks: n.cfg.Ranks,
 		me:    n.cfg.Rank,
 		ex:    uts.NewExpander(n.cfg.Spec),
+		lane:  n.cfg.Tracer.Lane(n.cfg.Rank),
 	}
 	if w.me == 0 {
 		w.local.Push(uts.Root(w.sp))
@@ -43,26 +45,35 @@ type clusterWorker struct {
 	local stack.Deque
 	pool  stack.Pool
 	ex    *uts.Expander
+	lane  *obs.Lane // nil when the run is untraced
+}
+
+// setState pairs the stats state timer with the tracer's state event.
+func (w *clusterWorker) setState(s stats.State) {
+	w.n.t.Switch(s, time.Now())
+	w.lane.Rec(obs.KindStateChange, -1, int64(s))
 }
 
 func (w *clusterWorker) main() error {
 	t := &w.n.t
+	w.lane.Rec(obs.KindStateChange, -1, int64(stats.Working))
 	for {
 		if err := w.work(); err != nil {
 			return err
 		}
 		w.n.workAvail.Store(-1)
-		t.Switch(stats.Searching, time.Now())
+		w.setState(stats.Searching)
 		got, err := w.discover()
 		if err != nil {
 			return err
 		}
 		if got {
-			t.Switch(stats.Working, time.Now())
+			w.setState(stats.Working)
 			continue
 		}
-		t.Switch(stats.Idle, time.Now())
+		w.setState(stats.Idle)
 		t.TermBarrierEntries++
+		w.lane.Rec(obs.KindTermEnter, -1, 0)
 		done, err := w.terminate()
 		if err != nil {
 			return err
@@ -70,7 +81,8 @@ func (w *clusterWorker) main() error {
 		if done {
 			return w.service() // deny any last raced-in request
 		}
-		t.Switch(stats.Working, time.Now())
+		w.lane.Rec(obs.KindTermExit, -1, 0)
+		w.setState(stats.Working)
 	}
 }
 
@@ -95,6 +107,7 @@ func (w *clusterWorker) work() error {
 			}
 			w.n.workAvail.Store(int32(w.pool.Len()))
 			t.Reacquires++
+			w.lane.Rec(obs.KindReacquire, -1, int64(len(c)))
 			w.local.PushAll(c)
 			continue
 		}
@@ -109,6 +122,7 @@ func (w *clusterWorker) work() error {
 			w.pool.Put(w.local.TakeBottom(w.k))
 			w.n.workAvail.Store(int32(w.pool.Len()))
 			t.Releases++
+			w.lane.Rec(obs.KindRelease, -1, int64(w.pool.Len()))
 		}
 	}
 }
@@ -142,6 +156,11 @@ func (w *clusterWorker) service() error {
 	}
 	w.n.reqWord.Store(-1)
 	w.n.t.Requests++
+	if amount > 0 {
+		w.lane.Rec(obs.KindStealGrant, thief, int64(amount))
+	} else {
+		w.lane.Rec(obs.KindStealDeny, thief, 0)
+	}
 	return nil
 }
 
@@ -152,7 +171,6 @@ func (w *clusterWorker) discover() (bool, error) {
 	if w.ranks == 1 {
 		return false, nil
 	}
-	t := &w.n.t
 	for {
 		sawWorker := false
 		for _, v := range w.rng.Cycle(w.me, w.ranks) {
@@ -164,9 +182,9 @@ func (w *clusterWorker) discover() (bool, error) {
 				return false, err
 			}
 			if wa > 0 {
-				t.Switch(stats.Stealing, time.Now())
+				w.setState(stats.Stealing)
 				ok, err := w.steal(v)
-				t.Switch(stats.Searching, time.Now())
+				w.setState(stats.Searching)
 				if err != nil {
 					return false, err
 				}
@@ -196,6 +214,7 @@ func (w *clusterWorker) probe(v int) (int32, error) {
 	if err != nil {
 		return 0, err
 	}
+	w.lane.Rec(obs.KindProbeResult, int32(v), int64(resp.Avail))
 	return resp.Avail, nil
 }
 
@@ -207,12 +226,14 @@ func (w *clusterWorker) steal(v int) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	w.lane.Rec(obs.KindStealRequest, int32(v), 0)
 	resp, err := pc.call(&request{Kind: kindCASRequest, From: w.me, Thief: int32(w.me)})
 	if err != nil {
 		return false, err
 	}
 	if !resp.OK {
 		t.FailedSteals++
+		w.lane.Rec(obs.KindStealFail, int32(v), 0)
 		return false, nil
 	}
 	for !w.n.respReady.Load() {
@@ -225,6 +246,7 @@ func (w *clusterWorker) steal(v int) (bool, error) {
 	w.n.respReady.Store(false)
 	if amount == 0 {
 		t.FailedSteals++
+		w.lane.Rec(obs.KindStealFail, int32(v), 0)
 		return false, nil
 	}
 	if from != v {
@@ -239,6 +261,11 @@ func (w *clusterWorker) steal(v int) (bool, error) {
 	}
 	t.Steals++
 	t.ChunksGot += int64(len(got.Chunk))
+	total := 0
+	for _, c := range got.Chunk {
+		total += len(c)
+	}
+	w.lane.Rec(obs.KindChunkTransfer, int32(v), int64(total))
 	w.local.PushAll(got.Chunk[0])
 	for _, c := range got.Chunk[1:] {
 		w.pool.Put(c)
@@ -319,7 +346,6 @@ func (w *clusterWorker) terminate() (bool, error) {
 	if err != nil || last {
 		return last, err
 	}
-	t := &w.n.t
 	for {
 		if err := w.service(); err != nil {
 			return false, err
@@ -344,9 +370,9 @@ func (w *clusterWorker) terminate() (bool, error) {
 			if !ok {
 				return true, nil // termination raced in; we are done
 			}
-			t.Switch(stats.Stealing, time.Now())
+			w.setState(stats.Stealing)
 			got, err := w.steal(v)
-			t.Switch(stats.Idle, time.Now())
+			w.setState(stats.Idle)
 			if err != nil {
 				return false, err
 			}

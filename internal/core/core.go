@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pgas"
 	"repro/internal/stats"
 	"repro/internal/uts"
@@ -99,6 +100,11 @@ type Options struct {
 	// IntraModel is the intra-node cost model used with NodeSize; nil
 	// leaves the machine flat.
 	IntraModel *pgas.Model
+	// Tracer, when non-nil, records steal-protocol events and latency
+	// histograms for every worker (one obs lane per thread; create it
+	// with obs.New(Threads, ringSize)). The nil default keeps every
+	// worker on the no-op fast path.
+	Tracer *obs.Tracer
 
 	// abort, set by RunCtx, tells every worker to abandon the search; the
 	// zero value (nil) is replaced by withDefaults so workers can always
@@ -226,6 +232,7 @@ func RunCtx(ctx context.Context, sp *uts.Spec, opt Options) (*Result, error) {
 		err = runMPIWS(sp, opt, res)
 	}
 	res.Elapsed = time.Since(start)
+	res.Obs = opt.Tracer.Summary()
 	if err != nil && err != ctx.Err() {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pgas"
 	"repro/internal/stack"
 	"repro/internal/stats"
@@ -73,7 +74,7 @@ func runDistMem(sp *uts.Spec, opt Options, res *Result, hier bool) error {
 		wg.Add(1)
 		go func(me int) {
 			defer wg.Done()
-			w := &distWorker{run: r, me: me, rng: NewProbeOrder(opt.Seed, me), t: &res.Threads[me], ex: uts.NewExpander(sp)}
+			w := &distWorker{run: r, me: me, rng: NewProbeOrder(opt.Seed, me), t: &res.Threads[me], ex: uts.NewExpander(sp), lane: opt.Tracer.Lane(me)}
 			if me == 0 {
 				w.stack().local.Push(uts.Root(sp))
 			}
@@ -85,17 +86,25 @@ func runDistMem(sp *uts.Spec, opt Options, res *Result, hier bool) error {
 }
 
 type distWorker struct {
-	run *distRun
-	me  int
-	rng *ProbeOrder
-	t   *stats.Thread
-	ex  *uts.Expander
+	run  *distRun
+	me   int
+	rng  *ProbeOrder
+	t    *stats.Thread
+	ex   *uts.Expander
+	lane *obs.Lane // nil when the run is untraced
 }
 
 func (w *distWorker) stack() *privStack { return w.run.stacks[w.me] }
 
+// setState pairs the stats state timer with the tracer's state event.
+func (w *distWorker) setState(s stats.State) {
+	w.t.Switch(s, time.Now())
+	w.lane.Rec(obs.KindStateChange, -1, int64(s))
+}
+
 func (w *distWorker) main() {
 	w.t.StartTimers(time.Now())
+	w.lane.Rec(obs.KindStateChange, -1, int64(stats.Working))
 	defer func() { w.t.StopTimers(time.Now()) }()
 	for {
 		w.work()
@@ -103,18 +112,20 @@ func (w *distWorker) main() {
 			return
 		}
 		w.stack().workAvail.Store(-1)
-		w.t.Switch(stats.Searching, time.Now())
+		w.setState(stats.Searching)
 		if w.search() {
-			w.t.Switch(stats.Working, time.Now())
+			w.setState(stats.Working)
 			continue
 		}
-		w.t.Switch(stats.Idle, time.Now())
+		w.setState(stats.Idle)
 		w.t.TermBarrierEntries++
+		w.lane.Rec(obs.KindTermEnter, -1, 0)
 		if w.terminate() {
 			w.service() // answer any last raced-in request with a denial
 			return
 		}
-		w.t.Switch(stats.Working, time.Now())
+		w.lane.Rec(obs.KindTermExit, -1, 0)
+		w.setState(stats.Working)
 	}
 }
 
@@ -143,6 +154,7 @@ func (w *distWorker) work() {
 			}
 			s.workAvail.Store(int32(s.pool.Len()))
 			w.t.Reacquires++
+			w.lane.Rec(obs.KindReacquire, -1, int64(len(c)))
 			s.local.PushAll(c)
 			continue
 		}
@@ -157,6 +169,7 @@ func (w *distWorker) work() {
 			s.pool.Put(s.local.TakeBottom(k))
 			s.workAvail.Store(int32(s.pool.Len()))
 			w.t.Releases++
+			w.lane.Rec(obs.KindRelease, -1, int64(s.pool.Len()))
 		}
 	}
 }
@@ -183,6 +196,11 @@ func (w *distWorker) service() {
 	ts.respReady.Store(true)
 	s.request.Store(noThief) // local write
 	w.t.Requests++
+	if len(chunks) > 0 {
+		w.lane.Rec(obs.KindStealGrant, thief, int64(len(chunks)))
+	} else {
+		w.lane.Rec(obs.KindStealDeny, thief, 0)
+	}
 }
 
 // search probes other threads in pseudo-random cycles, stealing when it
@@ -205,9 +223,9 @@ func (w *distWorker) search() bool {
 			w.service()
 			wa := w.probe(v)
 			if wa > 0 {
-				w.t.Switch(stats.Stealing, time.Now())
+				w.setState(stats.Stealing)
 				ok := w.steal(v)
-				w.t.Switch(stats.Searching, time.Now())
+				w.setState(stats.Searching)
 				if ok {
 					return true
 				}
@@ -229,7 +247,9 @@ func (w *distWorker) search() bool {
 func (w *distWorker) probe(v int) int32 {
 	w.run.dom.ChargeRef(w.me, v)
 	w.t.Probes++
-	return w.run.stacks[v].workAvail.Load()
+	wa := w.run.stacks[v].workAvail.Load()
+	w.lane.Rec(obs.KindProbeResult, int32(v), int64(wa))
+	return wa
 }
 
 // steal runs the asynchronous request/response protocol: claim the
@@ -244,8 +264,10 @@ func (w *distWorker) steal(v int) bool {
 
 	// Write our ID into the lock-protected request variable.
 	r.dom.ChargeLockRTT(w.me, v)
+	w.lane.Rec(obs.KindStealRequest, int32(v), 0)
 	if !vs.request.CompareAndSwap(noThief, int32(w.me)) {
 		w.t.FailedSteals++
+		w.lane.Rec(obs.KindStealFail, int32(v), 0)
 		return false
 	}
 
@@ -254,6 +276,7 @@ func (w *distWorker) steal(v int) bool {
 	for !me.respReady.Load() {
 		if w.run.opt.abort.Load() {
 			w.t.FailedSteals++
+			w.lane.Rec(obs.KindStealFail, int32(v), 0)
 			return false
 		}
 		w.service() // we may be someone else's victim meanwhile
@@ -265,6 +288,7 @@ func (w *distWorker) steal(v int) bool {
 
 	if len(chunks) == 0 {
 		w.t.FailedSteals++
+		w.lane.Rec(obs.KindStealFail, int32(v), 0)
 		return false
 	}
 	total := 0
@@ -275,6 +299,7 @@ func (w *distWorker) steal(v int) bool {
 	r.dom.ChargeBulk(w.me, v, total*nodeBytes)
 	w.t.Steals++
 	w.t.ChunksGot += int64(len(chunks))
+	w.lane.Rec(obs.KindChunkTransfer, int32(v), int64(total))
 
 	me.local.PushAll(chunks[0])
 	for _, c := range chunks[1:] {
@@ -306,9 +331,9 @@ func (w *distWorker) terminate() bool {
 			if !sb.Leave(w.me) {
 				return true
 			}
-			w.t.Switch(stats.Stealing, time.Now())
+			w.setState(stats.Stealing)
 			ok := w.steal(v)
-			w.t.Switch(stats.Idle, time.Now())
+			w.setState(stats.Idle)
 			if ok {
 				return false
 			}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/stack"
 	"repro/internal/stats"
 	"repro/internal/uts"
@@ -37,6 +38,7 @@ func runMPIWS(sp *uts.Spec, opt Options, res *Result) error {
 				rng:   NewProbeOrder(opt.Seed, me),
 				t:     &res.Threads[me],
 				ex:    uts.NewExpander(sp),
+				lane:  opt.Tracer.Lane(me),
 			}
 			if me == 0 {
 				w.local.Push(uts.Root(sp))
@@ -63,6 +65,7 @@ type mpiWorker struct {
 	poll  int
 	rng   *ProbeOrder
 	t     *stats.Thread
+	lane  *obs.Lane // nil when the run is untraced
 
 	local stack.Deque
 	ex    *uts.Expander
@@ -78,6 +81,7 @@ type mpiWorker struct {
 
 func (w *mpiWorker) main() {
 	w.t.StartTimers(time.Now())
+	w.lane.Rec(obs.KindStateChange, -1, int64(stats.Working))
 	defer func() { w.t.StopTimers(time.Now()) }()
 	for !w.terminated {
 		if w.local.Len() > 0 {
@@ -137,20 +141,26 @@ func (w *mpiWorker) handle(m msg.Message) {
 			chunk := w.local.TakeBottom(w.k)
 			w.color = msg.Black // work moved: taint this round
 			w.t.Releases++
+			w.lane.Rec(obs.KindStealGrant, int32(m.From), 1)
 			w.comm.Send(w.me, m.From, msg.Message{Tag: msg.TagWork, Chunks: []stack.Chunk{chunk}})
 		} else {
+			w.lane.Rec(obs.KindStealDeny, int32(m.From), 0)
 			w.comm.Send(w.me, m.From, msg.Message{Tag: msg.TagNoWork})
 		}
 	case msg.TagWork:
 		w.outstanding = false
 		w.t.Steals++
 		w.t.ChunksGot += int64(len(m.Chunks))
+		total := 0
 		for _, c := range m.Chunks {
+			total += len(c)
 			w.local.PushAll(c)
 		}
+		w.lane.Rec(obs.KindChunkTransfer, int32(m.From), int64(total))
 	case msg.TagNoWork:
 		w.outstanding = false
 		w.t.FailedSteals++
+		w.lane.Rec(obs.KindStealFail, int32(m.From), 0)
 	case msg.TagToken:
 		w.haveToken = true
 		w.tokenColor = m.Color
@@ -164,9 +174,15 @@ func (w *mpiWorker) handle(m msg.Message) {
 // the token only when passive — stack empty, no outstanding request, and
 // inbox drained — which, with instantaneous message enqueue, is what makes
 // the white-round conclusion sound.
+// setState pairs the stats state timer with the tracer's state event.
+func (w *mpiWorker) setState(s stats.State) {
+	w.t.Switch(s, time.Now())
+	w.lane.Rec(obs.KindStateChange, -1, int64(s))
+}
+
 func (w *mpiWorker) idle() {
-	w.t.Switch(stats.Searching, time.Now())
-	defer w.t.Switch(stats.Working, time.Now())
+	w.setState(stats.Searching)
+	defer w.setState(stats.Working)
 	for w.local.Len() == 0 && !w.terminated {
 		if m, ok := w.comm.Recv(w.me); ok {
 			w.handle(m)
@@ -188,6 +204,7 @@ func (w *mpiWorker) idle() {
 		if !w.outstanding {
 			v := w.rng.Victim(w.me, w.n)
 			w.t.Probes++
+			w.lane.Rec(obs.KindStealRequest, int32(v), 0)
 			w.comm.Send(w.me, v, msg.Message{Tag: msg.TagStealRequest})
 			w.outstanding = true
 			continue

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+	"repro/internal/uts"
+)
+
+// TestTracedRunsMatchSequential is the real-goroutine half of the tracer
+// differential test: goroutine scheduling is nondeterministic, so traced
+// and untraced runs cannot be compared event-for-event, but a traced run
+// must still explore exactly the sequential node and leaf counts for
+// every algorithm, and the tracer's own accounting must agree with the
+// stats counters.
+func TestTracedRunsMatchSequential(t *testing.T) {
+	for _, alg := range Algorithms {
+		tr := obs.New(4, 0)
+		res, err := Run(&uts.BenchTiny, Options{Algorithm: alg, Threads: 4, Chunk: 4, Tracer: tr})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		checkRun(t, &uts.BenchTiny, res)
+		if res.Obs == nil {
+			t.Fatalf("%s: traced run has no histogram summary", alg)
+		}
+		if res.Obs.Events == 0 {
+			t.Errorf("%s: traced run recorded no events", alg)
+		}
+		steals := res.Sum(func(th *stats.Thread) int64 { return th.Steals })
+		if got := res.Obs.ChunkSize.Count(); got != steals {
+			t.Errorf("%s: %d chunk-transfer events for %d steals", alg, got, steals)
+		}
+		if !strings.Contains(res.Summary(), "trace: ") {
+			t.Errorf("%s: traced summary lacks the trace section", alg)
+		}
+	}
+}
+
+// TestUntracedSummaryUnchanged pins the byte-stability promise: without a
+// tracer, the report must contain no observability output at all.
+func TestUntracedSummaryUnchanged(t *testing.T) {
+	res, err := Run(&uts.BenchTiny, Options{Algorithm: UPCSharedMem, Threads: 4, Chunk: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Obs != nil {
+		t.Fatal("untraced run grew a histogram summary")
+	}
+	out := res.Summary()
+	for _, banned := range []string{"trace:", "steal-latency", "dwell"} {
+		if strings.Contains(out, banned) {
+			t.Errorf("untraced summary contains %q:\n%s", banned, out)
+		}
+	}
+}

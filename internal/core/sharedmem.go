@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pgas"
 	"repro/internal/stack"
 	"repro/internal/stats"
@@ -66,7 +67,7 @@ func runShared(sp *uts.Spec, opt Options, res *Result, v sharedVariant) error {
 		wg.Add(1)
 		go func(me int) {
 			defer wg.Done()
-			w := &sharedWorker{run: r, me: me, rng: NewProbeOrder(opt.Seed, me), t: &res.Threads[me], ex: uts.NewExpander(sp)}
+			w := &sharedWorker{run: r, me: me, rng: NewProbeOrder(opt.Seed, me), t: &res.Threads[me], ex: uts.NewExpander(sp), lane: opt.Tracer.Lane(me)}
 			if me == 0 {
 				w.local.Push(uts.Root(sp))
 			}
@@ -85,13 +86,21 @@ type sharedWorker struct {
 	rng   *ProbeOrder
 	t     *stats.Thread
 	ex    *uts.Expander
+	lane  *obs.Lane // nil when the run is untraced
 }
 
 func (w *sharedWorker) stack() *sharedStack { return w.run.stacks[w.me] }
 
+// setState pairs the stats state timer with the tracer's state event.
+func (w *sharedWorker) setState(s stats.State) {
+	w.t.Switch(s, time.Now())
+	w.lane.Rec(obs.KindStateChange, -1, int64(s))
+}
+
 // main is the Figure-1 state machine.
 func (w *sharedWorker) main() {
 	w.t.StartTimers(time.Now())
+	w.lane.Rec(obs.KindStateChange, -1, int64(stats.Working))
 	defer func() { w.t.StopTimers(time.Now()) }()
 	for {
 		w.work()
@@ -101,17 +110,19 @@ func (w *sharedWorker) main() {
 		if w.run.variant.streamTerm {
 			w.stack().workAvail.Store(-1)
 		}
-		w.t.Switch(stats.Searching, time.Now())
+		w.setState(stats.Searching)
 		if w.search() {
-			w.t.Switch(stats.Working, time.Now())
+			w.setState(stats.Working)
 			continue
 		}
-		w.t.Switch(stats.Idle, time.Now())
+		w.setState(stats.Idle)
 		w.t.TermBarrierEntries++
+		w.lane.Rec(obs.KindTermEnter, -1, 0)
 		if w.terminate() {
 			return
 		}
-		w.t.Switch(stats.Working, time.Now())
+		w.lane.Rec(obs.KindTermExit, -1, 0)
+		w.setState(stats.Working)
 	}
 }
 
@@ -161,6 +172,7 @@ func (w *sharedWorker) release(k int) {
 	s.workAvail.Store(int32(s.pool.Len()))
 	s.lk.Release(w.me)
 	w.t.Releases++
+	w.lane.Rec(obs.KindRelease, -1, int64(s.workAvail.Load()))
 	if !w.run.variant.streamTerm {
 		w.run.cb.Cancel(w.me)
 	}
@@ -180,6 +192,7 @@ func (w *sharedWorker) reacquire() bool {
 		return false
 	}
 	w.t.Reacquires++
+	w.lane.Rec(obs.KindReacquire, -1, int64(len(c)))
 	w.local.PushAll(c)
 	return true
 }
@@ -201,9 +214,9 @@ func (w *sharedWorker) search() bool {
 		for _, v := range w.rng.Cycle(w.me, n) {
 			wa := w.probe(v)
 			if wa > 0 {
-				w.t.Switch(stats.Stealing, time.Now())
+				w.setState(stats.Stealing)
 				ok := w.steal(v)
-				w.t.Switch(stats.Searching, time.Now())
+				w.setState(stats.Searching)
 				if ok {
 					return true
 				}
@@ -233,7 +246,9 @@ func (w *sharedWorker) search() bool {
 func (w *sharedWorker) probe(v int) int32 {
 	w.run.dom.ChargeRef(w.me, v)
 	w.t.Probes++
-	return w.run.stacks[v].workAvail.Load()
+	wa := w.run.stacks[v].workAvail.Load()
+	w.lane.Rec(obs.KindProbeResult, int32(v), int64(wa))
+	return wa
 }
 
 // steal locks the victim's stack, reserves one chunk (or half the chunks
@@ -244,6 +259,7 @@ func (w *sharedWorker) probe(v int) int32 {
 func (w *sharedWorker) steal(v int) bool {
 	r := w.run
 	vs := r.stacks[v]
+	w.lane.Rec(obs.KindStealRequest, int32(v), 0)
 	vs.lk.Acquire(w.me)
 	var chunks []stack.Chunk
 	if r.variant.stealHalf {
@@ -257,6 +273,7 @@ func (w *sharedWorker) steal(v int) bool {
 	vs.lk.Release(w.me)
 	if len(chunks) == 0 {
 		w.t.FailedSteals++
+		w.lane.Rec(obs.KindStealFail, int32(v), 0)
 		return false
 	}
 
@@ -269,6 +286,7 @@ func (w *sharedWorker) steal(v int) bool {
 	r.dom.ChargeBulk(w.me, v, total*nodeBytes)
 	w.t.Steals++
 	w.t.ChunksGot += int64(len(chunks))
+	w.lane.Rec(obs.KindChunkTransfer, int32(v), int64(total))
 
 	w.local.PushAll(chunks[0])
 	if len(chunks) > 1 {
@@ -312,9 +330,9 @@ func (w *sharedWorker) terminate() bool {
 			if !sb.Leave(w.me) {
 				return true
 			}
-			w.t.Switch(stats.Stealing, time.Now())
+			w.setState(stats.Stealing)
 			ok := w.steal(v)
-			w.t.Switch(stats.Idle, time.Now())
+			w.setState(stats.Idle)
 			if ok {
 				return false
 			}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stack"
 	"repro/internal/stats"
 	"repro/internal/uts"
@@ -30,7 +31,9 @@ func runStatic(sp *uts.Spec, opt Options, res *Result) error {
 		go func(me int) {
 			defer wg.Done()
 			t := &res.Threads[me]
+			lane := opt.Tracer.Lane(me)
 			t.StartTimers(time.Now())
+			lane.Rec(obs.KindStateChange, -1, int64(stats.Working))
 			defer func() { t.StopTimers(time.Now()) }()
 			if me == 0 {
 				t.Nodes++ // the root itself
@@ -65,6 +68,7 @@ func runStatic(sp *uts.Spec, opt Options, res *Result) error {
 				}
 			}
 			t.Switch(stats.Idle, time.Now())
+			lane.Rec(obs.KindStateChange, -1, int64(stats.Idle))
 		}(me)
 	}
 	wg.Wait()

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stack"
 	"repro/internal/stats"
 	"repro/internal/uts"
@@ -66,6 +67,7 @@ type simDistPE struct {
 	p     *Proc
 	me    int
 	t     *stats.Thread
+	lane  *obs.Lane // nil when the run is untraced
 	state stats.State
 
 	local     stack.Deque
@@ -89,7 +91,7 @@ func simDistMem(sim *Sim, sp *uts.Spec, cfg Config, cs costs, res *core.Result, 
 	}
 	r.pes = make([]*simDistPE, cfg.PEs)
 	for i := 0; i < cfg.PEs; i++ {
-		pe := &simDistPE{r: r, me: i, t: &res.Threads[i], request: -1, rng: core.NewProbeOrder(cfg.Seed, i), ex: uts.NewExpander(sp)}
+		pe := &simDistPE{r: r, me: i, t: &res.Threads[i], lane: cfg.Tracer.Lane(i), request: -1, rng: core.NewProbeOrder(cfg.Seed, i), ex: uts.NewExpander(sp)}
 		r.pes[i] = pe
 		if i == 0 {
 			pe.local.Push(uts.Root(sp))
@@ -118,22 +120,37 @@ func (pe *simDistPE) advance(d time.Duration) {
 	pe.p.Advance(d)
 }
 
+// rec records an event stamped with the PE's current virtual time.
+func (pe *simDistPE) rec(k obs.Kind, other int32, value int64) {
+	pe.lane.RecV(k, other, value, pe.p.Now())
+}
+
+// setState pairs the stats state charge target with the tracer's state
+// event.
+func (pe *simDistPE) setState(s stats.State) {
+	pe.state = s
+	pe.rec(obs.KindStateChange, -1, int64(s))
+}
+
 func (pe *simDistPE) main() {
+	pe.rec(obs.KindStateChange, -1, int64(stats.Working))
 	for {
 		pe.work()
 		pe.workAvail = -1
-		pe.state = stats.Searching
+		pe.setState(stats.Searching)
 		if pe.search() {
-			pe.state = stats.Working
+			pe.setState(stats.Working)
 			continue
 		}
-		pe.state = stats.Idle
+		pe.setState(stats.Idle)
 		pe.t.TermBarrierEntries++
+		pe.rec(obs.KindTermEnter, -1, 0)
 		if pe.terminate() {
 			pe.service()
 			return
 		}
-		pe.state = stats.Working
+		pe.rec(obs.KindTermExit, -1, 0)
+		pe.setState(stats.Working)
 	}
 }
 
@@ -163,6 +180,7 @@ func (pe *simDistPE) work() {
 			}
 			pe.workAvail = pe.pool.Len()
 			pe.t.Reacquires++
+			pe.rec(obs.KindReacquire, -1, int64(len(c)))
 			pe.local.PushAll(c)
 			continue
 		}
@@ -179,6 +197,7 @@ func (pe *simDistPE) work() {
 			pe.pool.Put(pe.local.TakeBottom(k))
 			pe.workAvail = pe.pool.Len()
 			pe.t.Releases++
+			pe.rec(obs.KindRelease, -1, int64(pe.workAvail))
 		} else if pending >= batch {
 			flush()
 		}
@@ -202,6 +221,11 @@ func (pe *simDistPE) service() {
 	thief.respReady = true
 	pe.request = -1
 	pe.t.Requests++
+	if len(chunks) > 0 {
+		pe.rec(obs.KindStealGrant, int32(thief.me), int64(len(chunks)))
+	} else {
+		pe.rec(obs.KindStealDeny, int32(thief.me), 0)
+	}
 }
 
 func (pe *simDistPE) search() bool {
@@ -221,9 +245,9 @@ func (pe *simDistPE) search() bool {
 			pe.service()
 			wa := pe.probe(v)
 			if wa > 0 {
-				pe.state = stats.Stealing
+				pe.setState(stats.Stealing)
 				ok := pe.steal(v)
-				pe.state = stats.Searching
+				pe.setState(stats.Searching)
 				if ok {
 					return true
 				}
@@ -239,9 +263,12 @@ func (pe *simDistPE) search() bool {
 }
 
 func (pe *simDistPE) probe(v int) int {
+	pe.rec(obs.KindProbeStart, int32(v), 0)
 	pe.advance(pe.r.refCost(pe.me, v))
 	pe.t.Probes++
-	return pe.r.pes[v].workAvail
+	wa := pe.r.pes[v].workAvail
+	pe.rec(obs.KindProbeResult, int32(v), int64(wa))
+	return wa
 }
 
 // steal claims the victim's request word and polls its own response slot
@@ -253,9 +280,11 @@ func (pe *simDistPE) steal(v int) bool {
 	cs := &r.cs
 	vs := r.pes[v]
 
+	pe.rec(obs.KindStealRequest, int32(v), 0)
 	pe.advance(r.lockCost(pe.me, v)) // lock-protected request-word write
 	if vs.request != -1 {
 		pe.t.FailedSteals++
+		pe.rec(obs.KindStealFail, int32(v), 0)
 		return false
 	}
 	vs.request = pe.me
@@ -270,6 +299,7 @@ func (pe *simDistPE) steal(v int) bool {
 
 	if len(chunks) == 0 {
 		pe.t.FailedSteals++
+		pe.rec(obs.KindStealFail, int32(v), 0)
 		return false
 	}
 	total := 0
@@ -279,6 +309,7 @@ func (pe *simDistPE) steal(v int) bool {
 	pe.advance(r.bulkCost(pe.me, v, total*nodeBytes)) // one-sided get
 	pe.t.Steals++
 	pe.t.ChunksGot += int64(len(chunks))
+	pe.rec(obs.KindChunkTransfer, int32(v), int64(total))
 
 	pe.local.PushAll(chunks[0])
 	for _, c := range chunks[1:] {
@@ -321,9 +352,9 @@ func (pe *simDistPE) terminate() bool {
 			}
 			pe.advance(r.cs.remoteRef) // leave the barrier
 			r.sbCount--
-			pe.state = stats.Stealing
+			pe.setState(stats.Stealing)
 			ok := pe.steal(v)
-			pe.state = stats.Idle
+			pe.setState(stats.Idle)
 			if ok {
 				return false
 			}

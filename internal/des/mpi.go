@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/stack"
 	"repro/internal/stats"
 	"repro/internal/uts"
@@ -35,6 +36,7 @@ type simMPIPE struct {
 	p     *Proc
 	me    int
 	t     *stats.Thread
+	lane  *obs.Lane // nil when the run is untraced
 	state stats.State
 
 	local stack.Deque
@@ -54,7 +56,7 @@ func simMPIWS(sim *Sim, sp *uts.Spec, cfg Config, cs costs, res *core.Result, fi
 	r := &simMPIRun{sp: sp, cfg: cfg, cs: cs, finish: finish}
 	r.pes = make([]*simMPIPE, cfg.PEs)
 	for i := 0; i < cfg.PEs; i++ {
-		pe := &simMPIPE{r: r, me: i, t: &res.Threads[i], rng: core.NewProbeOrder(cfg.Seed, i), ex: uts.NewExpander(sp)}
+		pe := &simMPIPE{r: r, me: i, t: &res.Threads[i], lane: cfg.Tracer.Lane(i), rng: core.NewProbeOrder(cfg.Seed, i), ex: uts.NewExpander(sp)}
 		r.pes[i] = pe
 		if i == 0 {
 			pe.local.Push(uts.Root(sp))
@@ -88,6 +90,18 @@ func (pe *simMPIPE) advance(d time.Duration) {
 	pe.p.Advance(d)
 }
 
+// rec records an event stamped with the rank's current virtual time.
+func (pe *simMPIPE) rec(k obs.Kind, other int32, value int64) {
+	pe.lane.RecV(k, other, value, pe.p.Now())
+}
+
+// setState pairs the stats state charge target with the tracer's state
+// event.
+func (pe *simMPIPE) setState(s stats.State) {
+	pe.state = s
+	pe.rec(obs.KindStateChange, -1, int64(s))
+}
+
 // send charges the sender the injection overhead and delivers the message
 // after the transfer latency.
 func (pe *simMPIPE) send(to int, tag msg.Tag, chunks []stack.Chunk, color msg.Color) {
@@ -119,6 +133,7 @@ func (pe *simMPIPE) recv() (simMsg, bool) {
 }
 
 func (pe *simMPIPE) main() {
+	pe.rec(obs.KindStateChange, -1, int64(stats.Working))
 	for !pe.terminated {
 		if pe.local.Len() > 0 {
 			pe.work()
@@ -177,20 +192,26 @@ func (pe *simMPIPE) handle(m simMsg) {
 			chunk := pe.local.TakeBottom(pe.r.cfg.Chunk)
 			pe.color = msg.Black
 			pe.t.Releases++
+			pe.rec(obs.KindStealGrant, int32(m.from), 1)
 			pe.send(m.from, msg.TagWork, []stack.Chunk{chunk}, 0)
 		} else {
+			pe.rec(obs.KindStealDeny, int32(m.from), 0)
 			pe.send(m.from, msg.TagNoWork, nil, 0)
 		}
 	case msg.TagWork:
 		pe.outstanding = false
 		pe.t.Steals++
 		pe.t.ChunksGot += int64(len(m.chunks))
+		total := 0
 		for _, c := range m.chunks {
+			total += len(c)
 			pe.local.PushAll(c)
 		}
+		pe.rec(obs.KindChunkTransfer, int32(m.from), int64(total))
 	case msg.TagNoWork:
 		pe.outstanding = false
 		pe.t.FailedSteals++
+		pe.rec(obs.KindStealFail, int32(m.from), 0)
 	case msg.TagToken:
 		pe.haveToken = true
 		pe.tokenColor = m.color
@@ -200,8 +221,8 @@ func (pe *simMPIPE) handle(m simMsg) {
 }
 
 func (pe *simMPIPE) idle() {
-	pe.state = stats.Searching
-	defer func() { pe.state = stats.Working }()
+	pe.setState(stats.Searching)
+	defer pe.setState(stats.Working)
 	for pe.local.Len() == 0 && !pe.terminated {
 		if m, ok := pe.recv(); ok {
 			pe.handle(m)
@@ -219,6 +240,7 @@ func (pe *simMPIPE) idle() {
 		if !pe.outstanding {
 			v := pe.rng.Victim(pe.me, len(pe.r.pes))
 			pe.t.Probes++
+			pe.rec(obs.KindStealRequest, int32(v), 0)
 			pe.send(v, msg.TagStealRequest, nil, 0)
 			pe.outstanding = true
 			continue

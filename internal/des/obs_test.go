@@ -1,0 +1,106 @@
+package des
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/stats"
+	"repro/internal/uts"
+)
+
+// TestTracingIsObservationOnly is the differential test for the event
+// tracer: the simulator is deterministic and recording adds no virtual
+// time, so a traced run must be bit-identical to an untraced one — same
+// makespan, same per-thread schedule, same counters — for every
+// algorithm.
+func TestTracingIsObservationOnly(t *testing.T) {
+	sp := &uts.BenchTiny
+	for _, alg := range core.Algorithms {
+		cfg := Config{Algorithm: alg, PEs: 8, Chunk: 4}
+		plain, err := Run(sp, cfg)
+		if err != nil {
+			t.Fatalf("%s untraced: %v", alg, err)
+		}
+		tr := obs.NewVirtual(8, 0)
+		cfg.Tracer = tr
+		traced, err := Run(sp, cfg)
+		if err != nil {
+			t.Fatalf("%s traced: %v", alg, err)
+		}
+		if plain.Elapsed != traced.Elapsed {
+			t.Errorf("%s: tracing changed the makespan: %v vs %v", alg, plain.Elapsed, traced.Elapsed)
+		}
+		if len(plain.Threads) != len(traced.Threads) {
+			t.Fatalf("%s: thread counts differ", alg)
+		}
+		for i := range plain.Threads {
+			a, b := &plain.Threads[i], &traced.Threads[i]
+			if a.Nodes != b.Nodes || a.Leaves != b.Leaves ||
+				a.Steals != b.Steals || a.ChunksGot != b.ChunksGot ||
+				a.Probes != b.Probes || a.FailedSteals != b.FailedSteals ||
+				a.Releases != b.Releases || a.Reacquires != b.Reacquires ||
+				a.Requests != b.Requests || a.TermBarrierEntries != b.TermBarrierEntries {
+				t.Errorf("%s PE %d: counters diverged under tracing:\nuntraced %+v\ntraced   %+v", alg, i, a, b)
+			}
+			if a.InState != b.InState {
+				t.Errorf("%s PE %d: state times diverged under tracing", alg, i)
+			}
+		}
+		if traced.Obs == nil {
+			t.Fatalf("%s: traced run has no histogram summary", alg)
+		}
+		if plain.Obs != nil {
+			t.Errorf("%s: untraced run grew a histogram summary", alg)
+		}
+
+		// Cross-check the tracer against the counters it shadows: every
+		// scheduler records exactly one chunk-transfer event per
+		// successful steal, and the untraced report must not carry the
+		// trace section.
+		steals := traced.Sum(func(th *stats.Thread) int64 { return th.Steals })
+		if got := traced.Obs.ChunkSize.Count(); got != steals {
+			t.Errorf("%s: %d chunk-transfer events for %d steals", alg, got, steals)
+		}
+		if strings.Contains(plain.Summary(), "steal-latency") {
+			t.Errorf("%s: untraced summary contains trace output", alg)
+		}
+		if steals > 0 && !strings.Contains(traced.Summary(), "steal-latency: p50=") {
+			t.Errorf("%s: traced summary lacks the steal-latency line:\n%s", alg, traced.Summary())
+		}
+	}
+}
+
+// TestTracedEventsWellFormed runs one stealing-heavy configuration and
+// checks the merged event stream invariants: nondecreasing virtual
+// timestamps, per-lane sequence numbers, and kinds within the taxonomy.
+func TestTracedEventsWellFormed(t *testing.T) {
+	tr := obs.NewVirtual(8, 0)
+	if _, err := Run(&uts.BenchTiny, Config{Algorithm: core.UPCDistMem, PEs: 8, Chunk: 4, Tracer: tr}); err != nil {
+		t.Fatal(err)
+	}
+	events := tr.Events()
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	lastSeq := map[int32]uint64{}
+	for i, e := range events {
+		if i > 0 && e.T() < events[i-1].T() {
+			t.Fatalf("event %d out of time order", i)
+		}
+		if e.Virt < 0 {
+			t.Fatalf("event %d has no virtual timestamp: %+v", i, e)
+		}
+		if e.PE < 0 || e.PE >= 8 {
+			t.Fatalf("event %d from unknown PE %d", i, e.PE)
+		}
+		if e.Kind.String() == "" || strings.HasPrefix(e.Kind.String(), "Kind(") {
+			t.Fatalf("event %d has unknown kind %d", i, e.Kind)
+		}
+		if last, ok := lastSeq[e.PE]; ok && e.Seq <= last {
+			t.Fatalf("PE %d sequence regressed at event %d", e.PE, i)
+		}
+		lastSeq[e.PE] = e.Seq
+	}
+}

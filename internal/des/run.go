@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pgas"
 	"repro/internal/stats"
 	"repro/internal/uts"
@@ -41,6 +42,11 @@ type Config struct {
 	NodeSize int
 	// Intra is the intra-node cost model used with NodeSize.
 	Intra *pgas.Model
+	// Tracer, when non-nil, records the steal-protocol event stream —
+	// one lane per PE, stamped with virtual time (build it with
+	// obs.NewVirtual(PEs, ringSize)). Recording costs no virtual time,
+	// so traced runs are bit-identical to untraced ones.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -229,5 +235,6 @@ func run(sp *uts.Spec, cfg Config, interval time.Duration) (*core.Result, *Trace
 		return nil, nil, err
 	}
 	res.Elapsed = makespan
+	res.Obs = cfg.Tracer.Summary()
 	return res, trace, nil
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stack"
 	"repro/internal/stats"
 	"repro/internal/uts"
@@ -50,6 +51,7 @@ type simSharedPE struct {
 	p     *Proc
 	me    int
 	t     *stats.Thread
+	lane  *obs.Lane // nil when the run is untraced
 	state stats.State
 
 	local     stack.Deque
@@ -66,7 +68,7 @@ func simShared(sim *Sim, sp *uts.Spec, cfg Config, cs costs, res *core.Result, m
 	r := &simSharedRun{sp: sp, cfg: cfg, cs: cs, mode: mode, finish: finish}
 	r.pes = make([]*simSharedPE, cfg.PEs)
 	for i := 0; i < cfg.PEs; i++ {
-		pe := &simSharedPE{r: r, me: i, t: &res.Threads[i], rng: core.NewProbeOrder(cfg.Seed, i), ex: uts.NewExpander(sp)}
+		pe := &simSharedPE{r: r, me: i, t: &res.Threads[i], lane: cfg.Tracer.Lane(i), rng: core.NewProbeOrder(cfg.Seed, i), ex: uts.NewExpander(sp)}
 		r.pes[i] = pe
 		if i == 0 {
 			pe.local.Push(uts.Root(sp))
@@ -96,6 +98,18 @@ func (pe *simSharedPE) advance(d time.Duration) {
 	pe.p.Advance(d)
 }
 
+// rec records an event stamped with the PE's current virtual time.
+func (pe *simSharedPE) rec(k obs.Kind, other int32, value int64) {
+	pe.lane.RecV(k, other, value, pe.p.Now())
+}
+
+// setState pairs the stats state charge target with the tracer's state
+// event.
+func (pe *simSharedPE) setState(s stats.State) {
+	pe.state = s
+	pe.rec(obs.KindStateChange, -1, int64(s))
+}
+
 // acquire/release wrap the virtual lock with affinity-dependent costs and
 // charge the queueing wait to the current state.
 func (pe *simSharedPE) acquire(l *Lock, cost time.Duration) {
@@ -111,22 +125,25 @@ func (pe *simSharedPE) release(l *Lock, cost time.Duration) {
 }
 
 func (pe *simSharedPE) main() {
+	pe.rec(obs.KindStateChange, -1, int64(stats.Working))
 	for {
 		pe.work()
 		if pe.r.mode.streamTerm {
 			pe.workAvail = -1
 		}
-		pe.state = stats.Searching
+		pe.setState(stats.Searching)
 		if pe.search() {
-			pe.state = stats.Working
+			pe.setState(stats.Working)
 			continue
 		}
-		pe.state = stats.Idle
+		pe.setState(stats.Idle)
 		pe.t.TermBarrierEntries++
+		pe.rec(obs.KindTermEnter, -1, 0)
 		if pe.terminate() {
 			return
 		}
-		pe.state = stats.Working
+		pe.rec(obs.KindTermExit, -1, 0)
+		pe.setState(stats.Working)
 	}
 }
 
@@ -183,6 +200,7 @@ func (pe *simSharedPE) releaseChunk(k int) {
 	pe.workAvail = pe.pool.Len()
 	pe.release(&pe.lock, cs.localRef)
 	pe.t.Releases++
+	pe.rec(obs.KindRelease, -1, int64(pe.workAvail))
 	if !pe.r.mode.streamTerm {
 		pe.cbCancelOp()
 	}
@@ -201,6 +219,7 @@ func (pe *simSharedPE) reacquire() bool {
 		return false
 	}
 	pe.t.Reacquires++
+	pe.rec(obs.KindReacquire, -1, int64(len(c)))
 	pe.local.PushAll(c)
 	return true
 }
@@ -216,9 +235,9 @@ func (pe *simSharedPE) search() bool {
 		for _, v := range pe.rng.Cycle(pe.me, n) {
 			wa := pe.probe(v)
 			if wa > 0 {
-				pe.state = stats.Stealing
+				pe.setState(stats.Stealing)
 				ok := pe.steal(v)
-				pe.state = stats.Searching
+				pe.setState(stats.Searching)
 				if ok {
 					return true
 				}
@@ -237,15 +256,19 @@ func (pe *simSharedPE) search() bool {
 }
 
 func (pe *simSharedPE) probe(v int) int {
+	pe.rec(obs.KindProbeStart, int32(v), 0)
 	pe.advance(pe.r.cs.remoteRef)
 	pe.t.Probes++
-	return pe.r.pes[v].workAvail
+	wa := pe.r.pes[v].workAvail
+	pe.rec(obs.KindProbeResult, int32(v), int64(wa))
+	return wa
 }
 
 func (pe *simSharedPE) steal(v int) bool {
 	r := pe.r
 	cs := &r.cs
 	vs := r.pes[v]
+	pe.rec(obs.KindStealRequest, int32(v), 0)
 	pe.acquire(&vs.lock, cs.lockRTT)
 	// The reservation manipulates the victim's stack pointers remotely
 	// while holding the lock — this is the hold period during which the
@@ -263,6 +286,7 @@ func (pe *simSharedPE) steal(v int) bool {
 	pe.release(&vs.lock, cs.lockRTT)
 	if len(chunks) == 0 {
 		pe.t.FailedSteals++
+		pe.rec(obs.KindStealFail, int32(v), 0)
 		return false
 	}
 
@@ -273,6 +297,7 @@ func (pe *simSharedPE) steal(v int) bool {
 	pe.advance(cs.bulk(total * nodeBytes))
 	pe.t.Steals++
 	pe.t.ChunksGot += int64(len(chunks))
+	pe.rec(obs.KindChunkTransfer, int32(v), int64(total))
 
 	pe.local.PushAll(chunks[0])
 	if len(chunks) > 1 {
@@ -384,9 +409,9 @@ func (pe *simSharedPE) terminate() bool {
 			}
 			pe.advance(r.cs.remoteRef) // leave the barrier
 			r.sbCount--
-			pe.state = stats.Stealing
+			pe.setState(stats.Stealing)
 			ok := pe.steal(v)
-			pe.state = stats.Idle
+			pe.setState(stats.Idle)
 			if ok {
 				return false
 			}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stack"
 	"repro/internal/stats"
 	"repro/internal/uts"
@@ -22,7 +23,7 @@ func simStatic(sim *Sim, sp *uts.Spec, cfg Config, cs costs, res *core.Result, f
 
 	pes := make([]*simStaticPE, cfg.PEs)
 	for i := 0; i < cfg.PEs; i++ {
-		pe := &simStaticPE{sp: sp, cs: cs, me: i, t: &res.Threads[i], batch: cfg.Batch, ex: uts.NewExpander(sp)}
+		pe := &simStaticPE{sp: sp, cs: cs, me: i, t: &res.Threads[i], lane: cfg.Tracer.Lane(i), batch: cfg.Batch, ex: uts.NewExpander(sp)}
 		pes[i] = pe
 		if i == 0 {
 			pe.extraRoot = &root
@@ -52,6 +53,7 @@ type simStaticPE struct {
 	p         *Proc
 	me        int
 	t         *stats.Thread
+	lane      *obs.Lane // nil when the run is untraced
 	batch     int
 	local     stack.Deque
 	extraRoot *uts.Node
@@ -59,6 +61,7 @@ type simStaticPE struct {
 }
 
 func (pe *simStaticPE) run() {
+	pe.lane.RecV(obs.KindStateChange, -1, int64(stats.Working), pe.p.Now())
 	if pe.extraRoot != nil {
 		pe.t.Nodes++
 		if pe.extraRoot.NumKids == 0 {
@@ -89,4 +92,5 @@ func (pe *simStaticPE) run() {
 		pe.t.AddState(stats.Working, time.Duration(pending)*pe.cs.nodeCost)
 		pe.p.Advance(time.Duration(pending) * pe.cs.nodeCost)
 	}
+	pe.lane.RecV(obs.KindStateChange, -1, int64(stats.Idle), pe.p.Now())
 }

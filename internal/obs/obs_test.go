@@ -1,0 +1,339 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestKindNamesComplete(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	const ringSize, total = 8, 20
+	tr := NewVirtual(1, ringSize)
+	l := tr.Lane(0)
+	for i := 0; i < total; i++ {
+		l.RecV(KindTermEnter, int32(i), int64(i), time.Duration(i))
+	}
+	if got := l.Recorded(); got != total {
+		t.Fatalf("Recorded() = %d, want %d", got, total)
+	}
+	evs := l.Snapshot(nil)
+	if len(evs) != ringSize {
+		t.Fatalf("snapshot retained %d events, want %d", len(evs), ringSize)
+	}
+	for i, e := range evs {
+		wantSeq := uint64(total - ringSize + i)
+		if e.Seq != wantSeq {
+			t.Errorf("event %d: Seq = %d, want %d", i, e.Seq, wantSeq)
+		}
+		if e.Value != int64(wantSeq) || e.Other != int32(wantSeq) || e.Virt != int64(wantSeq) {
+			t.Errorf("event %d: payload %+v does not match seq %d", i, e, wantSeq)
+		}
+		if e.PE != 0 || e.Kind != KindTermEnter {
+			t.Errorf("event %d: wrong identity %+v", i, e)
+		}
+	}
+	sum := tr.Summary()
+	if sum.Events != total || sum.Dropped != total-ringSize {
+		t.Errorf("summary events=%d dropped=%d, want %d and %d",
+			sum.Events, sum.Dropped, total, total-ringSize)
+	}
+}
+
+// TestSnapshotConcurrent exercises the seqlock under the race detector: a
+// reader snapshots continuously while the owner records, and every event
+// that comes back must be internally consistent (Other, Value, and Virt
+// all carry the sequence number, so a torn slot would disagree).
+func TestSnapshotConcurrent(t *testing.T) {
+	const total = 50000
+	tr := NewVirtual(1, 64)
+	l := tr.Lane(0)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var buf []Event
+		for {
+			buf = l.Snapshot(buf[:0])
+			var lastSeq int64 = -1
+			for _, e := range buf {
+				if e.Value != int64(e.Other) || e.Virt != e.Value {
+					t.Errorf("torn event escaped the seqlock: %+v", e)
+					return
+				}
+				if int64(e.Seq) <= lastSeq {
+					t.Errorf("snapshot out of order at seq %d", e.Seq)
+					return
+				}
+				lastSeq = int64(e.Seq)
+			}
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+	for i := 0; i < total; i++ {
+		l.RecV(KindTermEnter, int32(i%math.MaxInt32), int64(i%math.MaxInt32), time.Duration(i%math.MaxInt32))
+	}
+	close(done)
+	wg.Wait()
+	if got := l.Recorded(); got != total {
+		t.Fatalf("Recorded() = %d, want %d", got, total)
+	}
+}
+
+func TestHistogramExactBelow16(t *testing.T) {
+	var h Histogram
+	for v := int64(0); v < 16; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 16 || h.Sum() != 120 || h.Min() != 0 || h.Max() != 15 {
+		t.Fatalf("count=%d sum=%d min=%d max=%d", h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+	// With 16 uniform values, the rank-⌈q·16⌉ observation is exact.
+	if got := h.Quantile(0.5); got != 8 {
+		t.Errorf("p50 = %d, want 8", got)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("p0 = %d, want 0", got)
+	}
+	if got := h.Quantile(1); got != 15 {
+		t.Errorf("p100 = %d, want 15", got)
+	}
+}
+
+func TestHistogramQuantileErrorBound(t *testing.T) {
+	// Sandwich each value between a smaller and a larger one so the
+	// [min, max] clamp cannot make the estimate exact; the log buckets
+	// then bound the error at one sub-bucket width (1/8 of the value).
+	for _, v := range []int64{17, 100, 1000, 12345, 1 << 20, 1<<40 + 12345} {
+		var h Histogram
+		h.Observe(0)
+		h.Observe(v)
+		h.Observe(2 * v)
+		q := h.Quantile(0.5)
+		if q > v || v-q > v/8 {
+			t.Errorf("value %d: p50 estimate %d outside the sub-bucket bound", v, q)
+		}
+	}
+}
+
+func TestHistogramNegativeClamps(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	if h.Count() != 1 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("negative observation not clamped: %+v", h)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for v := int64(0); v < 10; v++ {
+		a.Observe(v)
+	}
+	for v := int64(100); v < 110; v++ {
+		b.Observe(v)
+	}
+	a.Merge(&b)
+	if a.Count() != 20 || a.Min() != 0 || a.Max() != 109 {
+		t.Fatalf("merged count=%d min=%d max=%d", a.Count(), a.Min(), a.Max())
+	}
+	if got := a.Quantile(0.99); got < 100 {
+		t.Errorf("p99 after merge = %d, want >= 100", got)
+	}
+	var empty Histogram
+	a.Merge(&empty) // must not disturb min/max
+	if a.Min() != 0 || a.Max() != 109 {
+		t.Errorf("merge with empty changed extremes: min=%d max=%d", a.Min(), a.Max())
+	}
+	if empty.Summarize(fmtCount) != "(no samples)" {
+		t.Errorf("empty Summarize = %q", empty.Summarize(fmtCount))
+	}
+}
+
+func TestBucketRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, 15, 16, 17, 255, 256, 1 << 30, 1 << 62} {
+		b := bucketOf(v)
+		lo := bucketLow(b)
+		if lo > v {
+			t.Errorf("bucketLow(%d) = %d > value %d", b, lo, v)
+		}
+		if bucketOf(lo) != b {
+			t.Errorf("bucketOf(bucketLow(%d)) = %d, want %d", b, bucketOf(lo), b)
+		}
+	}
+}
+
+// TestLanePairing drives the steal-protocol state machine on one lane and
+// checks the derived histograms.
+func TestLanePairing(t *testing.T) {
+	tr := NewVirtual(1, 0)
+	l := tr.Lane(0)
+	us := func(n int64) time.Duration { return time.Duration(n) * time.Microsecond }
+
+	l.RecV(KindStateChange, -1, 0, us(0))     // working
+	l.RecV(KindStateChange, -1, 1, us(100))   // searching after 100µs working
+	l.RecV(KindProbeResult, 1, 0, us(110))    // empty probe
+	l.RecV(KindProbeResult, 2, 3, us(120))    // found work
+	l.RecV(KindStealRequest, 2, 0, us(130))   // steal begins
+	l.RecV(KindStealFail, 2, 0, us(150))      // ...and loses the race: 20µs
+	l.RecV(KindProbeResult, 3, 1, us(160))    // probe again
+	l.RecV(KindStealRequest, 3, 0, us(170))   // second attempt
+	l.RecV(KindChunkTransfer, 3, 16, us(230)) // lands 16 nodes: 60µs
+	l.RecV(KindStateChange, -1, 0, us(240))   // back to working
+
+	s := tr.Summary()
+	if !s.Virtual {
+		t.Error("summary should be virtual")
+	}
+	if n := s.StealLatency.Count(); n != 2 {
+		t.Fatalf("steal-latency samples = %d, want 2 (one fail, one success)", n)
+	}
+	if min, max := s.StealLatency.Min(), s.StealLatency.Max(); min != int64(20*time.Microsecond) || max != int64(60*time.Microsecond) {
+		t.Errorf("steal-latency range [%d, %d], want [20µs, 60µs]", min, max)
+	}
+	if n := s.ChunkSize.Count(); n != 1 || s.ChunkSize.Max() != 16 {
+		t.Errorf("chunk-size n=%d max=%d, want 1 and 16", n, s.ChunkSize.Max())
+	}
+	// Three probes between losing work and landing the steal.
+	if n := s.ProbeDistance.Count(); n != 1 || s.ProbeDistance.Max() != 3 {
+		t.Errorf("probe-distance n=%d max=%d, want 1 and 3", n, s.ProbeDistance.Max())
+	}
+	// The initial state-change closes a zero-length working dwell; the
+	// switch to searching closes the real 100µs one.
+	if n := s.Dwell[0].Count(); n != 2 || s.Dwell[0].Max() != int64(100*time.Microsecond) {
+		t.Errorf("working dwell n=%d max=%d", n, s.Dwell[0].Max())
+	}
+	if s.Dwell[3].Count() != 0 {
+		t.Errorf("idle dwell should be empty, got %d", s.Dwell[3].Count())
+	}
+	out := s.String()
+	for _, want := range []string{"steal-latency: p50=", "p95=", "p99=", "virtual clock", "chunk-size(nodes)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary %q missing %q", out, want)
+		}
+	}
+}
+
+func TestEventsMergedOrder(t *testing.T) {
+	tr := NewVirtual(3, 0)
+	tr.Lane(2).RecV(KindTermEnter, -1, 0, 300)
+	tr.Lane(0).RecV(KindTermEnter, -1, 0, 100)
+	tr.Lane(1).RecV(KindTermEnter, -1, 0, 100) // tie with lane 0: PE breaks it
+	tr.Lane(0).RecV(KindTermExit, -1, 0, 200)
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	wantPE := []int32{0, 1, 0, 2}
+	for i, e := range evs {
+		if e.PE != wantPE[i] {
+			t.Errorf("position %d: PE %d, want %d", i, e.PE, wantPE[i])
+		}
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].T() < evs[i-1].T() {
+			t.Errorf("events out of time order at %d", i)
+		}
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.PEs() != 0 || tr.Virtual() || tr.Summary() != nil || tr.Events() != nil {
+		t.Error("nil tracer accessors should be zero-valued")
+	}
+	l := tr.Lane(0)
+	if l != nil {
+		t.Fatal("nil tracer must hand out nil lanes")
+	}
+	// None of these may panic.
+	l.Rec(KindStealRequest, 1, 0)
+	l.RecV(KindChunkTransfer, 1, 16, time.Microsecond)
+	if l.Snapshot(nil) != nil || l.Recorded() != 0 {
+		t.Error("nil lane should be empty")
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr); err != nil {
+		t.Fatalf("WriteChromeTrace(nil): %v", err)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil-tracer trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	buf.Reset()
+	if err := WriteTimeline(&buf, tr); err != nil {
+		t.Fatalf("WriteTimeline(nil): %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil-tracer timeline should be empty, got %q", buf.String())
+	}
+	// Out-of-range lanes are nil too.
+	real := New(2, 16)
+	if real.Lane(-1) != nil || real.Lane(2) != nil {
+		t.Error("out-of-range Lane must be nil")
+	}
+	if real.Lane(1) == nil {
+		t.Error("in-range Lane must not be nil")
+	}
+}
+
+func TestTimelineFormat(t *testing.T) {
+	tr := NewVirtual(2, 0)
+	tr.Lane(1).RecV(KindStealRequest, 0, 0, 1500)
+	tr.Lane(0).RecV(KindStealGrant, 1, 4, 2500)
+	var buf bytes.Buffer
+	if err := WriteTimeline(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], "PE   1") || !strings.Contains(lines[0], "steal-request → PE 0") {
+		t.Errorf("line 0 = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "PE   0") || !strings.Contains(lines[1], "steal-grant → PE 1 chunks=4") {
+		t.Errorf("line 1 = %q", lines[1])
+	}
+}
+
+func TestWallClockRecording(t *testing.T) {
+	tr := New(1, 0)
+	l := tr.Lane(0)
+	l.Rec(KindStealRequest, -1, 0)
+	time.Sleep(time.Millisecond)
+	l.Rec(KindChunkTransfer, -1, 8)
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	for _, e := range evs {
+		if e.Virt != -1 {
+			t.Errorf("real-time event has virtual timestamp %d", e.Virt)
+		}
+		if e.T() != e.Wall {
+			t.Errorf("T() should fall back to wall time")
+		}
+	}
+	if evs[1].Wall <= evs[0].Wall {
+		t.Errorf("wall clock did not advance: %d then %d", evs[0].Wall, evs[1].Wall)
+	}
+	if n := tr.Summary().StealLatency.Count(); n != 1 {
+		t.Errorf("steal-latency samples = %d, want 1", n)
+	}
+}

@@ -1,0 +1,85 @@
+package obs
+
+import "sync/atomic"
+
+// ring is a single-writer, many-reader event ring. The writer (the
+// owning PE) never blocks, never allocates, and takes no locks; readers
+// may snapshot at any time, including while the writer is recording.
+//
+// Each slot is slotWords uint64 words, all accessed atomically. Word 0
+// is a seqlock stamp: the writer invalidates it (stores 0) before
+// touching the payload words and publishes seq+1 after, so a reader that
+// sees the same non-zero stamp before and after copying the payload has
+// a consistent event, and a reader that raced an overwrite sees the
+// stamp change (or the 0 marker) and drops the slot. This is what keeps
+// concurrent snapshots race-detector-clean without a lock on the record
+// path: every shared word is an atomic access, and torn payloads are
+// detected rather than returned.
+type ring struct {
+	buf  []uint64
+	size uint64
+	// pos is the next sequence number to write — equivalently, the
+	// number of events ever recorded.
+	pos atomic.Uint64
+}
+
+// slot layout: [stamp, kind|pe, other, value, wall, virt]
+const slotWords = 6
+
+func (r *ring) init(size int) {
+	r.size = uint64(size)
+	r.buf = make([]uint64, uint64(size)*slotWords)
+}
+
+// record appends one event. Owner-only.
+func (r *ring) record(k Kind, pe, other int32, value, wall, virt int64) {
+	seq := r.pos.Load() // single writer: no contention on the load
+	i := (seq % r.size) * slotWords
+	b := r.buf
+	atomic.StoreUint64(&b[i], 0) // invalidate for concurrent readers
+	atomic.StoreUint64(&b[i+1], uint64(k)|uint64(uint32(pe))<<32)
+	atomic.StoreUint64(&b[i+2], uint64(int64(other)))
+	atomic.StoreUint64(&b[i+3], uint64(value))
+	atomic.StoreUint64(&b[i+4], uint64(wall))
+	atomic.StoreUint64(&b[i+5], uint64(virt))
+	atomic.StoreUint64(&b[i], seq+1) // publish
+	r.pos.Store(seq + 1)
+}
+
+// snapshot appends the retained events, oldest first, to dst. Safe from
+// any goroutine; slots overwritten mid-read are skipped.
+func (r *ring) snapshot(dst []Event) []Event {
+	if r.size == 0 {
+		return dst
+	}
+	hi := r.pos.Load()
+	lo := uint64(0)
+	if hi > r.size {
+		lo = hi - r.size
+	}
+	b := r.buf
+	for s := lo; s < hi; s++ {
+		i := (s % r.size) * slotWords
+		if atomic.LoadUint64(&b[i]) != s+1 {
+			continue // not yet published, or already overwritten
+		}
+		kp := atomic.LoadUint64(&b[i+1])
+		other := int64(atomic.LoadUint64(&b[i+2]))
+		value := int64(atomic.LoadUint64(&b[i+3]))
+		wall := int64(atomic.LoadUint64(&b[i+4]))
+		virt := int64(atomic.LoadUint64(&b[i+5]))
+		if atomic.LoadUint64(&b[i]) != s+1 {
+			continue // overwritten while copying: payload may be torn
+		}
+		dst = append(dst, Event{
+			Seq:   s,
+			Kind:  Kind(kp & 0xff),
+			PE:    int32(kp >> 32),
+			Other: int32(other),
+			Value: value,
+			Wall:  wall,
+			Virt:  virt,
+		})
+	}
+	return dst
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Summary is the run-wide histogram aggregation: every lane's owner-only
+// histograms merged after (or during) a run. It is the piece of the
+// tracer that internal/stats folds into its reports — rings wrap, so the
+// timeline may be partial, but the Summary always covers every protocol
+// operation of the run.
+type Summary struct {
+	// Virtual reports whether durations are virtual (DES) ns rather
+	// than wall ns.
+	Virtual bool
+	// PEs is the lane count.
+	PEs int
+	// Events is the total number of events recorded across lanes;
+	// Dropped is how many of those the rings have already overwritten.
+	Events  int64
+	Dropped int64
+
+	// The merged histograms; see Hists for the semantics of each.
+	StealLatency  Histogram
+	ProbeDistance Histogram
+	ChunkSize     Histogram
+	Dwell         [NumStates]Histogram
+}
+
+// Summary merges every lane's histograms. It is meant to be called after
+// the run (the histograms are owner-only during it); calling it mid-run
+// from a PE's own goroutine is safe but sees only completed operations.
+// Nil-safe: a nil tracer summarizes to nil.
+func (t *Tracer) Summary() *Summary {
+	if t == nil {
+		return nil
+	}
+	s := &Summary{Virtual: t.virtual, PEs: len(t.lanes)}
+	for i := range t.lanes {
+		l := &t.lanes[i]
+		n := int64(l.ring.pos.Load())
+		s.Events += n
+		if over := n - int64(l.ring.size); over > 0 {
+			s.Dropped += over
+		}
+		s.StealLatency.Merge(&l.hists.StealLatency)
+		s.ProbeDistance.Merge(&l.hists.ProbeDistance)
+		s.ChunkSize.Merge(&l.hists.ChunkSize)
+		for st := range s.Dwell {
+			s.Dwell[st].Merge(&l.hists.Dwell[st])
+		}
+	}
+	return s
+}
+
+// fmtDur renders a ns value as a rounded duration.
+func fmtDur(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	default:
+		return d.Round(time.Nanosecond).String()
+	}
+}
+
+// fmtCount renders a plain count value.
+func fmtCount(v int64) string { return fmt.Sprint(v) }
+
+// String renders the multi-line histogram report appended to the
+// internal/stats run summary:
+//
+//	steal-latency: p50=… p95=… p99=… max=… (n=…)
+//	chunk-size(nodes): … ; probe-distance(probes): …
+//	dwell working: … | searching: … | stealing: … | idle: …
+func (s *Summary) String() string {
+	if s == nil {
+		return ""
+	}
+	clock := "wall"
+	if s.Virtual {
+		clock = "virtual"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d events (%d dropped), %s clock\n", s.Events, s.Dropped, clock)
+	fmt.Fprintf(&b, "steal-latency: %s\n", s.StealLatency.Summarize(fmtDur))
+	fmt.Fprintf(&b, "chunk-size(nodes): %s; probe-distance(probes): %s\n",
+		s.ChunkSize.Summarize(fmtCount), s.ProbeDistance.Summarize(fmtCount))
+	b.WriteString("dwell")
+	for st := 0; st < NumStates; st++ {
+		if st > 0 {
+			b.WriteString(" |")
+		}
+		fmt.Fprintf(&b, " %s: %s", StateName(int64(st)), s.Dwell[st].Summarize(fmtDur))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

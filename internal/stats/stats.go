@@ -12,6 +12,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // State enumerates the Figure-1 thread states.
@@ -120,6 +122,12 @@ type Run struct {
 	// SeqRate is the sequential baseline in nodes/second used for speedup
 	// and efficiency; zero means "unknown".
 	SeqRate float64
+
+	// Obs holds the merged event-tracer histograms (steal latency,
+	// chunk size, probe distance, per-state dwell) when the run was
+	// traced; nil otherwise. Summary folds it into the report, so
+	// untraced output is byte-identical to pre-tracer releases.
+	Obs *obs.Summary
 }
 
 // Nodes returns the total nodes explored across threads.
@@ -268,6 +276,9 @@ func (r *Run) Summary() string {
 		fmt.Fprintln(&b)
 	}
 	fmt.Fprintf(&b, "imbalance(max/mean nodes)=%.2f\n", r.Imbalance())
+	if r.Obs != nil {
+		b.WriteString(r.Obs.String())
+	}
 	return b.String()
 }
 
