@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race short bench bench-smoke bench-obs experiments experiments-full clean
+.PHONY: all build test race short bench bench-smoke bench-obs bench-des experiments experiments-full clean
 
 all: build test
 
@@ -33,6 +33,10 @@ bench-smoke:
 # pre-tracer numbers in results/BENCH_PR1.json; BenchmarkTracerEnabled
 # and BenchmarkLaneRec show the full recording cost (~hundreds of ns per
 # protocol event, zero allocations).
+# DES engine microbenches: batched vs legacy on identical event sequences.
+bench-des:
+	$(GO) test -run '^$$' -bench 'SimEngine|SimSteal' -benchtime=2s .
+
 bench-obs:
 	$(GO) test -run '^$$' -bench 'Tracer|LaneRec|SequentialSearch' -benchtime=2s .
 

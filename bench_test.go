@@ -8,6 +8,7 @@ package repro
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -164,6 +165,97 @@ func BenchmarkSimRun(b *testing.B) {
 				eff = res.Efficiency()
 			}
 			b.ReportMetric(100*eff, "virt-eff-%")
+		})
+	}
+}
+
+// BenchmarkSimEngine compares the batched DES engine against the retained
+// legacy reference on the same mid-scale configuration. Both engines
+// execute identical event sequences (the differential suite proves it),
+// so the events/s metric isolates pure engine overhead: heap handling,
+// goroutine handoffs, and allocation.
+func BenchmarkSimEngine(b *testing.B) {
+	for _, engine := range []string{des.EngineBatched, des.EngineLegacy} {
+		b.Run(engine, func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				_, info, err := des.RunInfo(&uts.T3Small, des.Config{
+					Algorithm: core.UPCDistMem, PEs: 64, Chunk: 8,
+					Model: &pgas.KittyHawk, Engine: engine,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += info.Events
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
+// BenchmarkSimSteal stresses the steal path: chunk 1 under rapid diffusion
+// makes nearly every explored node a protocol interaction, so interrupt
+// delivery and the lock waiter ring dominate instead of batched work.
+func BenchmarkSimSteal(b *testing.B) {
+	for _, engine := range []string{des.EngineBatched, des.EngineLegacy} {
+		b.Run(engine, func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			var steals int64
+			for i := 0; i < b.N; i++ {
+				res, info, err := des.RunInfo(&uts.BenchTiny, des.Config{
+					Algorithm: core.UPCTermRapdif, PEs: 16, Chunk: 1,
+					Model: &pgas.KittyHawk, Engine: engine,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += info.Events
+				for _, t := range res.Threads {
+					steals += t.Steals
+				}
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+			b.ReportMetric(float64(steals)/float64(b.N), "steals/run")
+		})
+	}
+}
+
+// BenchmarkSimDispatch is the pure engine microbenchmark: 64 PEs burn
+// interleaved 1-4ns stepped quanta with no tree or protocol work, so
+// every cost is dispatch itself — heap exchange, quantum accounting, and
+// (for the legacy engine) one goroutine round trip per event. This is
+// the number the batched rewrite targets; BenchmarkSimEngine shows the
+// same ratio diluted by the simulation's real node-expansion work.
+func BenchmarkSimDispatch(b *testing.B) {
+	for _, engine := range []string{des.EngineBatched, des.EngineLegacy} {
+		b.Run(engine, func(b *testing.B) {
+			b.ReportAllocs()
+			const pes = 64
+			quanta := b.N/pes + 1
+			var sim *des.Sim
+			if engine == des.EngineLegacy {
+				sim = des.NewLegacy()
+			} else {
+				sim = des.New()
+			}
+			for i := 0; i < pes; i++ {
+				sim.Spawn(func(p *des.Proc) {
+					n := 0
+					p.AdvanceStepped(func() (time.Duration, uint8) {
+						if n >= quanta {
+							return 0, des.StepDone
+						}
+						n++
+						return time.Duration(1 + (n & 3)), 0
+					})
+				})
+			}
+			if err := sim.Run(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(sim.Events())/b.Elapsed().Seconds(), "events/s")
 		})
 	}
 }

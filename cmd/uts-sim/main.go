@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/des"
@@ -23,7 +24,7 @@ import (
 func main() {
 	tree := flag.String("tree", "bench-medium", "named sample tree")
 	alg := flag.String("alg", string(core.UPCDistMem), "algorithm: "+algList())
-	pes := flag.Int("pes", 64, "simulated processing elements")
+	pes := flag.Int("pes", 64, "simulated processing elements (1..65536)")
 	chunk := flag.Int("chunk", 16, "steal granularity k (nodes)")
 	profile := flag.String("profile", "kittyhawk", "machine profile: sharedmem, altix, kittyhawk, topsail")
 	poll := flag.Int("poll", 8, "mpi-ws polling interval (nodes)")
@@ -33,11 +34,21 @@ func main() {
 	timeline := flag.Bool("timeline", false, "print the merged steal-protocol event timeline")
 	hist := flag.Bool("hist", false, "record protocol events and fold latency histograms into the summary")
 	ring := flag.Int("ring", 0, "per-PE trace ring capacity in events (0 = default)")
+	engine := flag.String("engine", des.EngineBatched, "simulation engine: batched, legacy")
+	progress := flag.Duration("progress", 0, "emit a wall-clock heartbeat to stderr every interval (e.g. 10s; 0 = off)")
 	flag.Parse()
 
 	sp := uts.ByName(*tree)
 	if sp == nil {
 		fmt.Fprintf(os.Stderr, "unknown tree %q\n", *tree)
+		os.Exit(2)
+	}
+	if !validAlg(*alg) {
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q (valid: %s)\n", *alg, algList())
+		os.Exit(2)
+	}
+	if *pes < 1 || *pes > maxPEs {
+		fmt.Fprintf(os.Stderr, "-pes %d out of range [1, %d]\n", *pes, maxPEs)
 		os.Exit(2)
 	}
 	model, ok := pgas.Profiles[*profile]
@@ -52,18 +63,29 @@ func main() {
 		Model:        model,
 		PollInterval: *poll,
 		Seed:         *seed,
+		Engine:       *engine,
 	}
 	var tracer *obs.Tracer
 	if *traceOut != "" || *timeline || *hist {
 		tracer = obs.NewVirtual(*pes, *ring)
 		cfg.Tracer = tracer
 	}
-	res, err := des.Run(sp, cfg)
+	var stopBeat chan struct{}
+	if *progress > 0 {
+		stopBeat = heartbeat(*progress)
+	}
+	start := time.Now()
+	res, info, err := des.RunInfo(sp, cfg)
+	wall := time.Since(start)
+	if stopBeat != nil {
+		close(stopBeat)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("tree=%s alg=%s pes=%d chunk=%d profile=%s\n", sp.Name, *alg, *pes, *chunk, *profile)
+	fmt.Printf("tree=%s alg=%s pes=%d chunk=%d profile=%s engine=%s events=%d wall=%v\n",
+		sp.Name, *alg, *pes, *chunk, *profile, info.Engine, info.Events, wall.Round(time.Millisecond))
 	fmt.Print(res.Summary())
 	if *verbose {
 		fmt.Print(res.PerThreadTable())
@@ -83,9 +105,50 @@ func main() {
 	}
 }
 
+// maxPEs bounds -pes: above this, memory for per-PE state (goroutine
+// stacks, counters, trace lanes) exceeds what a single host handles.
+const maxPEs = 65536
+
+func validAlg(name string) bool {
+	for _, a := range simulatable() {
+		if string(a) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// simulatable lists every algorithm the simulator accepts: the paper's
+// five plus the post-paper extensions. Sequential is excluded (simulate
+// it as 1 PE of any algorithm).
+func simulatable() []core.Algorithm {
+	return append(append([]core.Algorithm{}, core.Algorithms...), core.Extensions...)
+}
+
+// heartbeat prints elapsed wall time to stderr every interval until the
+// returned channel is closed, so long sweeps show liveness.
+func heartbeat(interval time.Duration) chan struct{} {
+	stop := make(chan struct{})
+	start := time.Now()
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				fmt.Fprintf(os.Stderr, "... %v elapsed\n", time.Since(start).Round(time.Second))
+			}
+		}
+	}()
+	return stop
+}
+
 func algList() string {
-	names := make([]string, len(core.Algorithms))
-	for i, a := range core.Algorithms {
+	algs := simulatable()
+	names := make([]string, len(algs))
+	for i, a := range algs {
 		names[i] = string(a)
 	}
 	return strings.Join(names, ", ")

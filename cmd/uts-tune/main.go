@@ -24,6 +24,7 @@ func main() {
 	alg := flag.String("alg", string(core.UPCDistMem), "algorithm to tune")
 	pes := flag.Int("pes", 64, "simulated processing elements")
 	profile := flag.String("profile", "kittyhawk", "machine profile")
+	engine := flag.String("engine", des.EngineBatched, "simulation engine: batched, legacy")
 	flag.Parse()
 
 	sp := uts.ByName(*tree)
@@ -38,7 +39,7 @@ func main() {
 	}
 
 	best, results, err := des.TuneChunk(sp, des.Config{
-		Algorithm: core.Algorithm(*alg), PEs: *pes, Model: model,
+		Algorithm: core.Algorithm(*alg), PEs: *pes, Model: model, Engine: *engine,
 	}, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

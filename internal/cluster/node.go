@@ -102,6 +102,17 @@ type node struct {
 	collected []stats.Thread
 	statsWG   sync.WaitGroup
 
+	// Free lists recycling the kindGetChunks hot path: node buffers (the
+	// k-node chunks released by the worker) and the []Chunk response
+	// buffers that carry them through the handoff table. The worker draws
+	// from these on release/steal service; the progress engine returns
+	// both once a served response is encoded. Plain slices under a mutex
+	// rather than sync.Pool: putting a slice header into an interface
+	// would itself allocate, defeating the zero-steady-state goal.
+	freeMu     sync.Mutex
+	freeChunks []stack.Chunk
+	freeBufs   [][]stack.Chunk
+
 	// Outgoing connections, one per peer, created lazily. Each carries
 	// only this rank's requests, in lockstep, so a plain mutex per peer
 	// suffices.
@@ -300,61 +311,81 @@ func (n *node) serve() {
 }
 
 // serveConn is the progress engine: it services one-sided operations on
-// this process's shared words without involving the worker thread.
+// this process's shared words without involving the worker thread. The
+// request and reply structs live for the whole connection — reset, never
+// reallocated — and served chunk buffers return to the node's free lists
+// once encoded, so the steady-state request loop allocates nothing.
 func (n *node) serveConn(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder) {
 	defer conn.Close()
+	var req request
+	var resp response
 	for {
-		var req request
+		req.reset()
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
-		var resp response
-		switch req.Kind {
-		case kindGetAvail:
-			resp.Avail = n.workAvail.Load()
-		case kindCASRequest:
-			resp.OK = n.reqWord.CompareAndSwap(-1, req.Thief)
-		case kindPutResponse:
-			n.respAmount = req.Amount
-			n.respHandle = req.Handle
-			n.respFrom = req.From
-			n.respReady.Store(true)
-		case kindGetChunks:
-			n.handoffMu.Lock()
-			resp.Chunk = n.handoff[req.Handle]
-			delete(n.handoff, req.Handle)
-			n.handoffMu.Unlock()
-		case kindBarrierEnter:
-			n.barMu.Lock()
-			n.barCount++
-			if n.barCount == n.cfg.Ranks {
-				n.announced.Store(true)
-				resp.Last = true
-			}
-			n.barMu.Unlock()
-		case kindBarrierLeave:
-			n.barMu.Lock()
-			if !n.announced.Load() {
-				n.barCount--
-				resp.OK = true
-			}
-			n.barMu.Unlock()
-		case kindBarrierDone:
-			resp.Done = n.announced.Load()
-		case kindStats:
-			if req.Stats != nil {
-				n.statsMu.Lock()
-				n.collected = append(n.collected, *req.Stats)
-				n.statsMu.Unlock()
-				n.statsWG.Done()
-			}
-		default:
+		resp.reset()
+		recycle, ok := n.handleRequest(&req, &resp)
+		if !ok {
 			return // protocol error: drop the connection
 		}
 		if err := enc.Encode(&resp); err != nil {
 			return
 		}
+		if recycle != nil {
+			n.recycle(recycle)
+		}
 	}
+}
+
+// handleRequest services one progress-engine request, writing the reply
+// into resp. It returns the chunk buffer to recycle once resp has been
+// encoded (kindGetChunks only) and whether the connection should stay open.
+func (n *node) handleRequest(req *request, resp *response) (recycle []stack.Chunk, ok bool) {
+	switch req.Kind {
+	case kindGetAvail:
+		resp.Avail = n.workAvail.Load()
+	case kindCASRequest:
+		resp.OK = n.reqWord.CompareAndSwap(-1, req.Thief)
+	case kindPutResponse:
+		n.respAmount = req.Amount
+		n.respHandle = req.Handle
+		n.respFrom = req.From
+		n.respReady.Store(true)
+	case kindGetChunks:
+		n.handoffMu.Lock()
+		resp.Chunk = n.handoff[req.Handle]
+		delete(n.handoff, req.Handle)
+		n.handoffMu.Unlock()
+		recycle = resp.Chunk
+	case kindBarrierEnter:
+		n.barMu.Lock()
+		n.barCount++
+		if n.barCount == n.cfg.Ranks {
+			n.announced.Store(true)
+			resp.Last = true
+		}
+		n.barMu.Unlock()
+	case kindBarrierLeave:
+		n.barMu.Lock()
+		if !n.announced.Load() {
+			n.barCount--
+			resp.OK = true
+		}
+		n.barMu.Unlock()
+	case kindBarrierDone:
+		resp.Done = n.announced.Load()
+	case kindStats:
+		if req.Stats != nil {
+			n.statsMu.Lock()
+			n.collected = append(n.collected, *req.Stats)
+			n.statsMu.Unlock()
+			n.statsWG.Done()
+		}
+	default:
+		return nil, false
+	}
+	return recycle, true
 }
 
 // peer returns (dialing if necessary) the outgoing connection to rank r.
@@ -397,4 +428,49 @@ func (n *node) deposit(chunks []stack.Chunk) uint64 {
 	n.handoff[h] = chunks
 	n.handoffMu.Unlock()
 	return h
+}
+
+// getNodeBuf returns a recycled node buffer, or nil when none is free (the
+// caller's append then allocates one that will join the cycle).
+func (n *node) getNodeBuf() stack.Chunk {
+	n.freeMu.Lock()
+	defer n.freeMu.Unlock()
+	if len(n.freeChunks) == 0 {
+		return nil
+	}
+	c := n.freeChunks[len(n.freeChunks)-1]
+	n.freeChunks = n.freeChunks[:len(n.freeChunks)-1]
+	return c
+}
+
+// putNodeBuf recycles one node buffer whose contents are dead (copied onto
+// a stack or encoded to a thief).
+func (n *node) putNodeBuf(c stack.Chunk) {
+	n.freeMu.Lock()
+	n.freeChunks = append(n.freeChunks, c[:0])
+	n.freeMu.Unlock()
+}
+
+// getChunkBuf returns a recycled response buffer, or nil when none is free.
+func (n *node) getChunkBuf() []stack.Chunk {
+	n.freeMu.Lock()
+	defer n.freeMu.Unlock()
+	if len(n.freeBufs) == 0 {
+		return nil
+	}
+	b := n.freeBufs[len(n.freeBufs)-1]
+	n.freeBufs = n.freeBufs[:len(n.freeBufs)-1]
+	return b
+}
+
+// recycle returns a served response buffer and every node buffer it
+// carries to the free lists; called after the reply has been encoded.
+func (n *node) recycle(buf []stack.Chunk) {
+	n.freeMu.Lock()
+	for i, c := range buf {
+		n.freeChunks = append(n.freeChunks, c[:0])
+		buf[i] = nil
+	}
+	n.freeBufs = append(n.freeBufs, buf[:0])
+	n.freeMu.Unlock()
 }

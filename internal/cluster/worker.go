@@ -109,6 +109,7 @@ func (w *clusterWorker) work() error {
 			t.Reacquires++
 			w.lane.Rec(obs.KindReacquire, -1, int64(len(c)))
 			w.local.PushAll(c)
+			w.n.putNodeBuf(c) // contents copied; buffer rejoins the cycle
 			continue
 		}
 		t.Nodes++
@@ -119,7 +120,7 @@ func (w *clusterWorker) work() error {
 		}
 		t.NoteDepth(w.local.Len())
 		if w.local.Len() >= 2*w.k {
-			w.pool.Put(w.local.TakeBottom(w.k))
+			w.pool.Put(w.local.TakeBottomAppend(w.n.getNodeBuf(), w.k))
 			w.n.workAvail.Store(int32(w.pool.Len()))
 			t.Releases++
 			w.lane.Rec(obs.KindRelease, -1, int64(w.pool.Len()))
@@ -137,7 +138,7 @@ func (w *clusterWorker) service() error {
 	var amount int32
 	var handle uint64
 	if w.pool.Len() > 0 {
-		chunks := w.pool.TakeHalf()
+		chunks := w.pool.TakeHalfAppend(w.n.getChunkBuf())
 		w.n.workAvail.Store(int32(w.pool.Len()))
 		amount = int32(len(chunks))
 		handle = w.n.deposit(chunks)
@@ -267,6 +268,7 @@ func (w *clusterWorker) steal(v int) (bool, error) {
 	}
 	w.lane.Rec(obs.KindChunkTransfer, int32(v), int64(total))
 	w.local.PushAll(got.Chunk[0])
+	w.n.putNodeBuf(got.Chunk[0]) // contents copied; buffer rejoins the cycle
 	for _, c := range got.Chunk[1:] {
 		w.pool.Put(c)
 	}

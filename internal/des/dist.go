@@ -1,13 +1,13 @@
 package des
 
 import (
-	"math/bits"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/stack"
 	"repro/internal/stats"
+	"repro/internal/term"
 	"repro/internal/uts"
 )
 
@@ -120,6 +120,13 @@ func (pe *simDistPE) advance(d time.Duration) {
 	pe.p.Advance(d)
 }
 
+// charge books d of virtual time against the PE's current state without
+// advancing the clock — used by step functions, where the engine advances.
+func (pe *simDistPE) charge(d time.Duration) time.Duration {
+	pe.t.AddState(pe.state, d)
+	return d
+}
+
 // rec records an event stamped with the PE's current virtual time.
 func (pe *simDistPE) rec(k obs.Kind, other int32, value int64) {
 	pe.lane.RecV(k, other, value, pe.p.Now())
@@ -154,59 +161,84 @@ func (pe *simDistPE) main() {
 	}
 }
 
-// work explores nodes batch-wise. The real implementation polls its
-// request word every node; the simulator services requests at batch
-// boundaries and release points, bounding event counts while keeping the
-// response latency within one batch of node work.
+// work explores nodes batch-wise as one stepped advance: each quantum is a
+// batch of node work (ending early at a release threshold or stack drain),
+// and the boundary between quanta is the polling point where a thief's
+// posted interrupt is observed — the same virtual instant the original
+// per-batch service() call would have seen the request word, but with zero
+// events while no thief is knocking. Release and reacquire are executed at
+// the boundary instant, after any pending request has been serviced, which
+// reproduces the original flush-then-manipulate order exactly.
 func (pe *simDistPE) work() {
 	cs := &pe.r.cs
 	k := pe.r.cfg.Chunk
 	batch := pe.r.cfg.Batch
 	pending := 0
-	flush := func() {
-		if pending > 0 {
-			pe.advance(time.Duration(pending) * cs.nodeCost)
-			pending = 0
+	releasing := false
+	drained := false
+	done := false
+	step := func() (time.Duration, uint8) {
+		if releasing {
+			releasing = false
+			pe.pool.Put(pe.local.TakeBottom(k))
+			pe.workAvail = pe.pool.Len()
+			pe.t.Releases++
+			pe.rec(obs.KindRelease, -1, int64(pe.workAvail))
 		}
-		pe.service()
-	}
-	for {
-		n, ok := pe.local.Pop()
-		if !ok {
-			flush()
-			c, ok2 := pe.pool.TakeNewest()
-			if !ok2 {
-				return
+		if drained {
+			drained = false
+			c, ok := pe.pool.TakeNewest()
+			if !ok {
+				done = true
+				return 0, StepDone
 			}
 			pe.workAvail = pe.pool.Len()
 			pe.t.Reacquires++
 			pe.rec(obs.KindReacquire, -1, int64(len(c)))
 			pe.local.PushAll(c)
-			continue
 		}
-		pending++
-		pe.t.Nodes++
-		if n.NumKids == 0 {
-			pe.t.Leaves++
-		} else {
-			pe.local.PushAll(pe.ex.Children(&n))
+		for {
+			n, ok := pe.local.Pop()
+			if !ok {
+				drained = true
+				d := time.Duration(pending) * cs.nodeCost
+				pending = 0
+				return pe.charge(d), 0
+			}
+			pending++
+			pe.t.Nodes++
+			if n.NumKids == 0 {
+				pe.t.Leaves++
+			} else {
+				pe.local.PushAll(pe.ex.Children(&n))
+			}
+			pe.t.NoteDepth(pe.local.Len())
+			if pe.local.Len() >= 2*k {
+				releasing = true
+				d := time.Duration(pending) * cs.nodeCost
+				pending = 0
+				return pe.charge(d), 0
+			}
+			if pending >= batch {
+				d := time.Duration(pending) * cs.nodeCost
+				pending = 0
+				return pe.charge(d), 0
+			}
 		}
-		pe.t.NoteDepth(pe.local.Len())
-		if pe.local.Len() >= 2*k {
-			flush()
-			pe.pool.Put(pe.local.TakeBottom(k))
-			pe.workAvail = pe.pool.Len()
-			pe.t.Releases++
-			pe.rec(obs.KindRelease, -1, int64(pe.workAvail))
-		} else if pending >= batch {
-			flush()
+	}
+	for !done {
+		if m := pe.p.AdvanceStepped(step); m != 0 {
+			pe.service()
 		}
 	}
 }
 
 // service answers a pending request: half the pool (rapid diffusion) or a
-// denial, for the cost of two remote writes.
+// denial, for the cost of two remote writes. It also clears the steal
+// interrupt, so a request consumed through a direct check cannot trigger a
+// stale second wakeup at the next polling boundary.
 func (pe *simDistPE) service() {
+	pe.p.ClearIntr(IntrSteal)
 	if pe.request < 0 {
 		return
 	}
@@ -228,53 +260,107 @@ func (pe *simDistPE) service() {
 	}
 }
 
+// search probe phases.
+const (
+	phPoll  = iota // zero-length quantum whose boundary is a service point
+	phProbe        // pay the probe's remote reference (no service point)
+	phEval         // read workAvail at the probe's completion instant
+)
+
 func (pe *simDistPE) search() bool {
 	n := len(pe.r.pes)
 	if n == 1 {
 		return false
 	}
-	for {
-		sawWorker := false
-		var perm []int
+	var perm []int
+	idx := 0
+	sawWorker := false
+	stealFrom := -1
+	exhausted := false
+	newPerm := func() {
 		if pe.r.hier {
 			perm = pe.rng.CycleHier(pe.me, n, pe.r.nodeSize)
 		} else {
 			perm = pe.rng.Cycle(pe.me, n)
 		}
-		for _, v := range perm {
-			pe.service()
-			wa := pe.probe(v)
+		idx = 0
+		sawWorker = false
+	}
+	newPerm()
+	ph := phPoll
+	victim := -1
+	// One quantum triple per victim: a zero-length service point (the
+	// original loop called service() before every probe), the probe's
+	// remote reference with the boundary check suppressed (the original
+	// had no service point between issuing a probe and reading it), and
+	// the evaluation at the completion instant.
+	step := func() (time.Duration, uint8) {
+		switch ph {
+		case phPoll:
+			ph = phProbe
+			return 0, 0
+		case phProbe:
+			victim = perm[idx]
+			pe.rec(obs.KindProbeStart, int32(victim), 0)
+			ph = phEval
+			return pe.charge(pe.r.refCost(pe.me, victim)), StepNoPoll
+		default: // phEval
+			pe.t.Probes++
+			wa := pe.r.pes[victim].workAvail
+			pe.rec(obs.KindProbeResult, int32(victim), int64(wa))
 			if wa > 0 {
-				pe.setState(stats.Stealing)
-				ok := pe.steal(v)
-				pe.setState(stats.Searching)
-				if ok {
-					return true
-				}
+				sawWorker = true
+				stealFrom = victim
+				return 0, StepDone
 			}
 			if wa >= 0 {
 				sawWorker = true
 			}
+			idx++
+			if idx == len(perm) {
+				if !sawWorker {
+					exhausted = true
+					return 0, StepDone
+				}
+				newPerm()
+			}
+			ph = phProbe
+			return 0, 0 // service point before the next probe
 		}
-		if !sawWorker {
+	}
+	for {
+		if m := pe.p.AdvanceStepped(step); m != 0 {
+			pe.service()
+			continue
+		}
+		if exhausted {
 			return false
 		}
+		v := stealFrom
+		stealFrom = -1
+		pe.setState(stats.Stealing)
+		ok := pe.steal(v)
+		pe.setState(stats.Searching)
+		if ok {
+			return true
+		}
+		idx++
+		if idx == len(perm) {
+			if !sawWorker {
+				return false
+			}
+			newPerm()
+		}
+		ph = phPoll // the original serviced before the next probe
 	}
 }
 
-func (pe *simDistPE) probe(v int) int {
-	pe.rec(obs.KindProbeStart, int32(v), 0)
-	pe.advance(pe.r.refCost(pe.me, v))
-	pe.t.Probes++
-	wa := pe.r.pes[v].workAvail
-	pe.rec(obs.KindProbeResult, int32(v), int64(wa))
-	return wa
-}
-
-// steal claims the victim's request word and polls its own response slot
-// until the owner answers. The wait is a poll loop rather than a blocking
-// sleep because the waiting thief must keep servicing its own request word
-// (two thieves can be each other's victims).
+// steal claims the victim's request word, posts the steal interrupt that
+// makes the victim's engine observe the request at its next quantized
+// polling boundary, and polls its own response slot until the owner
+// answers. The wait is a poll loop rather than a blocking sleep because
+// the waiting thief must keep servicing its own request word (two thieves
+// can be each other's victims).
 func (pe *simDistPE) steal(v int) bool {
 	r := pe.r
 	cs := &r.cs
@@ -288,10 +374,38 @@ func (pe *simDistPE) steal(v int) bool {
 		return false
 	}
 	vs.request = pe.me
+	vs.p.Post(IntrSteal)
 
-	for !pe.respReady {
+	// The response wait is a stepped advance: each quantum is one respPoll,
+	// each boundary is the original loop-top respReady check, and a steal
+	// request landing mid-wait surfaces as an interrupt at the boundary —
+	// the same virtual instant the original loop's service() call saw the
+	// request word. `polled` enforces the original's service-then-poll-
+	// then-check order: after any service point the next quantum charges
+	// before respReady is consulted again.
+	pe.service() // the original serviced once before the first poll
+	polled := false
+	step := func() (time.Duration, uint8) {
+		if polled && pe.respReady {
+			return 0, StepDone
+		}
+		polled = true
+		return pe.charge(cs.respPoll), 0
+	}
+	for {
+		m := pe.p.AdvanceStepped(step)
+		if m == 0 {
+			break // respReady observed at a poll boundary
+		}
+		// The original checks respReady before servicing: when the
+		// response arrived at this same boundary, exit and leave the
+		// request — interrupt re-posted — for the next service point.
+		if pe.respReady {
+			pe.p.Post(m)
+			break
+		}
 		pe.service()
-		pe.advance(cs.respPoll)
+		polled = false
 	}
 	chunks := pe.resp
 	pe.resp = nil
@@ -324,8 +438,8 @@ func (pe *simDistPE) sbEnter() bool {
 	pe.advance(r.cs.remoteRef)
 	r.sbCount++
 	if r.sbCount == len(r.pes) {
-		if len(r.pes) > 1 {
-			pe.advance(time.Duration(bits.Len(uint(len(r.pes)-1))) * r.cs.remoteRef)
+		if lv := term.AnnounceLevels(len(r.pes)); lv > 0 {
+			pe.advance(time.Duration(lv) * r.cs.remoteRef)
 		}
 		r.sbAnnounced = true
 		return true
@@ -333,34 +447,77 @@ func (pe *simDistPE) sbEnter() bool {
 	return false
 }
 
+// terminate phases beyond the shared poll/probe/eval triple.
+const (
+	phAnn = phEval + 1 // pay the announcement-flag poll (no service point)
+)
+
 func (pe *simDistPE) terminate() bool {
 	r := pe.r
 	if pe.sbEnter() {
 		return true
 	}
 	n := len(r.pes)
+	announced := false
+	stealFrom := -1
+	ph := phPoll
+	victim := -1
+	// Each in-barrier iteration is [service point, announcement poll,
+	// probe, eval], with the boundary check suppressed on the two advances
+	// the original performed back-to-back without a service call between.
+	step := func() (time.Duration, uint8) {
+		switch ph {
+		case phPoll:
+			ph = phAnn
+			return 0, 0
+		case phAnn:
+			ph = phProbe
+			return pe.charge(r.cs.remoteRef), StepNoPoll
+		case phProbe:
+			if r.sbAnnounced {
+				announced = true
+				return 0, StepDone
+			}
+			victim = pe.rng.Victim(pe.me, n)
+			pe.rec(obs.KindProbeStart, int32(victim), 0)
+			ph = phEval
+			return pe.charge(pe.r.refCost(pe.me, victim)), StepNoPoll
+		default: // phEval
+			pe.t.Probes++
+			wa := pe.r.pes[victim].workAvail
+			pe.rec(obs.KindProbeResult, int32(victim), int64(wa))
+			ph = phPoll
+			if wa > 0 {
+				stealFrom = victim
+				return 0, StepDone
+			}
+			return 0, 0 // service point at the next iteration's top
+		}
+	}
 	for {
-		pe.service()
-		pe.advance(r.cs.remoteRef) // poll the announcement flag
+		if m := pe.p.AdvanceStepped(step); m != 0 {
+			pe.service()
+			continue
+		}
+		if announced {
+			return true
+		}
+		v := stealFrom
+		stealFrom = -1
 		if r.sbAnnounced {
 			return true
 		}
-		v := pe.rng.Victim(pe.me, n)
-		if wa := pe.probe(v); wa > 0 {
-			if r.sbAnnounced {
-				return true
-			}
-			pe.advance(r.cs.remoteRef) // leave the barrier
-			r.sbCount--
-			pe.setState(stats.Stealing)
-			ok := pe.steal(v)
-			pe.setState(stats.Idle)
-			if ok {
-				return false
-			}
-			if pe.sbEnter() {
-				return true
-			}
+		pe.advance(r.cs.remoteRef) // leave the barrier
+		r.sbCount--
+		pe.setState(stats.Stealing)
+		ok := pe.steal(v)
+		pe.setState(stats.Idle)
+		if ok {
+			return false
 		}
+		if pe.sbEnter() {
+			return true
+		}
+		ph = phPoll
 	}
 }

@@ -1,0 +1,195 @@
+package des
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pgas"
+	"repro/internal/uts"
+)
+
+// TestEngineDifferential proves the batched engine bit-identical to the
+// legacy reference: same makespan, same event count, and the same
+// per-thread counters and state times for every algorithm × tree × seed.
+func TestEngineDifferential(t *testing.T) {
+	algos := []core.Algorithm{
+		core.Static, core.UPCSharedMem, core.UPCTerm, core.UPCTermRapdif,
+		core.UPCDistMem, core.UPCDistMemHier, core.MPIWS,
+	}
+	trees := []*uts.Spec{&uts.GeoLinear, &uts.T3Small}
+	seeds := []int64{1, 2, 3}
+
+	for _, algo := range algos {
+		for _, sp := range trees {
+			for _, seed := range seeds {
+				name := fmt.Sprintf("%s/%s/seed%d", algo, sp.Name, seed)
+				t.Run(name, func(t *testing.T) {
+					cfg := Config{
+						Algorithm: algo,
+						PEs:       16,
+						Chunk:     8,
+						Model:     &pgas.KittyHawk,
+						Seed:      seed,
+					}
+					cfg.Engine = EngineBatched
+					bres, binfo, err := RunInfo(sp, cfg)
+					if err != nil {
+						t.Fatalf("batched: %v", err)
+					}
+					cfg.Engine = EngineLegacy
+					lres, linfo, err := RunInfo(sp, cfg)
+					if err != nil {
+						t.Fatalf("legacy: %v", err)
+					}
+					if bres.Elapsed != lres.Elapsed {
+						t.Errorf("makespan diverged: batched %v, legacy %v", bres.Elapsed, lres.Elapsed)
+					}
+					if binfo.Events != linfo.Events {
+						t.Errorf("event count diverged: batched %d, legacy %d", binfo.Events, linfo.Events)
+					}
+					for i := range bres.Threads {
+						if !reflect.DeepEqual(bres.Threads[i], lres.Threads[i]) {
+							t.Errorf("thread %d diverged:\nbatched %+v\nlegacy  %+v",
+								i, bres.Threads[i], lres.Threads[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestUnknownEngineRejected checks the Config.Engine validation.
+func TestUnknownEngineRejected(t *testing.T) {
+	_, _, err := RunInfo(&uts.BenchTiny, Config{Engine: "quantum"})
+	if err == nil {
+		t.Fatal("expected an error for an unknown engine name")
+	}
+}
+
+// TestLockRingWraparoundFIFO drives the waiter ring directly through many
+// interleaved enqueue/dequeue cycles so the head index wraps repeatedly and
+// the buffer grows while partially drained; order must stay strictly FIFO.
+func TestLockRingWraparoundFIFO(t *testing.T) {
+	l := &Lock{}
+	procs := make([]*Proc, 200)
+	for i := range procs {
+		procs[i] = &Proc{id: i}
+	}
+	next := 0 // next proc to enqueue
+	want := 0 // next proc a FIFO dequeue must yield
+	// Sawtooth fill levels: grow, drain low (wrapping head), grow larger.
+	for _, step := range []struct{ in, out int }{
+		{5, 3}, {6, 7}, {17, 10}, {30, 20}, {40, 58},
+	} {
+		for i := 0; i < step.in; i++ {
+			l.enqueue(procs[next%len(procs)])
+			next++
+		}
+		for i := 0; i < step.out; i++ {
+			got := l.dequeue()
+			if got != procs[want%len(procs)] {
+				t.Fatalf("dequeue %d: got proc %d, want proc %d", want, got.id, procs[want%len(procs)].id)
+			}
+			want++
+		}
+	}
+	if l.n != 0 {
+		t.Fatalf("ring not drained: %d left", l.n)
+	}
+}
+
+// TestLockFIFOUnderHeavyContention queues many simulated PEs behind one
+// long-held lock and checks grants come back in exact arrival order.
+func TestLockFIFOUnderHeavyContention(t *testing.T) {
+	const waiters = 40
+	s := New()
+	l := &Lock{}
+	var order []int
+	s.Spawn(func(p *Proc) {
+		p.Acquire(l, 1)
+		p.Advance(10 * time.Microsecond) // hold while every waiter queues
+		p.Release(l, 1)
+	})
+	for i := 0; i < waiters; i++ {
+		i := i
+		s.Spawn(func(p *Proc) {
+			p.Advance(time.Duration(i+1) * 10 * time.Nanosecond) // distinct arrival instants
+			p.Acquire(l, 1)
+			order = append(order, i)
+			p.Advance(5 * time.Nanosecond)
+			p.Release(l, 1)
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != waiters {
+		t.Fatalf("got %d grants, want %d", len(order), waiters)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("grant %d went to waiter %d; order %v", i, got, order)
+		}
+	}
+}
+
+// TestEngineThroughputGate is the CI regression gate for the batched
+// engine: a pure-dispatch workload (the BenchmarkSimDispatch shape — 64
+// PEs burning interleaved stepped quanta with no tree work) must sustain
+// at least 4x the event rate of the legacy reference. The measured ratio
+// is ~10x; the 4x floor leaves headroom for noisy CI runners while still
+// catching any change that reintroduces per-event goroutine switches or
+// per-event allocation. Skipped unless DES_BENCH_GATE=1.
+func TestEngineThroughputGate(t *testing.T) {
+	if os.Getenv("DES_BENCH_GATE") != "1" {
+		t.Skip("set DES_BENCH_GATE=1 to run the engine throughput gate")
+	}
+	run := func(legacy bool) float64 {
+		const pes, quanta = 64, 20000
+		var sim *Sim
+		if legacy {
+			sim = NewLegacy()
+		} else {
+			sim = New()
+		}
+		for i := 0; i < pes; i++ {
+			sim.Spawn(func(p *Proc) {
+				n := 0
+				p.AdvanceStepped(func() (time.Duration, uint8) {
+					if n >= quanta {
+						return 0, StepDone
+					}
+					n++
+					return time.Duration(1 + (n & 3)), 0
+				})
+			})
+		}
+		start := time.Now()
+		if err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return float64(sim.Events()) / time.Since(start).Seconds()
+	}
+	best := func(legacy bool) float64 {
+		var b float64
+		for i := 0; i < 3; i++ {
+			if r := run(legacy); r > b {
+				b = r
+			}
+		}
+		return b
+	}
+	run(false) // warm the scheduler before timing anything
+	batched, legacy := best(false), best(true)
+	ratio := batched / legacy
+	t.Logf("batched %.2fM events/s, legacy %.2fM events/s, ratio %.1fx",
+		batched/1e6, legacy/1e6, ratio)
+	if ratio < 4 {
+		t.Errorf("batched engine dispatches at only %.1fx the legacy rate; want >= 4x", ratio)
+	}
+}

@@ -90,6 +90,13 @@ func (pe *simMPIPE) advance(d time.Duration) {
 	pe.p.Advance(d)
 }
 
+// charge books d of virtual time against the rank's current state without
+// advancing the clock — used by step functions, where the engine advances.
+func (pe *simMPIPE) charge(d time.Duration) time.Duration {
+	pe.t.AddState(pe.state, d)
+	return d
+}
+
 // rec records an event stamped with the rank's current virtual time.
 func (pe *simMPIPE) rec(k obs.Kind, other int32, value int64) {
 	pe.lane.RecV(k, other, value, pe.p.Now())
@@ -132,6 +139,18 @@ func (pe *simMPIPE) recv() (simMsg, bool) {
 	return simMsg{}, false
 }
 
+// hasArrived reports whether any inbox message is visible at the current
+// instant, without consuming it — the step-function form of a failed recv.
+func (pe *simMPIPE) hasArrived() bool {
+	now := pe.p.Now()
+	for _, m := range pe.inbox {
+		if m.arriveAt <= now {
+			return true
+		}
+	}
+	return false
+}
+
 func (pe *simMPIPE) main() {
 	pe.rec(obs.KindStateChange, -1, int64(stats.Working))
 	for !pe.terminated {
@@ -143,44 +162,98 @@ func (pe *simMPIPE) main() {
 	}
 }
 
+// work explores nodes as one stepped advance: each cycle is a quantum of
+// up to PollInterval nodes followed by a quantum for the MPI_Iprobe check,
+// all committed inline while no message event intervenes. The advance
+// ends when a message has arrived (handled on the rank's own goroutine,
+// because replies send) or when the stack drains after its trailing probe.
 func (pe *simMPIPE) work() {
 	cs := &pe.r.cs
 	poll := pe.r.cfg.PollInterval
-	since, pending := 0, 0
-	flush := func() {
-		if pending > 0 {
-			pe.advance(time.Duration(pending) * cs.nodeCost)
+	pending := 0
+	const (
+		wExplore = iota
+		wIprobe
+		wEval
+	)
+	ph := wExplore
+	atPoll := false // this cycle's iprobe is the in-loop drain at since>=poll
+	done := false
+	step := func() (time.Duration, uint8) {
+		switch ph {
+		case wExplore:
+			atPoll = false
+			for pe.local.Len() > 0 && !pe.terminated {
+				n, _ := pe.local.Pop()
+				pending++
+				pe.t.Nodes++
+				if n.NumKids == 0 {
+					pe.t.Leaves++
+				} else {
+					pe.local.PushAll(pe.ex.Children(&n))
+				}
+				pe.t.NoteDepth(pe.local.Len())
+				if pending >= poll {
+					atPoll = true
+					break
+				}
+			}
+			d := time.Duration(pending) * cs.nodeCost
 			pending = 0
+			ph = wIprobe
+			return pe.charge(d), 0
+		case wIprobe:
+			// MPI_Iprobe costs library time on every check.
+			ph = wEval
+			return pe.charge(cs.iprobe), 0
+		default: // wEval
+			if pe.hasArrived() {
+				return 0, StepDone
+			}
+			if atPoll && pe.local.Len() > 0 && !pe.terminated {
+				ph = wExplore
+				return 0, 0
+			}
+			if atPoll {
+				// The loop exits here; the trailing flush is empty, but its
+				// drain still pays one more iprobe.
+				atPoll = false
+				ph = wIprobe
+				return 0, 0
+			}
+			done = true
+			return 0, StepDone
 		}
 	}
-	for pe.local.Len() > 0 && !pe.terminated {
-		n, _ := pe.local.Pop()
-		pending++
-		pe.t.Nodes++
-		if n.NumKids == 0 {
-			pe.t.Leaves++
-		} else {
-			pe.local.PushAll(pe.ex.Children(&n))
-		}
-		pe.t.NoteDepth(pe.local.Len())
-		if since++; since >= poll {
-			since = 0
-			flush()
-			pe.drain()
-		}
-	}
-	flush()
-	pe.drain()
-}
-
-func (pe *simMPIPE) drain() {
 	for {
-		pe.advance(pe.r.cs.iprobe) // MPI_Iprobe costs library time per check
-		m, ok := pe.recv()
-		if !ok {
+		pe.p.AdvanceStepped(step)
+		if done {
 			return
 		}
+		// A message arrived: consume it and keep draining exactly as the
+		// original loop — one iprobe charge per further check.
+		m, _ := pe.recv()
 		pe.handle(m)
+		for {
+			pe.advance(cs.iprobe)
+			m, ok := pe.recv()
+			if !ok {
+				break
+			}
+			pe.handle(m)
+		}
+		if !atPoll {
+			// The drain that saw the message was the trailing one.
+			return
+		}
+		if pe.local.Len() > 0 && !pe.terminated {
+			ph = wExplore
+			continue
+		}
+		// Stack drained (or terminated) at an in-loop poll: run the
+		// trailing drain's iprobe before returning.
+		atPoll = false
+		ph = wIprobe
 	}
 }
 
@@ -223,6 +296,15 @@ func (pe *simMPIPE) handle(m simMsg) {
 func (pe *simMPIPE) idle() {
 	pe.setState(stats.Searching)
 	defer pe.setState(stats.Working)
+	// The wait for a response or the token is a stepped advance: one
+	// idle-poll quantum per check, committed inline until a message
+	// arrival event lands in the window.
+	wait := func() (time.Duration, uint8) {
+		if pe.hasArrived() {
+			return 0, StepDone
+		}
+		return pe.charge(pe.r.cs.idlePoll), 0
+	}
 	for pe.local.Len() == 0 && !pe.terminated {
 		if m, ok := pe.recv(); ok {
 			pe.handle(m)
@@ -245,7 +327,7 @@ func (pe *simMPIPE) idle() {
 			pe.outstanding = true
 			continue
 		}
-		pe.advance(pe.r.cs.idlePoll)
+		pe.p.AdvanceStepped(wait)
 	}
 }
 

@@ -47,6 +47,27 @@ type Config struct {
 	// obs.NewVirtual(PEs, ringSize)). Recording costs no virtual time,
 	// so traced runs are bit-identical to untraced ones.
 	Tracer *obs.Tracer
+	// Engine selects the simulation engine: EngineBatched (the default,
+	// also selected by "") or EngineLegacy, the original reference engine.
+	// Both produce bit-identical results; legacy exists for differential
+	// testing and as the benchmark baseline.
+	Engine string
+}
+
+// Engine names accepted by Config.Engine.
+const (
+	EngineBatched = "batched"
+	EngineLegacy  = "legacy"
+)
+
+// Info reports engine-level facts about a completed simulation.
+type Info struct {
+	// Engine is the engine that ran ("batched" or "legacy").
+	Engine string
+	// Events is the number of simulated-time boundaries executed; it is
+	// identical across engines for the same configuration, so events per
+	// wall second compares pure engine overhead.
+	Events uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -154,8 +175,15 @@ type sampler func() (sources, working int)
 // virtual makespan and SeqRate to the model's sequential rate (1/NodeCost),
 // so Speedup and Efficiency read exactly as in the paper.
 func Run(sp *uts.Spec, cfg Config) (*core.Result, error) {
-	res, _, err := run(sp, cfg, 0)
+	res, _, _, err := run(sp, cfg, 0)
 	return res, err
+}
+
+// RunInfo is Run plus engine-level facts (which engine ran, how many
+// events it executed) for benchmarks and regression gates.
+func RunInfo(sp *uts.Spec, cfg Config) (*core.Result, Info, error) {
+	res, _, info, err := run(sp, cfg, 0)
+	return res, info, err
 }
 
 // RunTraced is Run plus a diffusion trace sampled every interval of
@@ -164,19 +192,32 @@ func RunTraced(sp *uts.Spec, cfg Config, interval time.Duration) (*core.Result, 
 	if interval <= 0 {
 		return nil, nil, fmt.Errorf("des: trace interval must be positive, got %v", interval)
 	}
-	return run(sp, cfg, interval)
+	res, trace, _, err := run(sp, cfg, interval)
+	return res, trace, err
 }
 
-func run(sp *uts.Spec, cfg Config, interval time.Duration) (*core.Result, *Trace, error) {
+func run(sp *uts.Spec, cfg Config, interval time.Duration) (*core.Result, *Trace, Info, error) {
+	var info Info
 	if err := sp.Validate(); err != nil {
-		return nil, nil, err
+		return nil, nil, info, err
 	}
 	cfg = cfg.withDefaults()
 	if cfg.PEs < 1 {
-		return nil, nil, fmt.Errorf("des: need at least one PE, got %d", cfg.PEs)
+		return nil, nil, info, fmt.Errorf("des: need at least one PE, got %d", cfg.PEs)
 	}
 	if cfg.Chunk < 1 {
-		return nil, nil, fmt.Errorf("des: need chunk >= 1, got %d", cfg.Chunk)
+		return nil, nil, info, fmt.Errorf("des: need chunk >= 1, got %d", cfg.Chunk)
+	}
+	var sim *Sim
+	switch cfg.Engine {
+	case "", EngineBatched:
+		info.Engine = EngineBatched
+		sim = New()
+	case EngineLegacy:
+		info.Engine = EngineLegacy
+		sim = NewLegacy()
+	default:
+		return nil, nil, info, fmt.Errorf("des: unknown engine %q (valid: %s, %s)", cfg.Engine, EngineBatched, EngineLegacy)
 	}
 
 	res := &core.Result{Spec: sp, Algorithm: cfg.Algorithm, Chunk: cfg.Chunk}
@@ -187,7 +228,6 @@ func run(sp *uts.Spec, cfg Config, interval time.Duration) (*core.Result, *Trace
 	cs := newCosts(cfg.Model)
 	res.SeqRate = float64(time.Second) / float64(cs.nodeCost)
 
-	sim := New()
 	var makespan time.Duration
 	alive := cfg.PEs
 	finish := func(p *Proc) {
@@ -213,10 +253,10 @@ func run(sp *uts.Spec, cfg Config, interval time.Duration) (*core.Result, *Trace
 	case core.MPIWS:
 		smp, err = simMPIWS(sim, sp, cfg, cs, res, finish)
 	default:
-		return nil, nil, fmt.Errorf("des: cannot simulate algorithm %q", cfg.Algorithm)
+		return nil, nil, info, fmt.Errorf("des: cannot simulate algorithm %q", cfg.Algorithm)
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, info, err
 	}
 
 	var trace *Trace
@@ -232,9 +272,10 @@ func run(sp *uts.Spec, cfg Config, interval time.Duration) (*core.Result, *Trace
 	}
 
 	if err := sim.Run(); err != nil {
-		return nil, nil, err
+		return nil, nil, info, err
 	}
+	info.Events = sim.Events()
 	res.Elapsed = makespan
 	res.Obs = cfg.Tracer.Summary()
-	return res, trace, nil
+	return res, trace, info, nil
 }

@@ -1,13 +1,13 @@
 package des
 
 import (
-	"math/bits"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/stack"
 	"repro/internal/stats"
+	"repro/internal/term"
 	"repro/internal/uts"
 )
 
@@ -98,6 +98,13 @@ func (pe *simSharedPE) advance(d time.Duration) {
 	pe.p.Advance(d)
 }
 
+// charge books d of virtual time against the PE's current state without
+// advancing the clock — used by step functions, where the engine advances.
+func (pe *simSharedPE) charge(d time.Duration) time.Duration {
+	pe.t.AddState(pe.state, d)
+	return d
+}
+
 // rec records an event stamped with the PE's current virtual time.
 func (pe *simSharedPE) rec(k obs.Kind, other int32, value int64) {
 	pe.lane.RecV(k, other, value, pe.p.Now())
@@ -147,42 +154,57 @@ func (pe *simSharedPE) main() {
 	}
 }
 
-// work explores nodes, charging NodeCost per node in batches, releasing
-// surplus chunks at the 2k threshold and reacquiring from the PE's own
-// shared region when the local region drains.
+// work explores nodes as one stepped advance: each quantum is a batch of
+// node work, ending the advance at the 2k release threshold and when the
+// local region drains — the lock-protected release/reacquire manipulations
+// run on the PE's own goroutine between advances, at the same virtual
+// instants as the original per-batch loop. Thieves of this family take
+// from the pool under the victim's lock rather than posting requests, so
+// no boundary ever needs an interrupt check.
 func (pe *simSharedPE) work() {
 	cs := &pe.r.cs
 	k := pe.r.cfg.Chunk
 	batch := pe.r.cfg.Batch
 	pending := 0
-	flush := func() {
-		if pending > 0 {
-			pe.advance(time.Duration(pending) * cs.nodeCost)
-			pending = 0
+	thresholdHit := false
+	step := func() (time.Duration, uint8) {
+		for {
+			n, ok := pe.local.Pop()
+			if !ok {
+				d := time.Duration(pending) * cs.nodeCost
+				pending = 0
+				return pe.charge(d), StepDone
+			}
+			pending++
+			pe.t.Nodes++
+			if n.NumKids == 0 {
+				pe.t.Leaves++
+			} else {
+				pe.local.PushAll(pe.ex.Children(&n))
+			}
+			pe.t.NoteDepth(pe.local.Len())
+			if pe.local.Len() >= 2*k {
+				thresholdHit = true
+				d := time.Duration(pending) * cs.nodeCost
+				pending = 0
+				return pe.charge(d), StepDone
+			}
+			if pending >= batch {
+				d := time.Duration(pending) * cs.nodeCost
+				pending = 0
+				return pe.charge(d), 0
+			}
 		}
 	}
 	for {
-		n, ok := pe.local.Pop()
-		if !ok {
-			flush()
-			if !pe.reacquire() {
-				return
-			}
+		pe.p.AdvanceStepped(step)
+		if thresholdHit {
+			thresholdHit = false
+			pe.releaseChunk(k)
 			continue
 		}
-		pending++
-		pe.t.Nodes++
-		if n.NumKids == 0 {
-			pe.t.Leaves++
-		} else {
-			pe.local.PushAll(pe.ex.Children(&n))
-		}
-		pe.t.NoteDepth(pe.local.Len())
-		if pe.local.Len() >= 2*k {
-			flush()
-			pe.releaseChunk(k)
-		} else if pending >= batch {
-			flush()
+		if !pe.reacquire() {
+			return
 		}
 	}
 }
@@ -230,38 +252,71 @@ func (pe *simSharedPE) search() bool {
 	if n == 1 {
 		return false
 	}
-	for {
-		sawWorker := false
-		for _, v := range pe.rng.Cycle(pe.me, n) {
-			wa := pe.probe(v)
+	var perm []int
+	idx := 0
+	sawWorker := false
+	stealFrom := -1
+	exhausted := false
+	newPerm := func() {
+		perm = pe.rng.Cycle(pe.me, n)
+		idx = 0
+		sawWorker = false
+	}
+	newPerm()
+	probing := false
+	victim := -1
+	// Each quantum is one probe's remote reference; the evaluation happens
+	// at the probe's completion instant inside the next step call.
+	step := func() (time.Duration, uint8) {
+		if probing {
+			probing = false
+			pe.t.Probes++
+			wa := pe.r.pes[victim].workAvail
+			pe.rec(obs.KindProbeResult, int32(victim), int64(wa))
 			if wa > 0 {
-				pe.setState(stats.Stealing)
-				ok := pe.steal(v)
-				pe.setState(stats.Searching)
-				if ok {
-					return true
-				}
+				sawWorker = true
+				stealFrom = victim
+				return 0, StepDone
 			}
 			if wa >= 0 {
 				sawWorker = true
 			}
+			idx++
+			if idx == len(perm) {
+				if !r.mode.streamTerm || !sawWorker {
+					exhausted = true
+					return 0, StepDone
+				}
+				newPerm()
+			}
 		}
-		if !r.mode.streamTerm {
-			return false
-		}
-		if !sawWorker {
-			return false
-		}
+		victim = perm[idx]
+		pe.rec(obs.KindProbeStart, int32(victim), 0)
+		probing = true
+		return pe.charge(pe.r.cs.remoteRef), 0
 	}
-}
-
-func (pe *simSharedPE) probe(v int) int {
-	pe.rec(obs.KindProbeStart, int32(v), 0)
-	pe.advance(pe.r.cs.remoteRef)
-	pe.t.Probes++
-	wa := pe.r.pes[v].workAvail
-	pe.rec(obs.KindProbeResult, int32(v), int64(wa))
-	return wa
+	for {
+		pe.p.AdvanceStepped(step)
+		if exhausted {
+			return false
+		}
+		v := stealFrom
+		stealFrom = -1
+		pe.setState(stats.Stealing)
+		ok := pe.steal(v)
+		pe.setState(stats.Searching)
+		if ok {
+			return true
+		}
+		idx++
+		if idx == len(perm) {
+			if !r.mode.streamTerm || !sawWorker {
+				return false
+			}
+			newPerm()
+		}
+		probing = false
+	}
 }
 
 func (pe *simSharedPE) steal(v int) bool {
@@ -343,9 +398,14 @@ func (pe *simSharedPE) cbEnter() bool {
 	}
 	pe.release(&r.cbLock, pe.barrierLockCost())
 
-	for !r.cbCancel && !r.cbDone {
-		pe.advance(pe.r.cs.remoteRef) // remote flag spin
-	}
+	// Remote flag spin, batched: one quantum per check interval, executed
+	// inline by the engine while no earlier event intervenes.
+	pe.p.AdvanceStepped(func() (time.Duration, uint8) {
+		if r.cbCancel || r.cbDone {
+			return 0, StepDone
+		}
+		return pe.charge(pe.r.cs.remoteRef), 0
+	})
 
 	pe.acquire(&r.cbLock, pe.barrierLockCost())
 	pe.advance(pe.barrierFlagCost())
@@ -379,8 +439,8 @@ func (pe *simSharedPE) sbEnter() bool {
 	pe.advance(r.cs.remoteRef)
 	r.sbCount++
 	if r.sbCount == len(r.pes) {
-		if len(r.pes) > 1 {
-			pe.advance(time.Duration(bits.Len(uint(len(r.pes)-1))) * r.cs.remoteRef)
+		if lv := term.AnnounceLevels(len(r.pes)); lv > 0 {
+			pe.advance(time.Duration(lv) * r.cs.remoteRef)
 		}
 		r.sbAnnounced = true
 		return true
@@ -397,27 +457,64 @@ func (pe *simSharedPE) terminate() bool {
 		return true
 	}
 	n := len(r.pes)
+	announced := false
+	stealFrom := -1
+	victim := -1
+	const (
+		tAnn = iota
+		tCheck
+		tEval
+	)
+	ph := tAnn
+	// Each in-barrier iteration: pay the announcement-flag poll, check it,
+	// probe a victim, evaluate — all inline while no earlier event lands.
+	step := func() (time.Duration, uint8) {
+		switch ph {
+		case tAnn:
+			ph = tCheck
+			return pe.charge(r.cs.remoteRef), 0
+		case tCheck:
+			if r.sbAnnounced {
+				announced = true
+				return 0, StepDone
+			}
+			victim = pe.rng.Victim(pe.me, n)
+			pe.rec(obs.KindProbeStart, int32(victim), 0)
+			ph = tEval
+			return pe.charge(pe.r.cs.remoteRef), 0
+		default: // tEval
+			pe.t.Probes++
+			wa := pe.r.pes[victim].workAvail
+			pe.rec(obs.KindProbeResult, int32(victim), int64(wa))
+			ph = tAnn
+			if wa > 0 {
+				stealFrom = victim
+				return 0, StepDone
+			}
+			return 0, 0
+		}
+	}
 	for {
-		pe.advance(r.cs.remoteRef) // poll the announcement flag
+		pe.p.AdvanceStepped(step)
+		if announced {
+			return true
+		}
+		v := stealFrom
+		stealFrom = -1
 		if r.sbAnnounced {
 			return true
 		}
-		v := pe.rng.Victim(pe.me, n)
-		if wa := pe.probe(v); wa > 0 {
-			if r.sbAnnounced {
-				return true
-			}
-			pe.advance(r.cs.remoteRef) // leave the barrier
-			r.sbCount--
-			pe.setState(stats.Stealing)
-			ok := pe.steal(v)
-			pe.setState(stats.Idle)
-			if ok {
-				return false
-			}
-			if pe.sbEnter() {
-				return true
-			}
+		pe.advance(r.cs.remoteRef) // leave the barrier
+		r.sbCount--
+		pe.setState(stats.Stealing)
+		ok := pe.steal(v)
+		pe.setState(stats.Idle)
+		if ok {
+			return false
 		}
+		if pe.sbEnter() {
+			return true
+		}
+		ph = tAnn
 	}
 }

@@ -18,31 +18,96 @@
 // sleep/wakeup (used by lock queues), and otherwise manipulates shared
 // simulation state freely — exactly one PE runs at any instant, so there
 // are no data races by construction.
+//
+// # Engines
+//
+// Two engines implement that contract. The batched engine (the default,
+// New) dispatches events by baton passing: control moves from the event
+// queue to a PE and back through a single buffered channel send, the event
+// queue is a flat 4-ary indexed min-heap of value-typed entries, an
+// Advance whose deadline precedes every queued event commits inline
+// without touching the heap or parking the goroutine, and protocol loops
+// expressed as step functions (AdvanceStepped) run entirely inside the
+// dispatcher with zero goroutine switches. The legacy engine (NewLegacy)
+// keeps the original two-channel wake/park handshake and boxed
+// container/heap queue; it exists as the bit-identical reference for the
+// differential tests and benchmarks. Both engines execute the same events
+// in the same order — Sim.Events counts identically — they differ only in
+// how cheaply a boundary is reached.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
 
 // Sim is one simulation instance.
 type Sim struct {
-	events   evHeap
+	heap     flatHeap
+	pend     ev   // parked event awaiting the dispatcher, if hasPend
+	hasPend  bool // see park: fuses the park-then-dispatch heap traffic
 	seq      uint64
 	now      int64 // virtual time, ns
 	nprocs   int
 	finished int
 	stuck    bool
+	events   uint64
+
+	doneCh chan error
+	err    error
+
+	legacy bool
+	lheap  evHeap // legacy engine's boxed queue (legacy.go)
 }
 
-// New creates an empty simulation.
+// New creates an empty simulation using the batched engine.
 func New() *Sim { return &Sim{} }
+
+// NewLegacy creates an empty simulation using the legacy reference engine:
+// the original two-channel wake/park handshake with a boxed container/heap
+// event queue. It executes the exact same schedule as the batched engine
+// and exists so differential tests and benchmarks can compare against it.
+func NewLegacy() *Sim { return &Sim{legacy: true} }
 
 // Now returns the current virtual time.
 func (s *Sim) Now() time.Duration { return time.Duration(s.now) }
 
-// procStatus is what a parked PE asked for.
+// Events returns the number of simulated-time boundaries executed so far:
+// every Advance and every stepped-advance quantum with nonzero duration
+// counts once, whether it was reached through the event queue or committed
+// inline. The count is engine-independent — the batched and legacy engines
+// report the same number for the same run — so events/second measures pure
+// engine overhead.
+func (s *Sim) Events() uint64 { return s.events }
+
+// Intr is a bitmask of typed interrupts posted to a PE. A thief posts
+// IntrSteal after claiming a victim's request word; the victim's engine
+// observes the mask at its next quantized polling boundary, exactly where
+// the per-node polling of the real implementation would have seen the
+// request word.
+type Intr uint32
+
+// IntrSteal signals a pending steal request on the PE's request word.
+const IntrSteal Intr = 1 << 0
+
+// Step flags returned by a Stepper alongside the quantum duration.
+const (
+	// StepDone ends the stepped advance; AdvanceStepped returns 0.
+	StepDone uint8 = 1 << 0
+	// StepNoPoll suppresses the interrupt check at this quantum's
+	// boundary — used for boundaries where the original protocol had no
+	// service point, keeping the batched schedule bit-identical.
+	StepNoPoll uint8 = 1 << 1
+)
+
+// Stepper yields one quantum of a stepped advance: the virtual duration to
+// consume and the flags governing the boundary it creates. Step functions
+// may freely read and write simulation state (exactly one PE runs at any
+// instant) but must not call Advance, Block, or lock operations — they
+// execute in dispatcher context, possibly on another PE's goroutine.
+type Stepper func() (time.Duration, uint8)
+
+// procStatus is what a parked PE asked for (legacy engine).
 type procStatus int
 
 const (
@@ -53,8 +118,18 @@ const (
 
 // Proc is the simulator-side handle of one PE.
 type Proc struct {
-	id     int
-	sim    *Sim
+	id  int
+	sim *Sim
+
+	// Batched engine: the single handoff channel (capacity 1, so a PE
+	// popping its own next event can self-deliver), the pending interrupt
+	// mask, and the parked stepped advance, if any.
+	ch     chan Intr
+	intr   Intr
+	stepFn Stepper
+	stepFl uint8
+
+	// Legacy engine: two-channel wake/park handshake.
 	wake   chan struct{}
 	park   chan struct{}
 	status procStatus
@@ -67,17 +142,38 @@ func (p *Proc) ID() int { return p.id }
 // Now returns the current virtual time (valid only while running).
 func (p *Proc) Now() time.Duration { return time.Duration(p.sim.now) }
 
+// Post sets interrupt bits on p. The poster is another PE (or the
+// simulation setup); p observes the mask at its next polling boundary.
+func (p *Proc) Post(m Intr) { p.intr |= m }
+
+// ClearIntr clears interrupt bits on p. Protocol service routines call it
+// when they consume the underlying request through a direct check, so a
+// stale mask cannot trigger a second service.
+func (p *Proc) ClearIntr(m Intr) { p.intr &^= m }
+
 // Spawn registers a PE with the given body, scheduled to start at virtual
 // time zero. Must be called before Run.
 func (s *Sim) Spawn(body func(p *Proc)) *Proc {
-	p := &Proc{id: s.nprocs, sim: s, wake: make(chan struct{}), park: make(chan struct{})}
+	p := &Proc{id: s.nprocs, sim: s}
 	s.nprocs++
-	go func() {
-		<-p.wake
-		body(p)
-		p.status = statusFinished
-		p.park <- struct{}{}
-	}()
+	if s.legacy {
+		p.wake = make(chan struct{})
+		p.park = make(chan struct{})
+		go func() {
+			<-p.wake
+			body(p)
+			p.status = statusFinished
+			p.park <- struct{}{}
+		}()
+	} else {
+		p.ch = make(chan Intr, 1)
+		go func() {
+			<-p.ch
+			body(p)
+			s.finished++
+			s.dispatch()
+		}()
+	}
 	s.schedule(p, 0)
 	return p
 }
@@ -85,55 +181,202 @@ func (s *Sim) Spawn(body func(p *Proc)) *Proc {
 // schedule enqueues a run event for p at virtual time t.
 func (s *Sim) schedule(p *Proc, t int64) {
 	s.seq++
-	heap.Push(&s.events, ev{t: t, seq: s.seq, p: p})
+	if s.legacy {
+		s.lheap.push(ev{t: t, seq: s.seq, p: p})
+	} else {
+		s.heap.push(ev{t: t, seq: s.seq, p: p})
+	}
+}
+
+// park records p's resume event without pushing it: every park site hands
+// control straight to the dispatcher, which consumes the pending event via
+// next — one heap exchange (single sift-down) instead of a push/pop pair.
+// The sequence number is drawn from the same counter, in the same order,
+// as schedule would have drawn it, so tie-breaks are unchanged.
+func (s *Sim) park(p *Proc, t int64) {
+	s.seq++
+	s.pend = ev{t: t, seq: s.seq, p: p}
+	s.hasPend = true
+}
+
+// next yields the globally minimal event: the pending parked event fused
+// against the heap root, or a plain pop. A parked event can never precede
+// the root (the park condition required root.t <= t, and on a time tie the
+// root's smaller sequence number wins), so the pending slot always goes
+// through exchange when the heap is nonempty.
+func (s *Sim) next() (ev, bool) {
+	if s.hasPend {
+		s.hasPend = false
+		if len(s.heap.a) == 0 {
+			return s.pend, true
+		}
+		return s.heap.exchange(s.pend), true
+	}
+	return s.heap.pop()
 }
 
 // Run executes the simulation until every spawned PE has finished. It
 // returns an error if the event queue drains while PEs are still blocked —
 // a protocol deadlock, which the test suite treats as a hard failure.
 func (s *Sim) Run() error {
-	for len(s.events) > 0 {
-		e := heap.Pop(&s.events).(ev)
-		if e.t < s.now {
-			return fmt.Errorf("des: time went backwards (%d < %d)", e.t, s.now)
-		}
-		s.now = e.t
-		e.p.wake <- struct{}{}
-		<-e.p.park
-		switch e.p.status {
-		case statusRunnable:
-			s.schedule(e.p, s.now+e.p.delay)
-		case statusBlocked:
-			// Another PE must Wake it later.
-		case statusFinished:
-			s.finished++
-		}
+	if s.legacy {
+		return s.runLegacy()
 	}
-	if s.finished != s.nprocs {
-		s.stuck = true
-		return fmt.Errorf("des: deadlock: %d of %d PEs still blocked at t=%v",
-			s.nprocs-s.finished, s.nprocs, s.Now())
-	}
-	return nil
+	s.doneCh = make(chan error, 1)
+	s.dispatch()
+	return <-s.doneCh
 }
 
-// Advance consumes d of virtual time: the PE is descheduled and resumes
-// once the clock reaches now+d. Negative delays are treated as zero.
+// dispatch pops events until control is handed to a PE goroutine or the
+// queue drains. Exactly one goroutine executes engine code at any moment:
+// either Run's caller or the PE that just yielded; every transfer of
+// control is one buffered-channel send, which is also the happens-before
+// edge that makes lock-free sharing of all simulation state sound.
+func (s *Sim) dispatch() {
+	for {
+		e, ok := s.next()
+		if !ok {
+			if s.finished != s.nprocs {
+				s.stuck = true
+				s.err = fmt.Errorf("des: deadlock: %d of %d PEs still blocked at t=%v",
+					s.nprocs-s.finished, s.nprocs, s.Now())
+			}
+			s.doneCh <- s.err
+			return
+		}
+		s.now = e.t
+		s.events++
+		p := e.p
+		if p.stepFn != nil {
+			if s.contStep(p) {
+				return
+			}
+			continue
+		}
+		p.ch <- 0
+		return
+	}
+}
+
+// contStep resumes a parked stepped advance at its boundary, in dispatcher
+// context. It applies the boundary's flags, then keeps stepping inline —
+// committing quanta that precede every queued event without any heap or
+// channel traffic — until the advance ends (control is handed to the PE's
+// goroutine; returns true) or a quantum collides with the queue and is
+// rescheduled (returns false: the dispatcher keeps going).
+func (s *Sim) contStep(p *Proc) bool {
+	fl := p.stepFl
+	for {
+		if fl&StepDone != 0 {
+			p.stepFn = nil
+			p.ch <- 0
+			return true
+		}
+		if fl&StepNoPoll == 0 && p.intr != 0 {
+			m := p.intr
+			p.intr = 0
+			p.stepFn = nil
+			p.ch <- m
+			return true
+		}
+		var d time.Duration
+		d, fl = p.stepFn()
+		if d > 0 {
+			t := s.now + int64(d)
+			if !s.heap.empty() && s.heap.minT() <= t {
+				p.stepFl = fl
+				s.park(p, t)
+				return false
+			}
+			s.now = t
+			s.events++
+		}
+	}
+}
+
+// Advance consumes d of virtual time: the PE resumes once the clock
+// reaches now+d. When the deadline strictly precedes every queued event
+// the clock commits inline — no heap traffic, no goroutine switch. On a
+// tie the queued event wins: had this PE parked, its resume event would
+// carry a larger sequence number than anything already queued, so the
+// strict inequality is exactly the condition under which skipping the
+// queue preserves the schedule. Negative delays are treated as zero.
 func (p *Proc) Advance(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.status = statusRunnable
-	p.delay = int64(d)
-	p.park <- struct{}{}
-	<-p.wake
+	s := p.sim
+	if s.legacy {
+		p.legacyAdvance(int64(d))
+		return
+	}
+	t := s.now + int64(d)
+	if s.heap.empty() || s.heap.minT() > t {
+		s.now = t
+		s.events++
+		return
+	}
+	s.park(p, t)
+	p.yield()
+}
+
+// AdvanceStepped consumes virtual time one quantum at a time, calling step
+// for each. After a quantum with duration d the clock stands exactly at
+// the quantum's boundary; there the engine applies the returned flags:
+// StepDone ends the advance (returns 0), and — unless StepNoPoll is set —
+// a pending interrupt mask ends it too (returns the mask, cleared). A
+// zero-duration quantum creates no event but still gets its boundary
+// flags applied, mirroring the zero-pending flush of the protocol loops.
+//
+// The first step executes before any interrupt check, matching protocols
+// that explore before polling. Quanta run inline while their boundary
+// precedes every queued event; otherwise the PE parks and the dispatcher
+// continues the same step sequence in place, so a whole batch of node
+// work, probes, or idle polls costs zero goroutine switches.
+func (p *Proc) AdvanceStepped(step Stepper) Intr {
+	s := p.sim
+	if s.legacy {
+		return p.legacyAdvanceStepped(step)
+	}
+	for {
+		d, fl := step()
+		if d > 0 {
+			t := s.now + int64(d)
+			if !s.heap.empty() && s.heap.minT() <= t {
+				p.stepFn = step
+				p.stepFl = fl
+				s.park(p, t)
+				return p.yield()
+			}
+			s.now = t
+			s.events++
+		}
+		if fl&StepDone != 0 {
+			return 0
+		}
+		if fl&StepNoPoll == 0 && p.intr != 0 {
+			m := p.intr
+			p.intr = 0
+			return m
+		}
+	}
+}
+
+// yield hands control to the dispatcher and blocks until an event (or a
+// finished stepped advance) hands it back, delivering the interrupt mask
+// that ended a stepped advance, or 0.
+func (p *Proc) yield() Intr {
+	p.sim.dispatch()
+	return <-p.ch
 }
 
 // Block parks the PE until another PE calls Wake on it.
 func (p *Proc) Block() {
-	p.status = statusBlocked
-	p.park <- struct{}{}
-	<-p.wake
+	if p.sim.legacy {
+		p.legacyBlock()
+		return
+	}
+	p.yield()
 }
 
 // Wake schedules a blocked PE q to resume at the current virtual time plus
@@ -143,41 +386,141 @@ func (p *Proc) Wake(q *Proc, d time.Duration) {
 	p.sim.schedule(q, p.sim.now+int64(d))
 }
 
-// ev is one scheduled resumption.
+// ev is one scheduled resumption, ordered by (t, seq); the seq tie-break
+// makes simultaneous events fire in FIFO order, keeping runs deterministic.
 type ev struct {
 	t   int64
 	seq uint64
 	p   *Proc
 }
 
-// evHeap is a min-heap on (t, seq); the seq tie-break makes simultaneous
-// events fire in FIFO order, keeping runs deterministic.
-type evHeap []ev
-
-func (h evHeap) Len() int { return len(h) }
-func (h evHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+func evLess(a, b ev) bool {
+	if a.t != b.t {
+		return a.t < b.t
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h evHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *evHeap) Push(x interface{}) { *h = append(*h, x.(ev)) }
-func (h *evHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+// flatHeap is a flat 4-ary indexed min-heap of value-typed events: no
+// interface boxing, no per-push allocation beyond slice growth, and a
+// shallower tree than a binary heap — sift-downs touch ~half as many
+// levels, which matters because pop is the engine's hottest operation.
+type flatHeap struct {
+	a []ev
+}
+
+func (h *flatHeap) empty() bool { return len(h.a) == 0 }
+func (h *flatHeap) minT() int64 { return h.a[0].t }
+
+func (h *flatHeap) push(e ev) {
+	h.a = append(h.a, e)
+	a := h.a
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !evLess(e, a[parent]) {
+			break
+		}
+		a[i] = a[parent]
+		i = parent
+	}
+	a[i] = e
+}
+
+func (h *flatHeap) pop() (ev, bool) {
+	n := len(h.a)
+	if n == 0 {
+		return ev{}, false
+	}
+	top := h.a[0]
+	n--
+	h.a[0] = h.a[n]
+	h.a[n] = ev{}
+	h.a = h.a[:n]
+	if n > 1 {
+		h.siftDown(0)
+	}
+	return top, true
+}
+
+// exchange replaces the minimum with e and returns it, restoring heap
+// order with a single sift-down. It is the fused form of push(e)+pop()
+// for the engine's hottest pattern — a PE parks and the dispatcher
+// immediately needs the next event — valid whenever e orders at-or-after
+// the current root, which the park condition guarantees.
+func (h *flatHeap) exchange(e ev) ev {
+	top := h.a[0]
+	h.a[0] = e
+	h.siftDown(0)
+	return top
+}
+
+// siftDown restores heap order below i by hole insertion: the displaced
+// element is held aside while smaller children move up, then written once
+// at its final slot — half the memory traffic of swapping at every level.
+func (h *flatHeap) siftDown(i int) {
+	a := h.a
+	n := len(a)
+	e := a[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if evLess(a[j], a[m]) {
+				m = j
+			}
+		}
+		if !evLess(a[m], e) {
+			break
+		}
+		a[i] = a[m]
+		i = m
+	}
+	a[i] = e
 }
 
 // Lock is a virtual-time mutex with FIFO queueing. Contention behaves as
 // on real hardware: a PE that requests a held lock waits for every earlier
 // requester — this is how the simulator reproduces the paper's observation
 // that remote thieves can keep a victim's stack locked for long stretches.
+// The waiter queue is a ring buffer with O(1) enqueue and dequeue, so a
+// long thief queue costs nothing beyond the queueing delay it models.
 type Lock struct {
-	held  bool
-	queue []*Proc
+	held bool
+	q    []*Proc // ring buffer of waiters
+	head int
+	n    int
+}
+
+func (l *Lock) enqueue(p *Proc) {
+	if l.n == len(l.q) {
+		size := 2 * len(l.q)
+		if size < 4 {
+			size = 4
+		}
+		grown := make([]*Proc, size)
+		for i := 0; i < l.n; i++ {
+			grown[i] = l.q[(l.head+i)%len(l.q)]
+		}
+		l.q, l.head = grown, 0
+	}
+	l.q[(l.head+l.n)%len(l.q)] = p
+	l.n++
+}
+
+func (l *Lock) dequeue() *Proc {
+	p := l.q[l.head]
+	l.q[l.head] = nil
+	l.head = (l.head + 1) % len(l.q)
+	l.n--
+	return p
 }
 
 // Acquire takes the lock, first consuming cost (the acquisition RTT), then
@@ -188,7 +531,7 @@ func (p *Proc) Acquire(l *Lock, cost time.Duration) {
 		l.held = true
 		return
 	}
-	l.queue = append(l.queue, p)
+	l.enqueue(p)
 	p.Block()
 	// Woken by Release with the lock already assigned to us.
 }
@@ -199,11 +542,8 @@ func (p *Proc) Release(l *Lock, cost time.Duration) {
 	if !l.held {
 		panic("des: release of unheld lock")
 	}
-	if len(l.queue) > 0 {
-		next := l.queue[0]
-		copy(l.queue, l.queue[1:])
-		l.queue = l.queue[:len(l.queue)-1]
-		p.Wake(next, 0) // lock stays held, now by next
+	if l.n > 0 {
+		p.Wake(l.dequeue(), 0) // lock stays held, now by next
 	} else {
 		l.held = false
 	}

@@ -68,29 +68,35 @@ func (pe *simStaticPE) run() {
 			pe.t.Leaves++
 		}
 	}
+	// The whole share is one stepped advance: one quantum per batch of
+	// node work, committed inline whenever no other PE's boundary lands
+	// earlier — a statically partitioned PE never interacts, so its entire
+	// traversal typically costs a handful of events.
 	pending := 0
-	for {
-		n, ok := pe.local.Pop()
-		if !ok {
-			break
+	pe.p.AdvanceStepped(func() (time.Duration, uint8) {
+		for {
+			n, ok := pe.local.Pop()
+			if !ok {
+				d := time.Duration(pending) * pe.cs.nodeCost
+				pending = 0
+				pe.t.AddState(stats.Working, d)
+				return d, StepDone
+			}
+			pending++
+			pe.t.Nodes++
+			if n.NumKids == 0 {
+				pe.t.Leaves++
+			} else {
+				pe.local.PushAll(pe.ex.Children(&n))
+			}
+			pe.t.NoteDepth(pe.local.Len())
+			if pending >= pe.batch {
+				d := time.Duration(pending) * pe.cs.nodeCost
+				pending = 0
+				pe.t.AddState(stats.Working, d)
+				return d, 0
+			}
 		}
-		pending++
-		pe.t.Nodes++
-		if n.NumKids == 0 {
-			pe.t.Leaves++
-		} else {
-			pe.local.PushAll(pe.ex.Children(&n))
-		}
-		pe.t.NoteDepth(pe.local.Len())
-		if pending >= pe.batch {
-			pe.t.AddState(stats.Working, time.Duration(pending)*pe.cs.nodeCost)
-			pe.p.Advance(time.Duration(pending) * pe.cs.nodeCost)
-			pending = 0
-		}
-	}
-	if pending > 0 {
-		pe.t.AddState(stats.Working, time.Duration(pending)*pe.cs.nodeCost)
-		pe.p.Advance(time.Duration(pending) * pe.cs.nodeCost)
-	}
+	})
 	pe.lane.RecV(obs.KindStateChange, -1, int64(stats.Idle), pe.p.Now())
 }

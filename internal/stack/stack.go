@@ -51,11 +51,16 @@ func (d *Deque) Pop() (uts.Node, bool) {
 // TakeBottom removes the k oldest nodes and returns them in a fresh slice,
 // oldest first. It panics if k exceeds Len; callers check Len first.
 func (d *Deque) TakeBottom(k int) []uts.Node {
+	return d.TakeBottomAppend(make([]uts.Node, 0, k), k)
+}
+
+// TakeBottomAppend is TakeBottom appending into dst, so callers holding a
+// recycled buffer avoid the per-release allocation.
+func (d *Deque) TakeBottomAppend(dst []uts.Node, k int) []uts.Node {
 	if k > d.Len() {
 		panic("stack: TakeBottom beyond length")
 	}
-	out := make([]uts.Node, k)
-	copy(out, d.buf[d.base:d.base+k])
+	dst = append(dst, d.buf[d.base:d.base+k]...)
 	d.base += k
 	if d.Len() == 0 {
 		d.reset()
@@ -69,7 +74,7 @@ func (d *Deque) TakeBottom(k int) []uts.Node {
 		d.buf = d.buf[:n]
 		d.base = 0
 	}
-	return out
+	return dst
 }
 
 // reset drops the backing array once empty if it has grown large, so a
@@ -142,19 +147,28 @@ func (p *Pool) TakeNewest() (Chunk, bool) {
 // than one chunk is available, or one chunk otherwise"). It returns nil
 // if the pool is empty.
 func (p *Pool) TakeHalf() []Chunk {
-	n := p.Len()
-	if n == 0 {
+	if p.Len() == 0 {
 		return nil
 	}
+	return p.TakeHalfAppend(nil)
+}
+
+// TakeHalfAppend is TakeHalf appending into dst, so callers holding a
+// recycled buffer avoid the per-steal allocation. An empty pool returns
+// dst unchanged.
+func (p *Pool) TakeHalfAppend(dst []Chunk) []Chunk {
+	n := p.Len()
+	if n == 0 {
+		return dst
+	}
 	take := (n + 1) / 2
-	out := make([]Chunk, take)
-	copy(out, p.chunks[p.head:p.head+take])
+	dst = append(dst, p.chunks[p.head:p.head+take]...)
 	for i := p.head; i < p.head+take; i++ {
 		p.chunks[i] = nil
 	}
 	p.head += take
 	p.maybeReset()
-	return out
+	return dst
 }
 
 func (p *Pool) maybeReset() {

@@ -340,3 +340,50 @@ func TestDequeBoundedFootprint(t *testing.T) {
 		}
 	}
 }
+
+func TestDequeTakeBottomAppendReusesBuffer(t *testing.T) {
+	var d Deque
+	for i := 0; i < 8; i++ {
+		d.Push(mk(i))
+	}
+	buf := make([]uts.Node, 0, 4)
+	out := d.TakeBottomAppend(buf, 4)
+	if &out[0] != &buf[:1][0] {
+		t.Error("TakeBottomAppend reallocated despite sufficient capacity")
+	}
+	for i, n := range out {
+		if n.Height != int32(i) {
+			t.Fatalf("out[%d] = %d, want %d (oldest first)", i, n.Height, i)
+		}
+	}
+	if d.Len() != 4 {
+		t.Fatalf("deque has %d nodes left, want 4", d.Len())
+	}
+}
+
+func TestPoolTakeHalfAppendReusesBuffer(t *testing.T) {
+	var p Pool
+	for i := 0; i < 5; i++ {
+		p.Put(Chunk{mk(i)})
+	}
+	buf := make([]Chunk, 0, 3)
+	out := p.TakeHalfAppend(buf)
+	if len(out) != 3 {
+		t.Fatalf("took %d chunks, want 3 (ceil(5/2))", len(out))
+	}
+	if &out[0] != &buf[:1][0] {
+		t.Error("TakeHalfAppend reallocated despite sufficient capacity")
+	}
+	for i, c := range out {
+		if c[0].Height != int32(i) {
+			t.Fatalf("chunk %d is %d, want %d (oldest first)", i, c[0].Height, i)
+		}
+	}
+	if got := p.TakeHalfAppend(out[:0]); len(got) != 1 {
+		t.Fatalf("second take got %d chunks, want 1", len(got))
+	}
+	p.TakeHalfAppend(nil) // drain the last chunk
+	if got := p.TakeHalfAppend(out[:0]); len(got) != 0 {
+		t.Fatalf("empty pool returned %d chunks, want dst unchanged", len(got))
+	}
+}

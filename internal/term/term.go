@@ -159,17 +159,26 @@ func (b *StreamBarrier) Done(me int) bool {
 	return b.announced.Load()
 }
 
+// AnnounceLevels returns the depth of the tree-shaped termination
+// announcement for p participants: ceil(log2 p) levels of remote writes,
+// zero for a single participant. It is the shared cost hook between this
+// package's real barrier and the discrete-event simulator's virtual one,
+// so both charge the announcer identically.
+func AnnounceLevels(p int) int {
+	if p <= 1 {
+		return 0
+	}
+	return bits.Len(uint(p - 1))
+}
+
 // announce performs the tree-based termination announcement: the announcer
 // pays ceil(log2 P) levels of remote writes rather than P−1 sequential
 // ones. In a single address space one flag reaches everyone; the tree is
 // reflected in the charged cost.
 func (b *StreamBarrier) announce(me int) {
 	p := b.dom.Threads()
-	if p > 1 {
-		levels := bits.Len(uint(p - 1))
-		for i := 0; i < levels; i++ {
-			b.dom.ChargeRef(me, (me+1)<<i%p)
-		}
+	for i := 0; i < AnnounceLevels(p); i++ {
+		b.dom.ChargeRef(me, (me+1)<<i%p)
 	}
 	b.announced.Store(true)
 }

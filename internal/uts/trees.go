@@ -47,6 +47,18 @@ var (
 	BenchHuge = Spec{Name: "bench-huge", Kind: Binomial, Seed: 559, B0: 2000, M: 2,
 		Q: 0.5 * (1 - 1e-4), RNG: "ALFG"}
 
+	// T3Small: expected ~10k nodes with the paper's T3 shape (binomial,
+	// B0 = 200 fan-out); sized for differential engine tests where every
+	// algorithm × seed combination must run in tier-1 time.
+	T3Small = Spec{Name: "t3-small", Kind: Binomial, Seed: 31, B0: 200, M: 2,
+		Q: 0.5 * (1 - 2e-2)}
+
+	// T3XXL: expected ~5M nodes, ALFG-driven like the paper's runs; the
+	// 1024-PE scale workload for the batched DES engine (the BENCH_PR3
+	// wall-time target).
+	T3XXL = Spec{Name: "t3-xxl", Kind: Binomial, Seed: 100, B0: 2000, M: 2,
+		Q: 0.5 * (1 - 4e-4), RNG: "ALFG"}
+
 	// GeoFixed is a small geometric tree with depth-independent branching.
 	GeoFixed = Spec{Name: "geo-fixed", Kind: Geometric, Seed: 19, B0: 4,
 		GenMx: 8, Shape: ShapeFixed}
@@ -72,6 +84,7 @@ var (
 // deliberately excluded) for use by CLIs and table-driven tests.
 var SampleTrees = []*Spec{
 	&BenchTiny, &BenchSmall, &BenchMedium, &BenchLarge, &BenchHuge,
+	&T3Small, &T3XXL,
 	&GeoFixed, &GeoLinear, &GeoCyclic, &HybridSmall, &Balanced3x7,
 }
 

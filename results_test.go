@@ -1,0 +1,103 @@
+package repro
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// engineRate is one engine's recorded measurement in BENCH_PR3.json.
+type engineRate struct {
+	NsPerOp     float64  `json:"ns_per_op"`
+	EventsPerS  float64  `json:"events_per_s"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+}
+
+// enginePair is a before(legacy)/after(batched) benchmark record.
+type enginePair struct {
+	Config       string     `json:"config"`
+	BeforeLegacy engineRate `json:"before_legacy"`
+	AfterBatched engineRate `json:"after_batched"`
+	Speedup      float64    `json:"speedup"`
+}
+
+func (p *enginePair) check(t *testing.T, name string, minSpeedup float64) {
+	t.Helper()
+	if p.Config == "" {
+		t.Errorf("%s: missing config string", name)
+	}
+	if p.BeforeLegacy.EventsPerS <= 0 || p.AfterBatched.EventsPerS <= 0 {
+		t.Fatalf("%s: events_per_s must be positive (legacy %v, batched %v)",
+			name, p.BeforeLegacy.EventsPerS, p.AfterBatched.EventsPerS)
+	}
+	measured := p.AfterBatched.EventsPerS / p.BeforeLegacy.EventsPerS
+	if r := p.Speedup / measured; r < 0.95 || r > 1.05 {
+		t.Errorf("%s: recorded speedup %.2f disagrees with recorded rates (%.2f)",
+			name, p.Speedup, measured)
+	}
+	if p.Speedup < minSpeedup {
+		t.Errorf("%s: recorded speedup %.2f below the %.1fx this PR claims",
+			name, p.Speedup, minSpeedup)
+	}
+}
+
+// TestBenchPR3Schema validates the recorded DES-engine measurements in
+// results/BENCH_PR3.json: the file must parse, name its environment, and
+// be internally consistent — speedup fields must match the recorded
+// rates, the pure-dispatch ratio must meet the engine rewrite's headline
+// claim, and the batched engine must be allocation-free per event.
+func TestBenchPR3Schema(t *testing.T) {
+	raw, err := os.ReadFile("results/BENCH_PR3.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		PR          string `json:"pr"`
+		Date        string `json:"date"`
+		Environment struct {
+			Go  string `json:"go"`
+			CPU string `json:"cpu"`
+		} `json:"environment"`
+		Dispatch enginePair `json:"BenchmarkSimDispatch"`
+		Engine   enginePair `json:"BenchmarkSimEngine"`
+		Steal    enginePair `json:"BenchmarkSimSteal"`
+		Sim1024  struct {
+			Config       string  `json:"config"`
+			LegacyWallS  float64 `json:"legacy_wall_s"`
+			BatchedWallS float64 `json:"batched_wall_s"`
+			Speedup      float64 `json:"speedup"`
+			BitIdentity  string  `json:"bit_identity"`
+		} `json:"uts_sim_1024pe_t3xxl"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("results/BENCH_PR3.json does not parse: %v", err)
+	}
+	if doc.PR == "" || doc.Date == "" || doc.Environment.Go == "" || doc.Environment.CPU == "" {
+		t.Error("pr, date, environment.go, and environment.cpu must all be recorded")
+	}
+
+	doc.Dispatch.check(t, "BenchmarkSimDispatch", 10)
+	doc.Engine.check(t, "BenchmarkSimEngine", 3)
+	doc.Steal.check(t, "BenchmarkSimSteal", 4)
+	if a := doc.Dispatch.AfterBatched.AllocsPerOp; a == nil || *a != 0 {
+		t.Error("BenchmarkSimDispatch: batched engine must record 0 allocs/op")
+	}
+
+	s := &doc.Sim1024
+	if s.Config == "" || s.BitIdentity == "" {
+		t.Error("uts_sim_1024pe_t3xxl: config and bit_identity must be recorded")
+	}
+	if s.LegacyWallS <= 0 || s.BatchedWallS <= 0 || s.BatchedWallS >= s.LegacyWallS {
+		t.Errorf("uts_sim_1024pe_t3xxl: wall times inconsistent (legacy %v, batched %v)",
+			s.LegacyWallS, s.BatchedWallS)
+	}
+	measured := s.LegacyWallS / s.BatchedWallS
+	if r := s.Speedup / measured; r < 0.95 || r > 1.05 {
+		t.Errorf("uts_sim_1024pe_t3xxl: recorded speedup %.2f disagrees with wall times (%.2f)",
+			s.Speedup, measured)
+	}
+	if s.BatchedWallS > 30 {
+		t.Errorf("uts_sim_1024pe_t3xxl: %vs batched wall time; the 1024-PE run must stay routine (<30s)",
+			s.BatchedWallS)
+	}
+}
