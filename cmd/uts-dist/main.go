@@ -10,8 +10,13 @@
 // Manual deployment, one process per host/core:
 //
 //	uts-dist -rank 0 -ranks 4 -coord 10.0.0.1:7777 -tree bench-small   # on host A
-//	uts-dist -rank 1 -ranks 4 -coord 10.0.0.1:7777 -tree bench-small   # on host B
+//	uts-dist -rank 1 -ranks 4 -coord 10.0.0.1:7777 -tree bench-small \
+//	         -bind 0.0.0.0:0 -advertise 10.0.0.2                      # on host B
 //	...
+//
+// Fault injection (testing the failure paths; see cluster.ParseFaultSpec):
+//
+//	uts-dist -launch 4 -fault "rank=2,side=client,kind=cas,op=kill" -rpc-timeout 500ms
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/obs"
@@ -29,36 +35,82 @@ func main() {
 	os.Exit(run())
 }
 
+// options carries every uts-dist setting through the launch paths.
+type options struct {
+	ranks        int
+	coord        string
+	bind         string
+	advertise    string
+	tree         string
+	chunk        int
+	seed         int64
+	rpcTimeout   time.Duration
+	rpcRetries   int
+	statsTimeout time.Duration
+	faultSpec    string
+	traceOut     string
+	timeline     bool
+	hist         bool
+
+	sp    *uts.Spec
+	fault *cluster.FaultPlan
+}
+
+// config builds the cluster configuration for one rank from the options.
+func (o *options) config(rank int) cluster.Config {
+	return cluster.Config{
+		Rank: rank, Ranks: o.ranks, Coord: o.coord,
+		Bind: o.bind, Advertise: o.advertise,
+		Spec: o.sp, Chunk: o.chunk, Seed: o.seed,
+		RPCTimeout: o.rpcTimeout, RPCRetries: o.rpcRetries,
+		StatsTimeout: o.statsTimeout, Fault: o.fault,
+	}
+}
+
 func run() int {
+	var o options
 	launch := flag.Int("launch", 0, "spawn this many ranks locally (rank 0 in-process, others as children)")
 	rank := flag.Int("rank", 0, "this process's rank")
-	ranks := flag.Int("ranks", 1, "total number of ranks")
-	coord := flag.String("coord", "127.0.0.1:17717", "coordinator address (rank 0 listens, others dial)")
-	tree := flag.String("tree", "bench-small", "named sample tree")
-	chunk := flag.Int("chunk", 16, "steal granularity k (nodes)")
-	seed := flag.Int64("seed", 0, "probe-order seed")
-	traceOut := flag.String("trace", "", "write Chrome trace_event JSON per rank (rank 0 to the path, rank N to path.rankN)")
-	timeline := flag.Bool("timeline", false, "print rank 0's steal-protocol event timeline")
-	hist := flag.Bool("hist", false, "record protocol events and fold rank 0's histograms into the summary")
+	flag.IntVar(&o.ranks, "ranks", 1, "total number of ranks")
+	flag.StringVar(&o.coord, "coord", "127.0.0.1:17717", "coordinator address (rank 0 listens, others dial)")
+	flag.StringVar(&o.bind, "bind", "", "worker listen address (default 127.0.0.1:0; multi-host: 0.0.0.0:0 or :port)")
+	flag.StringVar(&o.advertise, "advertise", "", "address peers dial this rank at (default the listener's; needed with a wildcard -bind)")
+	flag.StringVar(&o.tree, "tree", "bench-small", "named sample tree")
+	flag.IntVar(&o.chunk, "chunk", 16, "steal granularity k (nodes)")
+	flag.Int64Var(&o.seed, "seed", 0, "probe-order seed")
+	flag.DurationVar(&o.rpcTimeout, "rpc-timeout", 0, "per-RPC deadline (default 5s)")
+	flag.IntVar(&o.rpcRetries, "rpc-retries", 0, "retries for idempotent RPCs before a peer is declared dead (default 2)")
+	flag.DurationVar(&o.statsTimeout, "stats-timeout", 0, "rank 0's bound on the end-of-run stats gather (default 30s)")
+	flag.StringVar(&o.faultSpec, "fault", "", `fault-injection rules, e.g. "rank=2,side=client,kind=cas,op=kill" (see cluster.ParseFaultSpec)`)
+	flag.StringVar(&o.traceOut, "trace", "", "write Chrome trace_event JSON per rank (rank 0 to the path, rank N to path.rankN)")
+	flag.BoolVar(&o.timeline, "timeline", false, "print rank 0's steal-protocol event timeline")
+	flag.BoolVar(&o.hist, "hist", false, "record protocol events and fold rank 0's histograms into the summary")
 	flag.Parse()
 
-	sp := uts.ByName(*tree)
-	if sp == nil {
-		fmt.Fprintf(os.Stderr, "unknown tree %q\n", *tree)
+	o.sp = uts.ByName(o.tree)
+	if o.sp == nil {
+		fmt.Fprintf(os.Stderr, "unknown tree %q\n", o.tree)
 		return 2
+	}
+	if o.faultSpec != "" {
+		plan, err := cluster.ParseFaultSpec(o.faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		plan.Seed = o.seed
+		o.fault = plan
 	}
 
 	if *launch > 0 {
-		return launchLocal(*launch, *coord, *tree, *chunk, *seed, *traceOut, *timeline, *hist, sp)
+		o.ranks = *launch
+		return launchLocal(&o)
 	}
 
-	cfg := cluster.Config{
-		Rank: *rank, Ranks: *ranks, Coord: *coord,
-		Spec: sp, Chunk: *chunk, Seed: *seed,
-	}
+	cfg := o.config(*rank)
 	var tracer *obs.Tracer
-	if *traceOut != "" || *timeline || *hist {
-		tracer = obs.New(*ranks, 0)
+	if o.traceOut != "" || o.timeline || o.hist {
+		tracer = obs.New(o.ranks, 0)
 		cfg.Tracer = tracer
 	}
 	res, err := cluster.Run(cfg)
@@ -67,17 +119,17 @@ func run() int {
 		return 1
 	}
 	if res != nil { // rank 0
-		fmt.Printf("tree=%s ranks=%d chunk=%d\n", sp.String(), *ranks, *chunk)
+		fmt.Printf("tree=%s ranks=%d chunk=%d\n", o.sp.String(), o.ranks, o.chunk)
 		fmt.Print(res.Summary())
-		if *timeline {
+		if o.timeline {
 			if err := obs.WriteTimeline(os.Stdout, tracer); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				return 1
 			}
 		}
 	}
-	if *traceOut != "" {
-		path := rankTracePath(*traceOut, *rank)
+	if o.traceOut != "" {
+		path := rankTracePath(o.traceOut, *rank)
 		if err := obs.WriteChromeTraceFile(path, tracer); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
@@ -98,28 +150,49 @@ func rankTracePath(path string, rank int) string {
 	return fmt.Sprintf("%s.rank%d", path, rank)
 }
 
+// childArgs rebuilds the flag list a spawned rank needs. The fault spec
+// and the timeout knobs propagate (every rank of a run must share them);
+// -bind and -advertise deliberately do not — children run on this same
+// host, where a pinned port would collide, so they default to a
+// kernel-assigned loopback port.
+func (o *options) childArgs(rank int) []string {
+	args := []string{
+		"-rank", fmt.Sprint(rank),
+		"-ranks", fmt.Sprint(o.ranks),
+		"-coord", o.coord,
+		"-tree", o.tree,
+		"-chunk", fmt.Sprint(o.chunk),
+		"-seed", fmt.Sprint(o.seed),
+	}
+	if o.rpcTimeout != 0 {
+		args = append(args, "-rpc-timeout", o.rpcTimeout.String())
+	}
+	if o.rpcRetries != 0 {
+		args = append(args, "-rpc-retries", fmt.Sprint(o.rpcRetries))
+	}
+	if o.statsTimeout != 0 {
+		args = append(args, "-stats-timeout", o.statsTimeout.String())
+	}
+	if o.faultSpec != "" {
+		args = append(args, "-fault", o.faultSpec)
+	}
+	if o.traceOut != "" {
+		args = append(args, "-trace", o.traceOut)
+	}
+	return args
+}
+
 // launchLocal runs rank 0 in-process and spawns ranks 1..n-1 as child
 // processes of this binary, all against the same coordinator address.
-func launchLocal(n int, coord, tree string, chunk int, seed int64, traceOut string, timeline, hist bool, sp *uts.Spec) int {
+func launchLocal(o *options) int {
 	self, err := os.Executable()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	children := make([]*exec.Cmd, 0, n-1)
-	for r := 1; r < n; r++ {
-		args := []string{
-			"-rank", fmt.Sprint(r),
-			"-ranks", fmt.Sprint(n),
-			"-coord", coord,
-			"-tree", tree,
-			"-chunk", fmt.Sprint(chunk),
-			"-seed", fmt.Sprint(seed),
-		}
-		if traceOut != "" {
-			args = append(args, "-trace", traceOut)
-		}
-		cmd := exec.Command(self, args...)
+	children := make([]*exec.Cmd, 0, o.ranks-1)
+	for r := 1; r < o.ranks; r++ {
+		cmd := exec.Command(self, o.childArgs(r)...)
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
@@ -129,13 +202,11 @@ func launchLocal(n int, coord, tree string, chunk int, seed int64, traceOut stri
 		children = append(children, cmd)
 	}
 
-	cfg := cluster.Config{
-		Rank: 0, Ranks: n, Coord: coord,
-		Spec: sp, Chunk: chunk, Seed: seed,
-	}
+	cfg := o.config(0)
+	cfg.Bind, cfg.Advertise = "", "" // children share this host; let each rank pick its own port
 	var tracer *obs.Tracer
-	if traceOut != "" || timeline || hist {
-		tracer = obs.New(n, 0)
+	if o.traceOut != "" || o.timeline || o.hist {
+		tracer = obs.New(o.ranks, 0)
 		cfg.Tracer = tracer
 	}
 	res, err := cluster.Run(cfg)
@@ -151,21 +222,21 @@ func launchLocal(n int, coord, tree string, chunk int, seed int64, traceOut stri
 		}
 	}
 	if res != nil {
-		fmt.Printf("tree=%s ranks=%d chunk=%d (local processes)\n", sp.String(), n, chunk)
+		fmt.Printf("tree=%s ranks=%d chunk=%d (local processes)\n", o.sp.String(), o.ranks, o.chunk)
 		fmt.Print(res.Summary())
-		if timeline {
+		if o.timeline {
 			if err := obs.WriteTimeline(os.Stdout, tracer); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				status = 1
 			}
 		}
 	}
-	if traceOut != "" {
-		if err := obs.WriteChromeTraceFile(traceOut, tracer); err != nil {
+	if o.traceOut != "" {
+		if err := obs.WriteChromeTraceFile(o.traceOut, tracer); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			status = 1
 		} else {
-			fmt.Printf("trace written to %s (plus .rankN files)\n", traceOut)
+			fmt.Printf("trace written to %s (plus .rankN files)\n", o.traceOut)
 		}
 	}
 	return status

@@ -3,7 +3,6 @@ package cluster
 import (
 	"testing"
 
-	"repro/internal/stack"
 	"repro/internal/uts"
 )
 
@@ -14,11 +13,7 @@ import (
 // structs plus the free-listed chunk buffers make every served operation
 // allocation-free once the cycle is warm.
 func TestProgressEngineZeroSteadyStateAllocs(t *testing.T) {
-	n := &node{
-		cfg:     Config{Rank: 0, Ranks: 4, Chunk: 4, Spec: &uts.BenchTiny},
-		handoff: map[uint64][]stack.Chunk{},
-	}
-	n.reqWord.Store(-1)
+	n := newNode(Config{Rank: 0, Ranks: 4, Chunk: 4, Spec: &uts.BenchTiny})
 	proto := make([]uts.Node, 4)
 	var req request
 	var resp response

@@ -8,7 +8,6 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/stack"
 	"repro/internal/stats"
 	"repro/internal/uts"
 )
@@ -212,8 +211,7 @@ func TestCoordinatorRejectsBadHello(t *testing.T) {
 // TestProgressEngineDropsUnknownRPC verifies the served-connection
 // protocol-error path: an unknown request kind closes the connection.
 func TestProgressEngineDropsUnknownRPC(t *testing.T) {
-	n := &node{cfg: Config{Rank: 1, Ranks: 2}, handoff: map[uint64][]stack.Chunk{}}
-	n.reqWord.Store(-1)
+	n := newNode(Config{Rank: 1, Ranks: 2})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -256,8 +254,7 @@ func TestProgressEngineDropsUnknownRPC(t *testing.T) {
 // TestOneSidedCAS exercises the request-word claim semantics through the
 // progress engine: first claim wins, second fails until the owner resets.
 func TestOneSidedCAS(t *testing.T) {
-	n := &node{cfg: Config{Rank: 1, Ranks: 4}, handoff: map[uint64][]stack.Chunk{}}
-	n.reqWord.Store(-1)
+	n := newNode(Config{Rank: 1, Ranks: 4})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -275,14 +272,14 @@ func TestOneSidedCAS(t *testing.T) {
 	}()
 	defer pc.conn.Close()
 
-	r1, err := pc.call(&request{Kind: kindCASRequest, Thief: 2})
+	r1, err := pc.callOnce(&request{Kind: kindCASRequest, Thief: 2}, 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !r1.OK {
 		t.Fatal("first CAS failed on an empty request word")
 	}
-	r2, err := pc.call(&request{Kind: kindCASRequest, Thief: 3})
+	r2, err := pc.callOnce(&request{Kind: kindCASRequest, Thief: 3}, 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +287,7 @@ func TestOneSidedCAS(t *testing.T) {
 		t.Fatal("second CAS succeeded while the word was claimed")
 	}
 	n.reqWord.Store(-1) // owner resets after servicing
-	r3, err := pc.call(&request{Kind: kindCASRequest, Thief: 3})
+	r3, err := pc.callOnce(&request{Kind: kindCASRequest, Thief: 3}, 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,7 +2,9 @@ package cluster
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -28,6 +30,18 @@ type Config struct {
 	// it is accepting connections. Used by in-process launches and tests
 	// that bind port 0.
 	CoordReady chan<- string
+	// Bind is the address non-coordinator ranks listen on for one-sided
+	// traffic; default "127.0.0.1:0" (loopback, kernel-assigned port).
+	// Multi-host runs bind a routable interface: "0.0.0.0:0", ":7800", …
+	Bind string
+	// Advertise is the address registered with the coordinator as this
+	// rank's dial target; default the listener's own address. When Bind
+	// is a wildcard the kernel-reported address ("0.0.0.0:4123") is not
+	// dialable from other hosts, so set Advertise to this host's routable
+	// IP — "10.0.0.2" or "10.0.0.2:7800"; a missing or zero port is
+	// filled in from the actual listener. Applies to rank 0 as well (its
+	// advertised address is what peers redial after a broken connection).
+	Advertise string
 	// Spec is the tree to search; every rank must be given the same spec.
 	Spec *uts.Spec
 	// Chunk is the steal granularity k; default 16.
@@ -36,6 +50,24 @@ type Config struct {
 	Seed int64
 	// DialTimeout bounds bootstrap connection attempts; default 10s.
 	DialTimeout time.Duration
+	// RPCTimeout bounds every peer RPC (SetDeadline on the connection);
+	// default 5s. A deadline miss poisons the gob stream, so the
+	// connection is closed and redialed.
+	RPCTimeout time.Duration
+	// RPCRetries is how many times an idempotent RPC (GetAvail,
+	// BarrierDone, the deduplicated Stats delivery, PeerDown) is retried
+	// with exponential backoff and jitter before the peer is declared
+	// dead; default 2 (three attempts total). Negative means no retries.
+	// Non-idempotent kinds always get a single attempt.
+	RPCRetries int
+	// StatsTimeout bounds rank 0's end-of-run stats gather; default 30s.
+	// Ranks still missing when it expires are reported in
+	// stats.Run.FailedRanks instead of hanging the coordinator.
+	StatsTimeout time.Duration
+	// Fault, when non-nil, arms the fault-injection harness (see
+	// FaultPlan): deterministic drop/delay/sever/black-hole/kill rules
+	// for tests and `uts-dist -fault` runs. Nil costs nothing.
+	Fault *FaultPlan
 	// Tracer, when non-nil, records this rank's steal-protocol events
 	// into lane Rank (build it with obs.New(Ranks, ringSize) so lane
 	// numbering matches rank numbering). Traces are per-process: each
@@ -65,8 +97,36 @@ func (c Config) withDefaults() (Config, error) {
 	if c.DialTimeout == 0 {
 		c.DialTimeout = 10 * time.Second
 	}
+	if c.RPCTimeout == 0 {
+		c.RPCTimeout = 5 * time.Second
+	}
+	if c.RPCRetries == 0 {
+		c.RPCRetries = 2
+	}
+	if c.RPCRetries < 0 {
+		c.RPCRetries = 0
+	}
+	if c.StatsTimeout == 0 {
+		c.StatsTimeout = 30 * time.Second
+	}
+	if c.Bind == "" {
+		c.Bind = "127.0.0.1:0"
+	}
 	return c, nil
 }
+
+// errPeerDead wraps every RPC failure that ended with the peer declared
+// dead. Callers classify on it (errors.Is) and degrade — skip the rank,
+// fail the steal, complete over the survivors — instead of aborting.
+var errPeerDead = errors.New("peer unresponsive (marked dead)")
+
+// errKilled is returned throughout a rank the fault injector killed: the
+// in-process stand-in for the process having exited.
+var errKilled = errors.New("cluster: rank killed by fault injection")
+
+// errConnBroken reports a call attempted on a connection already
+// poisoned by a previous deadline miss.
+var errConnBroken = errors.New("cluster: connection broken by earlier rpc failure")
 
 // node is one process's runtime state.
 type node struct {
@@ -78,7 +138,11 @@ type node struct {
 	workAvail atomic.Int32
 	reqWord   atomic.Int32
 
-	// Incoming response slot (written by kindPutResponse).
+	// Incoming response slot (written by kindPutResponse). respMu orders
+	// concurrent writers: a stale response from a timed-out steal can
+	// race the current victim's response, so the slot is no longer
+	// single-writer.
+	respMu     sync.Mutex
 	respAmount int32
 	respHandle uint64
 	respFrom   int
@@ -91,16 +155,41 @@ type node struct {
 	handoffSeq uint64
 	handoff    map[uint64][]stack.Chunk
 
+	// Failure detection. dead[r] is this rank's local verdict that r is
+	// unreachable (RPCs exhausted their retries); it removes r from
+	// probe cycles. Rank 0 additionally tracks the reported membership
+	// under barMu (deadSeen/numDead) so the termination barrier and the
+	// stats gather complete over the survivors.
+	dead []atomic.Bool
+
+	// Fault injection (nil when Config.Fault is nil or has no rules for
+	// this rank) and the killed state it can put the rank into. shut is
+	// the normal-teardown analogue: once Run returns — cleanly or not —
+	// the progress engine stops answering, mimicking process death so
+	// in-process peers cannot mistake a finished rank for a live one.
+	faults   *faultInjector
+	killed   atomic.Bool
+	shut     atomic.Bool
+	killOnce sync.Once
+
 	// Barrier state (rank 0 only), manipulated by the progress engine
-	// under barMu.
+	// under barMu. barIn tracks which ranks are inside so a duplicate
+	// enter cannot double-count and a dying rank can be backed out;
+	// deadSeen/numDead shrink the membership the barrier waits for.
 	barMu     sync.Mutex
 	barCount  int
+	barIn     []bool
+	deadSeen  []bool
+	numDead   int
 	announced atomic.Bool
 
-	// Stats collection (rank 0 only).
+	// Stats collection (rank 0 only). statsFrom tracks which ranks have
+	// reported so duplicates are rejected rather than corrupting the
+	// gather; statsCh (capacity 1) wakes the end-of-run gather loop.
 	statsMu   sync.Mutex
+	statsFrom []bool
 	collected []stats.Thread
-	statsWG   sync.WaitGroup
+	statsCh   chan struct{}
 
 	// Free lists recycling the kindGetChunks hot path: node buffers (the
 	// k-node chunks released by the worker) and the []Chunk response
@@ -113,50 +202,239 @@ type node struct {
 	freeChunks []stack.Chunk
 	freeBufs   [][]stack.Chunk
 
-	// Outgoing connections, one per peer, created lazily. Each carries
-	// only this rank's requests, in lockstep, so a plain mutex per peer
-	// suffices.
+	// Outgoing connections, one per peer, created lazily and replaced
+	// after an RPC failure (a failed exchange poisons the gob stream).
 	peersMu sync.Mutex
 	peers   []*peerConn
+
+	// lane is this rank's tracer lane (nil when untraced). Recorded into
+	// only from the worker/Run goroutine — obs lanes are single-writer.
+	lane *obs.Lane
 
 	t stats.Thread
 }
 
-// peerConn is one outgoing gob-encoded RPC connection.
-type peerConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+// newNode builds a node with every membership/bookkeeping slice sized
+// for cfg.Ranks; used by Run and by tests that drive the progress engine
+// directly.
+func newNode(cfg Config) *node {
+	n := &node{
+		cfg:       cfg,
+		handoff:   map[uint64][]stack.Chunk{},
+		dead:      make([]atomic.Bool, cfg.Ranks),
+		barIn:     make([]bool, cfg.Ranks),
+		deadSeen:  make([]bool, cfg.Ranks),
+		statsFrom: make([]bool, cfg.Ranks),
+		statsCh:   make(chan struct{}, 1),
+		faults:    newFaultInjector(cfg.Fault, cfg.Rank),
+	}
+	n.reqWord.Store(-1)
+	n.t.ID = cfg.Rank
+	n.lane = cfg.Tracer.Lane(cfg.Rank)
+	return n
 }
 
-// call performs one lockstep RPC on the connection.
-func (p *peerConn) call(req *request) (*response, error) {
+// peerConn is one outgoing gob-encoded RPC connection.
+type peerConn struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	broken atomic.Bool
+}
+
+func newPeerConn(conn net.Conn) *peerConn {
+	return &peerConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+// close poisons the connection. Safe from any goroutine, including while
+// a call is blocked in Read — Close unblocks it.
+func (p *peerConn) close() {
+	p.broken.Store(true)
+	p.conn.Close()
+}
+
+// callOnce performs one lockstep RPC with an absolute deadline on the
+// connection. Gob framing cannot survive a half-finished exchange, so
+// any error — a deadline miss included — poisons the stream: the conn is
+// closed and marked broken, and the owner must redial.
+func (p *peerConn) callOnce(req *request, timeout time.Duration) (*response, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.broken.Load() {
+		return nil, errConnBroken
+	}
+	if timeout > 0 {
+		p.conn.SetDeadline(time.Now().Add(timeout))
+	}
 	if err := p.enc.Encode(req); err != nil {
+		p.close()
 		return nil, fmt.Errorf("cluster: rpc send: %w", err)
 	}
 	var resp response
 	if err := p.dec.Decode(&resp); err != nil {
+		p.close()
 		return nil, fmt.Errorf("cluster: rpc recv: %w", err)
+	}
+	if timeout > 0 {
+		p.conn.SetDeadline(time.Time{})
 	}
 	return &resp, nil
 }
 
+// idempotentKind reports whether a request may be retried safely: pure
+// reads (GetAvail, BarrierDone), the coordinator-deduplicated stats
+// delivery, and failure reports.
+func idempotentKind(k reqKind) bool {
+	switch k {
+	case kindGetAvail, kindBarrierDone, kindStats, kindPeerDown:
+		return true
+	}
+	return false
+}
+
+// call performs one RPC to rank r under the configured deadline.
+// Idempotent kinds are retried with exponential backoff and jitter; when
+// every attempt fails, r is marked dead and the returned error wraps
+// errPeerDead, which callers treat as degradation rather than a fatal
+// protocol error. Must be called from the worker/Run goroutine (it
+// records into the rank's single-writer tracer lane).
+func (n *node) call(r int, req *request) (*response, error) {
+	if n.killed.Load() {
+		return nil, errKilled
+	}
+	if n.isDead(r) {
+		return nil, fmt.Errorf("cluster: rank %d: %w", r, errPeerDead)
+	}
+	attempts := 1
+	if idempotentKind(req.Kind) {
+		attempts += n.cfg.RPCRetries
+	}
+	backoff := n.cfg.RPCTimeout / 16
+	if backoff < time.Millisecond {
+		backoff = time.Millisecond
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			n.lane.Rec(obs.KindRPCRetry, int32(r), int64(a))
+			time.Sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff))))
+			backoff *= 2
+		}
+		if op, d, hooked := n.faults.act(ClientSide, r, req.Kind); hooked {
+			switch op {
+			case FaultDelay:
+				time.Sleep(d)
+			case FaultKill:
+				n.die()
+				return nil, errKilled
+			}
+			pc, err := n.peer(r)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			switch op {
+			case FaultSever:
+				pc.conn.Close() // this attempt fails; the conn is redialed
+			case FaultDrop, FaultBlackHole:
+				blackhole(pc.conn) // bytes vanish; the deadline detects it
+			}
+		}
+		pc, err := n.peer(r)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := pc.callOnce(req, n.cfg.RPCTimeout)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		n.dropPeer(r, pc)
+		if n.killed.Load() {
+			return nil, errKilled
+		}
+	}
+	n.markDead(r)
+	return nil, fmt.Errorf("cluster: rank %d: rank %d %w after %d attempt(s): %v",
+		n.cfg.Rank, r, errPeerDead, attempts, lastErr)
+}
+
+// isDead reports this rank's local verdict on r.
+func (n *node) isDead(r int) bool {
+	return r >= 0 && r < len(n.dead) && n.dead[r].Load()
+}
+
+// markDead records the local decision that rank r is unreachable. On
+// rank 0 it feeds the barrier and stats membership directly; elsewhere
+// the failure is reported (best-effort, bounded) to the coordinator so
+// termination and the stats gather complete without r.
+func (n *node) markDead(r int) {
+	if r < 0 || r >= n.cfg.Ranks || r == n.cfg.Rank {
+		return
+	}
+	if n.dead[r].Swap(true) {
+		return
+	}
+	n.lane.Rec(obs.KindPeerDead, int32(r), 0)
+	if n.cfg.Rank == 0 {
+		n.noteDead(r)
+	} else if r != 0 {
+		n.reportDead(r)
+	}
+}
+
+// noteDead is rank 0's membership bookkeeping for dead rank r (> 0):
+// remove it from the barrier accounting and wake the stats gather. Called
+// from both the local worker (via markDead) and the progress engine
+// (kindPeerDown reports); deadSeen dedups the two paths.
+func (n *node) noteDead(r int) {
+	if r <= 0 || r >= n.cfg.Ranks {
+		return
+	}
+	n.dead[r].Store(true)
+	n.barMu.Lock()
+	if !n.deadSeen[r] {
+		n.deadSeen[r] = true
+		n.numDead++
+		if n.barIn[r] {
+			n.barIn[r] = false
+			n.barCount--
+		}
+		n.barRecheckLocked()
+	}
+	n.barMu.Unlock()
+	n.pokeStats()
+}
+
+// reportDead tells the coordinator about r with one bounded, best-effort
+// RPC; a failure here is ignored (the coordinator will learn about r
+// from another survivor, or the stats gather's timeout backstop fires).
+func (n *node) reportDead(r int) {
+	pc, err := n.peer(0)
+	if err != nil {
+		return
+	}
+	req := request{Kind: kindPeerDown, From: n.cfg.Rank, Dead: int32(r)}
+	if _, err := pc.callOnce(&req, n.cfg.RPCTimeout); err != nil {
+		n.dropPeer(0, pc)
+	}
+}
+
 // Run executes this process's part of a distributed search. On rank 0 it
-// returns the aggregated result once every rank has reported; on other
+// returns the aggregated result once every surviving rank has reported
+// (partial results annotated with FailedRanks when peers died); on other
 // ranks it returns (nil, nil) after a clean shutdown.
 func Run(cfg Config) (*stats.Run, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	n := &node{cfg: cfg, handoff: map[uint64][]stack.Chunk{}}
-	n.reqWord.Store(-1)
-	n.t.ID = cfg.Rank
+	n := newNode(cfg)
 
 	if err := n.bootstrap(); err != nil {
+		n.close() // a partial bootstrap may have opened the listener
 		return nil, err
 	}
 	defer n.close()
@@ -167,30 +445,128 @@ func Run(cfg Config) (*stats.Run, error) {
 	}
 
 	if cfg.Rank != 0 {
-		// Report counters to the coordinator and exit.
+		// Report counters to the coordinator and exit. Safe to retry:
+		// the coordinator dedups by sender rank.
 		if cfg.Ranks > 1 {
-			pc, err := n.peer(0)
-			if err != nil {
-				return nil, err
-			}
-			if _, err := pc.call(&request{Kind: kindStats, From: cfg.Rank, Stats: &n.t}); err != nil {
+			if _, err := n.call(0, &request{Kind: kindStats, From: cfg.Rank, Stats: &n.t}); err != nil {
 				return nil, err
 			}
 		}
 		return nil, nil
 	}
 
-	// Rank 0: wait for every other rank's stats, then aggregate. The
-	// tracer summary covers rank 0's own lane only (remote ranks write
-	// their own trace files).
-	n.statsWG.Wait()
-	run := &stats.Run{Elapsed: time.Since(start)}
+	// Rank 0: gather stats over the surviving membership, bounded by
+	// StatsTimeout — dead or wedged ranks degrade the report to partial
+	// results named in FailedRanks, never a permanent hang. The tracer
+	// summary covers rank 0's own lane only (remote ranks write their
+	// own trace files).
+	failed := n.gatherStats()
+	run := &stats.Run{Elapsed: time.Since(start), FailedRanks: failed}
 	run.Threads = append(run.Threads, n.t)
 	n.statsMu.Lock()
 	run.Threads = append(run.Threads, n.collected...)
 	n.statsMu.Unlock()
 	run.Obs = cfg.Tracer.Summary()
 	return run, nil
+}
+
+// gatherStats waits until every rank has either reported its counters or
+// been declared dead, bounded by StatsTimeout. It returns the sorted
+// ranks that never reported.
+func (n *node) gatherStats() []int {
+	cfg := &n.cfg
+	if cfg.Ranks == 1 {
+		return nil
+	}
+	timer := time.NewTimer(cfg.StatsTimeout)
+	defer timer.Stop()
+wait:
+	for !n.statsSettled() {
+		select {
+		case <-n.statsCh:
+		case <-timer.C:
+			break wait
+		}
+	}
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	var failed []int
+	for r := 1; r < cfg.Ranks; r++ {
+		if !n.statsFrom[r] {
+			failed = append(failed, r)
+		}
+	}
+	return failed
+}
+
+// statsSettled reports whether every rank has reported or died.
+func (n *node) statsSettled() bool {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	for r := 1; r < n.cfg.Ranks; r++ {
+		if !n.statsFrom[r] && !n.dead[r].Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// pokeStats wakes the stats gather loop (lossy: the loop re-checks).
+func (n *node) pokeStats() {
+	select {
+	case n.statsCh <- struct{}{}:
+	default:
+	}
+}
+
+// listen opens this rank's listener, fault-wrapped when injection is
+// armed.
+func (n *node) listen(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if n.faults != nil {
+		ln = &faultListener{Listener: ln}
+	}
+	return ln, nil
+}
+
+// dial opens an outgoing connection, fault-wrapped when injection is
+// armed.
+func (n *node) dial(addr string, timeout time.Duration) (net.Conn, error) {
+	conn, err := dialRetry(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if n.faults != nil {
+		conn = &faultConn{Conn: conn}
+	}
+	return conn, nil
+}
+
+// advertiseAddr resolves the address this rank registers with the
+// coordinator: the listener's own address by default, otherwise the
+// configured Advertise host with a missing or zero port filled in from
+// the actual listener (so "-bind 0.0.0.0:0 -advertise 10.0.0.2" works).
+func advertiseAddr(advertise string, ln net.Listener) (string, error) {
+	actual := ln.Addr().String()
+	if advertise == "" {
+		return actual, nil
+	}
+	_, lport, err := net.SplitHostPort(actual)
+	if err != nil {
+		return "", fmt.Errorf("cluster: listener address %q: %w", actual, err)
+	}
+	host, port, err := net.SplitHostPort(advertise)
+	if err != nil {
+		// Bare host with no port: take the listener's.
+		return net.JoinHostPort(advertise, lport), nil
+	}
+	if port == "" || port == "0" {
+		port = lport
+	}
+	return net.JoinHostPort(host, port), nil
 }
 
 // bootstrap brings up the listener, exchanges the address map through the
@@ -202,33 +578,51 @@ func (n *node) bootstrap() error {
 		return nil
 	}
 	if cfg.Rank == 0 {
-		ln, err := net.Listen("tcp", cfg.Coord)
+		ln, err := n.listen(cfg.Coord)
 		if err != nil {
 			return fmt.Errorf("cluster: coordinator listen: %w", err)
 		}
 		n.ln = ln
+		addr0, err := advertiseAddr(cfg.Advertise, ln)
+		if err != nil {
+			return err
+		}
 		if cfg.CoordReady != nil {
 			cfg.CoordReady <- ln.Addr().String()
 		}
-		n.statsWG.Add(cfg.Ranks - 1)
-		return n.coordinate()
+		return n.coordinate(addr0)
 	}
 
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	ln, err := n.listen(cfg.Bind)
 	if err != nil {
-		return fmt.Errorf("cluster: rank %d listen: %w", cfg.Rank, err)
+		return fmt.Errorf("cluster: rank %d listen on %q: %w", cfg.Rank, cfg.Bind, err)
 	}
 	n.ln = ln
 	go n.serve()
 
-	conn, err := dialRetry(cfg.Coord, cfg.DialTimeout)
+	adv, err := advertiseAddr(cfg.Advertise, ln)
+	if err != nil {
+		return err
+	}
+	conn, err := n.dial(cfg.Coord, cfg.DialTimeout)
 	if err != nil {
 		return fmt.Errorf("cluster: rank %d dial coordinator: %w", cfg.Rank, err)
 	}
-	pc := &peerConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
-	resp, err := pc.call(&request{Kind: kindHello, From: cfg.Rank, Addr: ln.Addr().String()})
+	if op, _, hooked := n.faults.act(ClientSide, 0, kindHello); hooked {
+		switch op {
+		case FaultKill:
+			n.die()
+			return errKilled
+		case FaultSever:
+			conn.Close()
+		case FaultDrop, FaultBlackHole:
+			blackhole(conn)
+		}
+	}
+	pc := newPeerConn(conn)
+	resp, err := pc.callOnce(&request{Kind: kindHello, From: cfg.Rank, Addr: adv}, cfg.DialTimeout)
 	if err != nil {
-		return err
+		return fmt.Errorf("cluster: rank %d hello: %w", cfg.Rank, err)
 	}
 	n.addrs = resp.Addrs
 	n.peersMu.Lock()
@@ -238,13 +632,21 @@ func (n *node) bootstrap() error {
 	return nil
 }
 
-// coordinate is rank 0's side of the bootstrap: accept one Hello per rank,
-// then answer all of them with the completed address map and keep serving
-// the connections.
-func (n *node) coordinate() error {
+// coordinate is rank 0's side of the bootstrap: accept one Hello per rank
+// within the DialTimeout window, then answer all of them with the
+// completed address map and keep serving the connections. A rank that
+// dies mid-bootstrap surfaces as a bounded accept timeout naming how many
+// ranks registered, not a hang.
+func (n *node) coordinate(addr0 string) error {
 	cfg := &n.cfg
 	n.addrs = make([]string, cfg.Ranks)
-	n.addrs[0] = n.ln.Addr().String()
+	n.addrs[0] = addr0
+
+	deadline := time.Now().Add(cfg.DialTimeout)
+	type deadliner interface{ SetDeadline(time.Time) error }
+	if d, ok := n.ln.(deadliner); ok {
+		d.SetDeadline(deadline)
+	}
 
 	type pending struct {
 		conn net.Conn
@@ -255,8 +657,10 @@ func (n *node) coordinate() error {
 	for registered := 0; registered < cfg.Ranks-1; {
 		conn, err := n.ln.Accept()
 		if err != nil {
-			return fmt.Errorf("cluster: coordinator accept: %w", err)
+			return fmt.Errorf("cluster: bootstrap: %d of %d ranks registered within %v: %w",
+				registered+1, cfg.Ranks, cfg.DialTimeout, err)
 		}
+		conn.SetReadDeadline(deadline)
 		dec := gob.NewDecoder(conn)
 		enc := gob.NewEncoder(conn)
 		var req request
@@ -264,6 +668,7 @@ func (n *node) coordinate() error {
 			conn.Close()
 			return fmt.Errorf("cluster: bad hello: %w", err)
 		}
+		conn.SetReadDeadline(time.Time{})
 		if req.Kind != kindHello || req.From <= 0 || req.From >= cfg.Ranks || n.addrs[req.From] != "" {
 			conn.Close()
 			return fmt.Errorf("cluster: invalid hello from rank %d", req.From)
@@ -272,10 +677,15 @@ func (n *node) coordinate() error {
 		waiting = append(waiting, pending{conn, enc, dec})
 		registered++
 	}
+	if d, ok := n.ln.(deadliner); ok {
+		d.SetDeadline(time.Time{})
+	}
 	for _, p := range waiting {
+		p.conn.SetWriteDeadline(time.Now().Add(cfg.RPCTimeout))
 		if err := p.enc.Encode(&response{Addrs: n.addrs}); err != nil {
 			return fmt.Errorf("cluster: address broadcast: %w", err)
 		}
+		p.conn.SetWriteDeadline(time.Time{})
 		// The hello connection becomes a served peer connection.
 		go n.serveConn(p.conn, p.enc, p.dec)
 	}
@@ -283,10 +693,13 @@ func (n *node) coordinate() error {
 	return nil
 }
 
-// dialRetry dials until the deadline; the coordinator may come up after
-// the workers when processes are launched together.
+// dialRetry dials until the deadline with growing backoff; the
+// coordinator may come up after the workers when processes are launched
+// together, so early refusals are expected and polite (re-)dial pacing
+// matters more than latency.
 func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
 	deadline := time.Now().Add(timeout)
+	backoff := 5 * time.Millisecond
 	for {
 		conn, err := net.DialTimeout("tcp", addr, time.Second)
 		if err == nil {
@@ -295,7 +708,10 @@ func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
 		if time.Now().After(deadline) {
 			return nil, err
 		}
-		time.Sleep(20 * time.Millisecond)
+		time.Sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff))))
+		if backoff *= 2; backoff > 500*time.Millisecond {
+			backoff = 500 * time.Millisecond
+		}
 	}
 }
 
@@ -306,6 +722,10 @@ func (n *node) serve() {
 		if err != nil {
 			return // listener closed: shutting down
 		}
+		if n.killed.Load() || n.shut.Load() {
+			conn.Close()
+			return
+		}
 		go n.serveConn(conn, gob.NewEncoder(conn), gob.NewDecoder(conn))
 	}
 }
@@ -315,19 +735,52 @@ func (n *node) serve() {
 // request and reply structs live for the whole connection — reset, never
 // reallocated — and served chunk buffers return to the node's free lists
 // once encoded, so the steady-state request loop allocates nothing.
+// Replies carry a write deadline so a peer that stops draining its socket
+// cannot wedge the engine goroutine forever.
 func (n *node) serveConn(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder) {
 	defer conn.Close()
 	var req request
 	var resp response
+	mute := false
 	for {
 		req.reset()
 		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		if n.killed.Load() || n.shut.Load() {
 			return
 		}
 		resp.reset()
 		recycle, ok := n.handleRequest(&req, &resp)
 		if !ok {
 			return // protocol error: drop the connection
+		}
+		if op, d, hooked := n.faults.act(ServerSide, req.From, req.Kind); hooked {
+			switch op {
+			case FaultDelay:
+				time.Sleep(d)
+			case FaultDrop:
+				if recycle != nil {
+					n.recycle(recycle)
+				}
+				continue
+			case FaultSever:
+				return
+			case FaultBlackHole:
+				mute = true
+			case FaultKill:
+				n.die()
+				return
+			}
+		}
+		if mute {
+			if recycle != nil {
+				n.recycle(recycle)
+			}
+			continue
+		}
+		if n.cfg.RPCTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(n.cfg.RPCTimeout))
 		}
 		if err := enc.Encode(&resp); err != nil {
 			return
@@ -348,10 +801,12 @@ func (n *node) handleRequest(req *request, resp *response) (recycle []stack.Chun
 	case kindCASRequest:
 		resp.OK = n.reqWord.CompareAndSwap(-1, req.Thief)
 	case kindPutResponse:
+		n.respMu.Lock()
 		n.respAmount = req.Amount
 		n.respHandle = req.Handle
 		n.respFrom = req.From
 		n.respReady.Store(true)
+		n.respMu.Unlock()
 	case kindGetChunks:
 		n.handoffMu.Lock()
 		resp.Chunk = n.handoff[req.Handle]
@@ -359,28 +814,24 @@ func (n *node) handleRequest(req *request, resp *response) (recycle []stack.Chun
 		n.handoffMu.Unlock()
 		recycle = resp.Chunk
 	case kindBarrierEnter:
-		n.barMu.Lock()
-		n.barCount++
-		if n.barCount == n.cfg.Ranks {
-			n.announced.Store(true)
-			resp.Last = true
-		}
-		n.barMu.Unlock()
+		resp.Last = n.barEnter(req.From)
 	case kindBarrierLeave:
-		n.barMu.Lock()
-		if !n.announced.Load() {
-			n.barCount--
-			resp.OK = true
-		}
-		n.barMu.Unlock()
+		resp.OK = n.barLeave(req.From)
 	case kindBarrierDone:
 		resp.Done = n.announced.Load()
 	case kindStats:
-		if req.Stats != nil {
+		if req.Stats != nil && req.From > 0 && req.From < n.cfg.Ranks {
 			n.statsMu.Lock()
-			n.collected = append(n.collected, *req.Stats)
+			if !n.statsFrom[req.From] {
+				n.statsFrom[req.From] = true
+				n.collected = append(n.collected, *req.Stats)
+			}
 			n.statsMu.Unlock()
-			n.statsWG.Done()
+			n.pokeStats()
+		}
+	case kindPeerDown:
+		if r := int(req.Dead); n.cfg.Rank == 0 && r > 0 && r < n.cfg.Ranks {
+			n.noteDead(r)
 		}
 	default:
 		return nil, false
@@ -388,33 +839,113 @@ func (n *node) handleRequest(req *request, resp *response) (recycle []stack.Chun
 	return recycle, true
 }
 
+// barEnter registers rank from inside the barrier and reports whether
+// termination is (now) announced. Duplicate enters are idempotent.
+func (n *node) barEnter(from int) bool {
+	n.barMu.Lock()
+	defer n.barMu.Unlock()
+	if from >= 0 && from < len(n.barIn) && !n.barIn[from] {
+		n.barIn[from] = true
+		n.barCount++
+		n.barRecheckLocked()
+	}
+	return n.announced.Load()
+}
+
+// barLeave backs rank from out of the barrier; it reports false when
+// termination already raced in (the caller must finish instead).
+func (n *node) barLeave(from int) bool {
+	n.barMu.Lock()
+	defer n.barMu.Unlock()
+	if n.announced.Load() {
+		return false
+	}
+	if from >= 0 && from < len(n.barIn) && n.barIn[from] {
+		n.barIn[from] = false
+		n.barCount--
+	}
+	return true
+}
+
+// barRecheckLocked announces termination once every live rank is inside
+// the barrier; called under barMu whenever barCount or the membership
+// changes.
+func (n *node) barRecheckLocked() {
+	if n.barCount > 0 && n.barCount >= n.cfg.Ranks-n.numDead {
+		n.announced.Store(true)
+	}
+}
+
 // peer returns (dialing if necessary) the outgoing connection to rank r.
+// Post-bootstrap every listener is already up, so redials use a single
+// bounded attempt — connection refused means the rank is gone, and the
+// caller's retry loop provides the pacing.
 func (n *node) peer(r int) (*peerConn, error) {
 	n.peersMu.Lock()
 	defer n.peersMu.Unlock()
 	if n.peers == nil {
 		n.peers = make([]*peerConn, n.cfg.Ranks)
 	}
-	if n.peers[r] == nil {
-		conn, err := dialRetry(n.addrs[r], n.cfg.DialTimeout)
-		if err != nil {
-			return nil, fmt.Errorf("cluster: rank %d cannot reach rank %d at %q: %w",
-				n.cfg.Rank, r, n.addrs[r], err)
-		}
-		n.peers[r] = &peerConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	if pc := n.peers[r]; pc != nil && !pc.broken.Load() {
+		return pc, nil
 	}
+	timeout := n.cfg.RPCTimeout
+	if timeout == 0 {
+		timeout = n.cfg.DialTimeout
+	}
+	conn, err := net.DialTimeout("tcp", n.addrs[r], timeout)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: rank %d cannot reach rank %d at %q: %w",
+			n.cfg.Rank, r, n.addrs[r], err)
+	}
+	if n.faults != nil {
+		conn = &faultConn{Conn: conn}
+	}
+	n.peers[r] = newPeerConn(conn)
 	return n.peers[r], nil
 }
 
-// close tears down the listener and every outgoing connection.
+// dropPeer forgets a connection that failed an RPC so the next call
+// redials with a fresh gob stream.
+func (n *node) dropPeer(r int, pc *peerConn) {
+	pc.close()
+	n.peersMu.Lock()
+	if r >= 0 && r < len(n.peers) && n.peers[r] == pc {
+		n.peers[r] = nil
+	}
+	n.peersMu.Unlock()
+}
+
+// die makes this rank behave like a killed process: stop accepting,
+// stop serving, break every outgoing connection, and let the worker exit
+// with errKilled at its next poll. Fault-injection only.
+func (n *node) die() {
+	n.killOnce.Do(func() {
+		n.killed.Store(true)
+		if n.ln != nil {
+			n.ln.Close()
+		}
+		n.peersMu.Lock()
+		for _, p := range n.peers {
+			if p != nil {
+				p.close()
+			}
+		}
+		n.peersMu.Unlock()
+	})
+}
+
+// close tears down the listener, stops the progress engine, and breaks
+// every outgoing connection — the teardown a real process exit implies.
 func (n *node) close() {
+	n.shut.Store(true)
 	if n.ln != nil {
 		n.ln.Close()
 	}
 	n.peersMu.Lock()
 	for _, p := range n.peers {
 		if p != nil {
-			p.conn.Close()
+			p.close()
 		}
 	}
 	n.peersMu.Unlock()
@@ -428,6 +959,19 @@ func (n *node) deposit(chunks []stack.Chunk) uint64 {
 	n.handoff[h] = chunks
 	n.handoffMu.Unlock()
 	return h
+}
+
+// withdraw takes reserved chunks back out of the handoff table — the
+// un-deposit used when the steal response never reached the thief and
+// the reserved work must return to the pool instead of leaking.
+func (n *node) withdraw(h uint64) ([]stack.Chunk, bool) {
+	n.handoffMu.Lock()
+	defer n.handoffMu.Unlock()
+	chunks, ok := n.handoff[h]
+	if ok {
+		delete(n.handoff, h)
+	}
+	return chunks, ok
 }
 
 // getNodeBuf returns a recycled node buffer, or nil when none is free (the
@@ -461,6 +1005,18 @@ func (n *node) getChunkBuf() []stack.Chunk {
 	b := n.freeBufs[len(n.freeBufs)-1]
 	n.freeBufs = n.freeBufs[:len(n.freeBufs)-1]
 	return b
+}
+
+// putChunkBuf recycles a response buffer alone, dropping its references;
+// used when the node buffers it carried went back to the pool instead of
+// the free lists (the withdraw path).
+func (n *node) putChunkBuf(buf []stack.Chunk) {
+	for i := range buf {
+		buf[i] = nil
+	}
+	n.freeMu.Lock()
+	n.freeBufs = append(n.freeBufs, buf[:0])
+	n.freeMu.Unlock()
 }
 
 // recycle returns a served response buffer and every node buffer it

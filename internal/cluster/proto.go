@@ -53,7 +53,13 @@ const (
 	kindBarrierLeave
 	kindBarrierDone
 	// kindStats delivers a finished rank's counters to the coordinator.
+	// Duplicate deliveries are ignored (the coordinator tracks which
+	// ranks reported), which is what makes the RPC safe to retry.
 	kindStats
+	// kindPeerDown reports a detected peer failure to the coordinator so
+	// the termination barrier and the stats gather can complete over the
+	// surviving membership. Idempotent: repeats are harmless.
+	kindPeerDown
 )
 
 // request is the wire format of one RPC request. Fields are a union over
@@ -66,6 +72,7 @@ type request struct {
 	Thief  int32  // kindCASRequest: thief ID to write into the request word
 	Amount int32  // kindPutResponse: chunks granted (0 = denial)
 	Handle uint64 // kindPutResponse / kindGetChunks: handoff table key
+	Dead   int32  // kindPeerDown: the rank declared dead by the sender
 
 	Stats *stats.Thread // kindStats
 }

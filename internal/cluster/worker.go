@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"time"
@@ -130,10 +131,20 @@ func (w *clusterWorker) work() error {
 
 // service answers a pending steal request: reserve half the pool in the
 // handoff table and write amount+handle into the thief's response slot.
+// A thief that cannot be reached is handled gracefully: the reserved
+// work is withdrawn from the handoff table and returned to the pool
+// (never stranded), the request word is cleared, and the worker keeps
+// going — a dead thief must not take its victim down with it.
 func (w *clusterWorker) service() error {
+	if w.n.killed.Load() {
+		return errKilled
+	}
 	thief := w.n.reqWord.Load()
 	if thief < 0 {
 		return nil
+	}
+	if int(thief) == w.me {
+		return fmt.Errorf("cluster: rank %d received a self-steal request", w.me)
 	}
 	var amount int32
 	var handle uint64
@@ -143,16 +154,25 @@ func (w *clusterWorker) service() error {
 		amount = int32(len(chunks))
 		handle = w.n.deposit(chunks)
 	}
-	if int(thief) == w.me {
-		return fmt.Errorf("cluster: rank %d received a self-steal request", w.me)
-	}
-	pc, err := w.n.peer(int(thief))
-	if err != nil {
-		return err
-	}
-	if _, err := pc.call(&request{
+	_, err := w.n.call(int(thief), &request{
 		Kind: kindPutResponse, From: w.me, Amount: amount, Handle: handle,
-	}); err != nil {
+	})
+	if err != nil {
+		// The thief never learned the handle: un-reserve the work so it
+		// is stolen or explored locally instead of leaking.
+		if amount > 0 {
+			if chunks, ok := w.n.withdraw(handle); ok {
+				for _, c := range chunks {
+					w.pool.Put(c)
+				}
+				w.n.putChunkBuf(chunks)
+			}
+			w.n.workAvail.Store(int32(w.pool.Len()))
+		}
+		w.n.reqWord.Store(-1)
+		if errors.Is(err, errPeerDead) {
+			return nil
+		}
 		return err
 	}
 	w.n.reqWord.Store(-1)
@@ -167,7 +187,9 @@ func (w *clusterWorker) service() error {
 
 // discover probes the other ranks in pseudo-random cycles, returning true
 // once work has been stolen onto the local stack and false when a full
-// cycle saw every other rank entirely out of work.
+// cycle saw every other rank entirely out of work. Ranks marked dead are
+// skipped; a probe that dies mid-cycle degrades to "not a worker" rather
+// than aborting the search.
 func (w *clusterWorker) discover() (bool, error) {
 	if w.ranks == 1 {
 		return false, nil
@@ -178,8 +200,14 @@ func (w *clusterWorker) discover() (bool, error) {
 			if err := w.service(); err != nil {
 				return false, err
 			}
+			if w.n.isDead(v) {
+				continue
+			}
 			wa, err := w.probe(v)
 			if err != nil {
+				if errors.Is(err, errPeerDead) {
+					continue
+				}
 				return false, err
 			}
 			if wa > 0 {
@@ -207,11 +235,7 @@ func (w *clusterWorker) discover() (bool, error) {
 // probe reads rank v's work-available word with a one-sided get.
 func (w *clusterWorker) probe(v int) (int32, error) {
 	w.n.t.Probes++
-	pc, err := w.n.peer(v)
-	if err != nil {
-		return 0, err
-	}
-	resp, err := pc.call(&request{Kind: kindGetAvail, From: w.me})
+	resp, err := w.n.call(v, &request{Kind: kindGetAvail, From: w.me})
 	if err != nil {
 		return 0, err
 	}
@@ -219,42 +243,72 @@ func (w *clusterWorker) probe(v int) (int32, error) {
 	return resp.Avail, nil
 }
 
-// steal claims v's request word, waits for the owner's response in the
-// local slot, then fetches the reserved chunks with a one-sided get.
+// stealFail books one failed steal attempt at rank v.
+func (w *clusterWorker) stealFail(v int) {
+	w.n.t.FailedSteals++
+	w.lane.Rec(obs.KindStealFail, int32(v), 0)
+}
+
+// steal claims v's request word, waits (bounded) for the owner's response
+// in the local slot, then fetches the reserved chunks with a one-sided
+// get. A victim that dies at any point in the exchange turns the attempt
+// into a failed steal, never a hang: the CAS and the chunk fetch carry
+// RPC deadlines, and the response wait has its own timeout after which v
+// is declared dead.
 func (w *clusterWorker) steal(v int) (bool, error) {
 	t := &w.n.t
-	pc, err := w.n.peer(v)
-	if err != nil {
-		return false, err
-	}
 	w.lane.Rec(obs.KindStealRequest, int32(v), 0)
-	resp, err := pc.call(&request{Kind: kindCASRequest, From: w.me, Thief: int32(w.me)})
+	resp, err := w.n.call(v, &request{Kind: kindCASRequest, From: w.me, Thief: int32(w.me)})
 	if err != nil {
+		if errors.Is(err, errPeerDead) {
+			w.stealFail(v)
+			return false, nil
+		}
 		return false, err
 	}
 	if !resp.OK {
-		t.FailedSteals++
-		w.lane.Rec(obs.KindStealFail, int32(v), 0)
+		w.stealFail(v)
 		return false, nil
 	}
-	for !w.n.respReady.Load() {
+	var amount int32
+	var handle uint64
+	respDeadline := time.Now().Add(2 * w.n.cfg.RPCTimeout)
+	spins := 0
+	for {
+		if w.n.respReady.Load() {
+			w.n.respMu.Lock()
+			a, h, from := w.n.respAmount, w.n.respHandle, w.n.respFrom
+			w.n.respReady.Store(false)
+			w.n.respMu.Unlock()
+			if from != v {
+				// Stale response from an earlier timed-out steal (that
+				// victim was marked dead, so it cannot be v): drop it
+				// and keep waiting for the real one.
+				continue
+			}
+			amount, handle = a, h
+			break
+		}
 		if err := w.service(); err != nil {
 			return false, err
 		}
+		if spins++; spins&0xff == 0 && time.Now().After(respDeadline) {
+			w.n.markDead(v)
+			w.stealFail(v)
+			return false, nil
+		}
 		runtime.Gosched()
 	}
-	amount, handle, from := w.n.respAmount, w.n.respHandle, w.n.respFrom
-	w.n.respReady.Store(false)
 	if amount == 0 {
-		t.FailedSteals++
-		w.lane.Rec(obs.KindStealFail, int32(v), 0)
+		w.stealFail(v)
 		return false, nil
 	}
-	if from != v {
-		return false, fmt.Errorf("cluster: rank %d got a response from %d while stealing from %d", w.me, from, v)
-	}
-	got, err := pc.call(&request{Kind: kindGetChunks, From: w.me, Handle: handle})
+	got, err := w.n.call(v, &request{Kind: kindGetChunks, From: w.me, Handle: handle})
 	if err != nil {
+		if errors.Is(err, errPeerDead) {
+			w.stealFail(v)
+			return false, nil
+		}
 		return false, err
 	}
 	if len(got.Chunk) == 0 {
@@ -277,24 +331,15 @@ func (w *clusterWorker) steal(v int) (bool, error) {
 }
 
 // Barrier operations, served by rank 0's progress engine; rank 0's own
-// worker shortcuts to local state.
+// worker shortcuts to local state. For other ranks a coordinator that
+// cannot be reached is fatal — without rank 0 there is no termination
+// protocol and no one to report results to — but the error arrives in
+// bounded time instead of hanging.
 func (w *clusterWorker) barrierEnter() (bool, error) {
-	n := w.n
 	if w.me == 0 {
-		n.barMu.Lock()
-		n.barCount++
-		last := n.barCount == w.ranks
-		if last {
-			n.announced.Store(true)
-		}
-		n.barMu.Unlock()
-		return last, nil
+		return w.n.barEnter(0), nil
 	}
-	pc, err := n.peer(0)
-	if err != nil {
-		return false, err
-	}
-	resp, err := pc.call(&request{Kind: kindBarrierEnter, From: w.me})
+	resp, err := w.n.call(0, &request{Kind: kindBarrierEnter, From: w.me})
 	if err != nil {
 		return false, err
 	}
@@ -302,21 +347,10 @@ func (w *clusterWorker) barrierEnter() (bool, error) {
 }
 
 func (w *clusterWorker) barrierLeave() (bool, error) {
-	n := w.n
 	if w.me == 0 {
-		n.barMu.Lock()
-		ok := !n.announced.Load()
-		if ok {
-			n.barCount--
-		}
-		n.barMu.Unlock()
-		return ok, nil
+		return w.n.barLeave(0), nil
 	}
-	pc, err := n.peer(0)
-	if err != nil {
-		return false, err
-	}
-	resp, err := pc.call(&request{Kind: kindBarrierLeave, From: w.me})
+	resp, err := w.n.call(0, &request{Kind: kindBarrierLeave, From: w.me})
 	if err != nil {
 		return false, err
 	}
@@ -324,15 +358,10 @@ func (w *clusterWorker) barrierLeave() (bool, error) {
 }
 
 func (w *clusterWorker) barrierDone() (bool, error) {
-	n := w.n
 	if w.me == 0 {
-		return n.announced.Load(), nil
+		return w.n.announced.Load(), nil
 	}
-	pc, err := n.peer(0)
-	if err != nil {
-		return false, err
-	}
-	resp, err := pc.call(&request{Kind: kindBarrierDone, From: w.me})
+	resp, err := w.n.call(0, &request{Kind: kindBarrierDone, From: w.me})
 	if err != nil {
 		return false, err
 	}
@@ -342,7 +371,9 @@ func (w *clusterWorker) barrierDone() (bool, error) {
 // terminate runs the streamlined termination protocol of Section 3.3.1
 // over the barrier RPCs: enter only when a full cycle saw no work, keep
 // servicing requests while waiting, inspect one rank at a time, and leave
-// before any steal attempt.
+// before any steal attempt. Dead ranks are skipped during inspection; the
+// barrier itself completes over the surviving membership (rank 0 shrinks
+// the required count as deaths are reported).
 func (w *clusterWorker) terminate() (bool, error) {
 	last, err := w.barrierEnter()
 	if err != nil || last {
@@ -360,8 +391,16 @@ func (w *clusterWorker) terminate() (bool, error) {
 			continue
 		}
 		v := w.rng.Victim(w.me, w.ranks)
+		if w.n.isDead(v) {
+			runtime.Gosched()
+			continue
+		}
 		wa, err := w.probe(v)
 		if err != nil {
+			if errors.Is(err, errPeerDead) {
+				runtime.Gosched()
+				continue
+			}
 			return false, err
 		}
 		if wa > 0 {

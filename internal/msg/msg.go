@@ -95,9 +95,15 @@ type Comm struct {
 	inboxes []inbox
 }
 
+// inbox is a head-indexed FIFO ring: Recv advances head instead of
+// re-slicing the queue (q = q[1:] permanently strips capacity off the
+// backing array, so sustained traffic reallocates forever), and Send
+// compacts the dead prefix before the slice would otherwise grow. In
+// steady state one backing array is reused indefinitely.
 type inbox struct {
-	mu sync.Mutex
-	q  []Message
+	mu   sync.Mutex
+	q    []Message
+	head int
 }
 
 // NewComm creates a communicator of n ranks charging costs to model
@@ -128,6 +134,16 @@ func (c *Comm) Send(from, to int, m Message) {
 	}
 	ib := &c.inboxes[to]
 	ib.mu.Lock()
+	if ib.head > 0 && len(ib.q) == cap(ib.q) {
+		// About to grow: slide the live suffix down over the dead prefix
+		// first so the existing backing array keeps being reused.
+		live := copy(ib.q, ib.q[ib.head:])
+		for i := live; i < len(ib.q); i++ {
+			ib.q[i] = Message{}
+		}
+		ib.q = ib.q[:live]
+		ib.head = 0
+	}
 	ib.q = append(ib.q, m)
 	ib.mu.Unlock()
 }
@@ -139,14 +155,15 @@ func (c *Comm) Recv(me int) (Message, bool) {
 	ib := &c.inboxes[me]
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
-	if len(ib.q) == 0 {
+	if ib.head == len(ib.q) {
 		return Message{}, false
 	}
-	m := ib.q[0]
-	ib.q[0] = Message{}
-	ib.q = ib.q[1:]
-	if len(ib.q) == 0 {
-		ib.q = nil
+	m := ib.q[ib.head]
+	ib.q[ib.head] = Message{} // drop payload references promptly
+	ib.head++
+	if ib.head == len(ib.q) {
+		ib.q = ib.q[:0]
+		ib.head = 0
 	}
 	return m, true
 }
@@ -157,5 +174,5 @@ func (c *Comm) Pending(me int) int {
 	ib := &c.inboxes[me]
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
-	return len(ib.q)
+	return len(ib.q) - ib.head
 }

@@ -125,3 +125,76 @@ func TestMessageSizeCharging(t *testing.T) {
 		t.Errorf("size = %d, want 256", m.size())
 	}
 }
+
+// TestSteadyStateReusesBacking is the regression test for the inbox
+// capacity leak: Recv used to re-slice the queue (q = q[1:]), permanently
+// stripping capacity off the backing array so sustained traffic forced
+// Send to reallocate forever. With the head-indexed ring, a steady
+// send/recv rhythm must recycle one backing array and allocate nothing
+// beyond the payloads the caller hands in.
+func TestSteadyStateReusesBacking(t *testing.T) {
+	c, err := NewComm(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up: establish the backing array at its working size.
+	for i := 0; i < 64; i++ {
+		c.Send(0, 1, Message{Tag: TagStealRequest})
+	}
+	for {
+		if _, ok := c.Recv(1); !ok {
+			break
+		}
+	}
+	// Steady state: the inbox oscillates, never drains fully (the hard
+	// case — a drained inbox resets head and is trivially reusable).
+	c.Send(0, 1, Message{Tag: TagStealRequest})
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Send(0, 1, Message{Tag: TagStealRequest})
+		if _, ok := c.Recv(1); !ok {
+			t.Fatal("inbox unexpectedly empty")
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state send/recv allocates %.2f objects per op; want 0", allocs)
+	}
+}
+
+// TestFIFOAcrossCompaction drives the inbox through many grow/compact
+// cycles with interleaved sends and receives and checks strict FIFO
+// order end to end — the compaction slide must never reorder or drop a
+// live message.
+func TestFIFOAcrossCompaction(t *testing.T) {
+	c, err := NewComm(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := 0 // next sequence number expected out
+	sent := 0
+	recv := func(n int) {
+		for i := 0; i < n; i++ {
+			m, ok := c.Recv(1)
+			if !ok {
+				t.Fatalf("inbox empty with %d messages outstanding", sent-next)
+			}
+			if int(m.Color) != next {
+				t.Fatalf("got message %d, want %d", int(m.Color), next)
+			}
+			next++
+		}
+	}
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 7; i++ {
+			c.Send(0, 1, Message{Tag: TagToken, Color: Color(sent)})
+			sent++
+		}
+		recv(5) // leave a live suffix so compaction has something to slide
+	}
+	recv(sent - next)
+	if _, ok := c.Recv(1); ok {
+		t.Error("inbox should be empty")
+	}
+	if c.Pending(1) != 0 {
+		t.Errorf("Pending = %d after drain", c.Pending(1))
+	}
+}

@@ -79,6 +79,14 @@ const (
 	KindTermEnter
 	// KindTermExit: the PE left the barrier to resume work.
 	KindTermExit
+	// KindRPCRetry: an RPC to PE Other failed its deadline and is being
+	// retried; Value is the attempt number (1 = first retry). Only the
+	// real-TCP cluster emits it.
+	KindRPCRetry
+	// KindPeerDead: this PE declared PE Other dead after its RPCs
+	// exhausted their retries; Other is removed from probe cycles and
+	// the run degrades to the surviving membership.
+	KindPeerDead
 	numKinds
 )
 
@@ -87,6 +95,7 @@ var kindNames = [numKinds]string{
 	"steal-request", "steal-grant", "steal-deny", "steal-fail",
 	"chunk-transfer", "release", "reacquire",
 	"term-enter", "term-exit",
+	"rpc-retry", "peer-dead",
 }
 
 // String names the kind in the hyphenated vocabulary used by the
@@ -172,6 +181,10 @@ func (e Event) String() string {
 		return "term-enter"
 	case KindTermExit:
 		return "term-exit"
+	case KindRPCRetry:
+		return fmt.Sprintf("rpc-retry → PE %d attempt=%d", e.Other, e.Value)
+	case KindPeerDead:
+		return fmt.Sprintf("peer-dead PE %d", e.Other)
 	}
 	return e.Kind.String()
 }

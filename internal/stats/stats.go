@@ -123,6 +123,12 @@ type Run struct {
 	// and efficiency; zero means "unknown".
 	SeqRate float64
 
+	// FailedRanks lists ranks that never delivered their counters to the
+	// coordinator (distributed runs only): the gather completed over the
+	// surviving membership and this run's totals are partial. Empty for
+	// healthy runs.
+	FailedRanks []int
+
 	// Obs holds the merged event-tracer histograms (steal latency,
 	// chunk size, probe distance, per-state dwell) when the run was
 	// traced; nil otherwise. Summary folds it into the report, so
@@ -252,6 +258,9 @@ func (r *Run) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "threads=%d nodes=%d leaves=%d elapsed=%v rate=%.3gM nodes/s\n",
 		len(r.Threads), r.Nodes(), r.Leaves(), r.Elapsed.Round(time.Microsecond), r.Rate()/1e6)
+	if len(r.FailedRanks) > 0 {
+		fmt.Fprintf(&b, "PARTIAL RESULT: no stats from rank(s) %v (failed or unreachable)\n", r.FailedRanks)
+	}
 	if r.SeqRate > 0 {
 		fmt.Fprintf(&b, "speedup=%.1f efficiency=%.1f%%\n", r.Speedup(), 100*r.Efficiency())
 	}

@@ -194,3 +194,15 @@ func TestPerThreadTable(t *testing.T) {
 		t.Errorf("empty table has %d lines", got)
 	}
 }
+
+func TestSummaryPartialResult(t *testing.T) {
+	r := mkRun()
+	if strings.Contains(r.Summary(), "PARTIAL") {
+		t.Error("healthy run advertised a partial result")
+	}
+	r.FailedRanks = []int{2, 5}
+	s := r.Summary()
+	if !strings.Contains(s, "PARTIAL RESULT") || !strings.Contains(s, "[2 5]") {
+		t.Errorf("summary does not flag the failed ranks:\n%s", s)
+	}
+}
