@@ -47,7 +47,7 @@ func TestProgressEngineZeroSteadyStateAllocs(t *testing.T) {
 		// engine serves and recycles it — the kindGetChunks hot path.
 		c := append(n.getNodeBuf(), proto...)
 		buf := append(n.getChunkBuf(), c)
-		h := n.deposit(buf)
+		h := n.deposit(buf, 2)
 		req.reset()
 		resp.reset()
 		req.Kind, req.Handle = kindGetChunks, h

@@ -109,17 +109,48 @@ func TestFaultKillMidStealFourRanks(t *testing.T) {
 	if len(run.FailedRanks) != 1 || run.FailedRanks[0] != 2 {
 		t.Errorf("FailedRanks = %v, want [2]", run.FailedRanks)
 	}
+	if len(run.SuspectedRanks) != 1 || run.SuspectedRanks[0] != 2 {
+		t.Errorf("SuspectedRanks = %v, want [2]: the coordinator saw the death verdict", run.SuspectedRanks)
+	}
 	if run.Nodes() != 63575 || run.Leaves() != 31887 {
 		t.Errorf("counts = (%d, %d), want the full tree (63575, 31887): the victim died before holding work",
 			run.Nodes(), run.Leaves())
 	}
 }
 
+// requireHealthyExactRun asserts the strongest outcome a fault test can
+// demand: every rank exited cleanly, the full tree was counted exactly
+// once, and the run carries no degradation annotations — no missing
+// stats and no death verdicts, true or false.
+func requireHealthyExactRun(t *testing.T, run *stats.Run, errs map[int]error, nodes, leaves int64) {
+	t.Helper()
+	for r, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d failed: %v", r, err)
+		}
+	}
+	if run == nil {
+		t.Fatal("rank 0 produced no result")
+	}
+	if run.Nodes() != nodes || run.Leaves() != leaves {
+		t.Errorf("counts = (%d, %d), want exactly (%d, %d)", run.Nodes(), run.Leaves(), nodes, leaves)
+	}
+	if len(run.FailedRanks) != 0 {
+		t.Errorf("FailedRanks = %v, want none", run.FailedRanks)
+	}
+	if len(run.SuspectedRanks) != 0 {
+		t.Errorf("SuspectedRanks = %v, want none: no false death verdicts", run.SuspectedRanks)
+	}
+}
+
 // TestFaultSeverMidSteal severs the connection right as rank 0's progress
-// engine would hand stolen chunks to rank 1. The thief's chunk fetch is
-// not retryable (the handoff entry is consumed), so rank 1 declares its
-// only peer dead and exits with an error; rank 0 detects rank 1's silence
-// in turn and completes alone with a partial result naming it.
+// engine would hand stolen chunks to rank 1. The consumed handoff entry
+// is redeposited on the victim side (the response never left the
+// process) and the reclaim sweep returns it to rank 0's pool; the thief
+// books a failed steal without a death verdict, because rank 0 still
+// answers its confirmation probe over a fresh connection. One severed
+// connection therefore costs one steal — not a peer, not a subtree: the
+// run completes with exact counts and no degradation annotations.
 func TestFaultSeverMidSteal(t *testing.T) {
 	plan := &FaultPlan{Rules: []FaultRule{
 		{Rank: 0, Peer: -1, Side: ServerSide, Kind: int(kindGetChunks), Op: FaultSever, Times: 1},
@@ -128,49 +159,39 @@ func TestFaultSeverMidSteal(t *testing.T) {
 	// (BenchTiny can drain before the thief's first steal lands, leaving
 	// the fault rule nothing to fire on).
 	run, errs := launchFaulty(t, 2, faultCfg(&uts.BenchSmall, 4, plan), 30*time.Second)
-
-	if errs[1] == nil {
-		t.Error("rank 1 completed cleanly despite losing its coordinator mid-steal")
-	} else if !errors.Is(errs[1], errPeerDead) {
-		t.Errorf("rank 1 exited with %v, want an errPeerDead degradation", errs[1])
-	}
-	if errs[0] != nil {
-		t.Fatalf("rank 0 failed: %v", errs[0])
-	}
-	if run == nil {
-		t.Fatal("rank 0 produced no result")
-	}
-	if len(run.FailedRanks) != 1 || run.FailedRanks[0] != 1 {
-		t.Errorf("FailedRanks = %v, want [1]", run.FailedRanks)
-	}
+	requireHealthyExactRun(t, run, errs, 63575, 31887)
 }
 
 // TestFaultDropPutResponse makes the victim's steal grant vanish in
 // flight: rank 0 reserves work in its handoff table, writes the response
-// toward the thief, and the bytes never arrive. The victim must withdraw
-// the reserved chunks back into its pool (the handoff-leak fix) and keep
-// going; since the thief never obtains work before giving up, rank 0
-// explores the entire tree by itself — any node shortfall here means
-// stolen-but-undelivered work leaked in the handoff table.
+// toward the thief, and the bytes never arrive. The victim's PutResponse
+// times out, its confirmation probe finds the thief alive (no death
+// verdict), and the reserved chunks come back out of the handoff table
+// into the pool; the thief's own response wait expires, its probe finds
+// the victim alive, and it simply retries later. Both ranks finish, the
+// tree is counted exactly once, and nothing is marked failed or suspect.
 func TestFaultDropPutResponse(t *testing.T) {
 	plan := &FaultPlan{Rules: []FaultRule{
 		{Rank: 0, Peer: -1, Side: ClientSide, Kind: int(kindPutResponse), Op: FaultDrop, Times: 1},
 	}}
 	run, errs := launchFaulty(t, 2, faultCfg(&uts.BenchSmall, 4, plan), 30*time.Second)
+	requireHealthyExactRun(t, run, errs, 63575, 31887)
+}
 
-	if errs[0] != nil {
-		t.Fatalf("rank 0 failed: %v", errs[0])
-	}
-	if run == nil {
-		t.Fatal("rank 0 produced no result")
-	}
-	if run.Nodes() != 63575 || run.Leaves() != 31887 {
-		t.Errorf("counts = (%d, %d), want (63575, 31887): withdrawn work must return to the pool, not leak",
-			run.Nodes(), run.Leaves())
-	}
-	if len(run.FailedRanks) != 1 || run.FailedRanks[0] != 1 {
-		t.Errorf("FailedRanks = %v, want [1]", run.FailedRanks)
-	}
+// TestFaultLostGetChunksReclaimed is the review's headline lost-work
+// scenario: the thief's chunk fetch vanishes in flight after the
+// victim's PutResponse succeeded, so a granted reservation sits in the
+// victim's handoff table with a thief that has already given up. The
+// victim's age-based reclaim sweep must take the entry back into its
+// pool — without it, the subtree is never explored, yet every rank
+// reports stats and the run prints a clean summary with a silently
+// wrong node count.
+func TestFaultLostGetChunksReclaimed(t *testing.T) {
+	plan := &FaultPlan{Rules: []FaultRule{
+		{Rank: 1, Peer: -1, Side: ClientSide, Kind: int(kindGetChunks), Op: FaultDrop, Times: 1},
+	}}
+	run, errs := launchFaulty(t, 2, faultCfg(&uts.BenchSmall, 4, plan), 30*time.Second)
+	requireHealthyExactRun(t, run, errs, 63575, 31887)
 }
 
 // TestFaultKillBeforeBarrier kills rank 3 as it tries to enter the
@@ -195,6 +216,9 @@ func TestFaultKillBeforeBarrier(t *testing.T) {
 	}
 	if len(run.FailedRanks) != 1 || run.FailedRanks[0] != 3 {
 		t.Errorf("FailedRanks = %v, want [3]", run.FailedRanks)
+	}
+	if len(run.SuspectedRanks) != 1 || run.SuspectedRanks[0] != 3 {
+		t.Errorf("SuspectedRanks = %v, want [3]", run.SuspectedRanks)
 	}
 }
 
@@ -279,6 +303,132 @@ func TestFaultServiceWithdrawsOnDeadThief(t *testing.T) {
 	}
 	if !n.isDead(1) {
 		t.Error("unresponsive thief was not marked dead")
+	}
+}
+
+// reclaimNode builds a node + worker pair with one reserved handoff
+// entry granted to thief, returning both and the entry's handle.
+func reclaimNode(t *testing.T, thief int32) (*node, *clusterWorker, uint64) {
+	t.Helper()
+	cfg, err := Config{Rank: 0, Ranks: 3, Spec: &uts.BenchTiny, Chunk: 4}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := newNode(cfg)
+	w := &clusterWorker{n: n, sp: n.cfg.Spec, k: cfg.Chunk, me: 0, ranks: 3}
+	h := n.deposit(append(n.getChunkBuf(), make(stack.Chunk, 4)), thief)
+	return n, w, h
+}
+
+// TestHandoffReclaimDeadThief: a reservation whose thief this rank has
+// declared dead comes back into the pool on the next sweep; a fresh
+// entry with a live thief does not.
+func TestHandoffReclaimDeadThief(t *testing.T) {
+	n, w, _ := reclaimNode(t, 2)
+	if w.reclaim() {
+		t.Fatal("reclaim took back a fresh entry whose thief is alive")
+	}
+	n.markDead(2)
+	if !w.reclaim() {
+		t.Fatal("reclaim skipped an entry whose thief is dead")
+	}
+	if got := w.pool.Len(); got != 1 {
+		t.Errorf("pool has %d chunks after reclaim, want 1", got)
+	}
+	if n.handoffN.Load() != 0 {
+		t.Error("handoff table still non-empty after reclaim")
+	}
+	if wa := n.workAvail.Load(); wa != 1 {
+		t.Errorf("workAvail = %d after reclaim, want 1 (reclaimed work must be stealable)", wa)
+	}
+}
+
+// TestHandoffReclaimStaleAge: an entry unfetched past the stale bound is
+// taken back even though its thief is still considered alive — the
+// false-positive-death backstop — and a thief fetching after the
+// reclaim gets an empty response (a failed steal), never the work twice.
+func TestHandoffReclaimStaleAge(t *testing.T) {
+	n, w, h := reclaimNode(t, 1)
+	n.handoffMu.Lock()
+	for k, e := range n.handoff {
+		e.at = time.Now().Add(-n.staleAfter() - time.Second)
+		n.handoff[k] = e
+	}
+	n.handoffMu.Unlock()
+	if !w.reclaim() {
+		t.Fatal("reclaim skipped an entry older than the stale bound")
+	}
+	if got := w.pool.Len(); got != 1 {
+		t.Errorf("pool has %d chunks after reclaim, want 1", got)
+	}
+	var req request
+	var resp response
+	req.Kind, req.Handle = kindGetChunks, h
+	if _, ok := n.handleRequest(&req, &resp); !ok {
+		t.Fatal("late fetch of a reclaimed handle dropped the connection")
+	}
+	if len(resp.Chunk) != 0 {
+		t.Error("late fetch of a reclaimed handle returned chunks: work delivered twice")
+	}
+}
+
+// TestHandoffRedepositStranded: chunks redeposited by the progress
+// engine (a served GetChunks response that never reached the thief) are
+// immediately stranded and come back on the very next sweep.
+func TestHandoffRedepositStranded(t *testing.T) {
+	n, w, h := reclaimNode(t, 1)
+	var req request
+	var resp response
+	req.Kind, req.Handle = kindGetChunks, h
+	recycle, ok := n.handleRequest(&req, &resp)
+	if !ok || len(recycle) != 1 {
+		t.Fatalf("handoff serve failed: ok=%v chunks=%d", ok, len(recycle))
+	}
+	n.redeposit(1, recycle)
+	if !w.reclaim() {
+		t.Fatal("redeposited chunks were not immediately reclaimable")
+	}
+	if got := w.pool.Len(); got != 1 {
+		t.Errorf("pool has %d chunks after reclaim, want 1", got)
+	}
+}
+
+// TestWithDefaultsClampsTimeouts: non-positive timeout configs select
+// the defaults rather than producing zero backoff (rand.Int63n panics on
+// n <= 0), pre-expired response deadlines, or unbounded RPCs.
+func TestWithDefaultsClampsTimeouts(t *testing.T) {
+	cfg, err := Config{
+		Rank: 0, Ranks: 1, Spec: &uts.BenchTiny,
+		RPCTimeout: -time.Second, DialTimeout: -time.Second, StatsTimeout: -time.Second,
+	}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.RPCTimeout != 5*time.Second {
+		t.Errorf("RPCTimeout = %v, want the 5s default", cfg.RPCTimeout)
+	}
+	if cfg.DialTimeout != 10*time.Second {
+		t.Errorf("DialTimeout = %v, want the 10s default", cfg.DialTimeout)
+	}
+	if cfg.StatsTimeout != 30*time.Second {
+		t.Errorf("StatsTimeout = %v, want the 30s default", cfg.StatsTimeout)
+	}
+}
+
+// TestRespWaitCoversRetryBudget: the thief's response wait must exceed
+// the worst case a live victim can spend inside one fully retried
+// call() (redial + RPC deadline per attempt plus backoff) — otherwise
+// one genuinely dead rank cascades into survivors declaring each other
+// dead while blocked retrying toward it.
+func TestRespWaitCoversRetryBudget(t *testing.T) {
+	cfg, err := Config{Rank: 0, Ranks: 2, Spec: &uts.BenchTiny}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := newNode(cfg)
+	budget := time.Duration(1+cfg.RPCRetries) * 2 * cfg.RPCTimeout
+	if got := n.respWait(); got <= budget {
+		t.Errorf("respWait = %v, want > %v (the full retry budget)", got, budget)
 	}
 }
 

@@ -94,10 +94,14 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Chunk < 1 {
 		return c, fmt.Errorf("cluster: chunk must be >= 1, got %d", c.Chunk)
 	}
-	if c.DialTimeout == 0 {
+	// Non-positive timeouts select the defaults: a negative RPCTimeout
+	// would otherwise yield zero backoff (rand.Int63n panics on n <= 0),
+	// an already-expired response deadline, and — via callOnce's
+	// timeout > 0 guard — silently unbounded RPCs.
+	if c.DialTimeout <= 0 {
 		c.DialTimeout = 10 * time.Second
 	}
-	if c.RPCTimeout == 0 {
+	if c.RPCTimeout <= 0 {
 		c.RPCTimeout = 5 * time.Second
 	}
 	if c.RPCRetries == 0 {
@@ -106,7 +110,7 @@ func (c Config) withDefaults() (Config, error) {
 	if c.RPCRetries < 0 {
 		c.RPCRetries = 0
 	}
-	if c.StatsTimeout == 0 {
+	if c.StatsTimeout <= 0 {
 		c.StatsTimeout = 30 * time.Second
 	}
 	if c.Bind == "" {
@@ -127,6 +131,13 @@ var errKilled = errors.New("cluster: rank killed by fault injection")
 // errConnBroken reports a call attempted on a connection already
 // poisoned by a previous deadline miss.
 var errConnBroken = errors.New("cluster: connection broken by earlier rpc failure")
+
+// errRPCFailed wraps a non-idempotent RPC that failed while the peer
+// demonstrably stayed alive (the confirmation probe answered): the
+// exchange is lost, but the peer keeps its membership. Callers degrade
+// the one operation — a failed steal, a withdrawn reservation — without
+// the false death verdict a single transient stall used to produce.
+var errRPCFailed = errors.New("rpc failed (peer alive)")
 
 // node is one process's runtime state.
 type node struct {
@@ -150,10 +161,15 @@ type node struct {
 
 	// Handoff table: chunks reserved by the worker, fetched one-sidedly
 	// by thieves. Guarded by handoffMu (worker deposits, progress engine
-	// serves).
+	// serves). Each entry remembers its thief and deposit time so the
+	// worker's reclaim sweep can take back reservations that were never
+	// fetched — a thief that gave up or died must not strand the subtree
+	// it was granted. handoffN mirrors len(handoff) so the hot loop can
+	// ask "anything pending?" with one atomic load.
 	handoffMu  sync.Mutex
 	handoffSeq uint64
-	handoff    map[uint64][]stack.Chunk
+	handoff    map[uint64]handoffEntry
+	handoffN   atomic.Int32
 
 	// Failure detection. dead[r] is this rank's local verdict that r is
 	// unreachable (RPCs exhausted their retries); it removes r from
@@ -220,7 +236,7 @@ type node struct {
 func newNode(cfg Config) *node {
 	n := &node{
 		cfg:       cfg,
-		handoff:   map[uint64][]stack.Chunk{},
+		handoff:   map[uint64]handoffEntry{},
 		dead:      make([]atomic.Bool, cfg.Ranks),
 		barIn:     make([]bool, cfg.Ranks),
 		deadSeen:  make([]bool, cfg.Ranks),
@@ -294,11 +310,15 @@ func idempotentKind(k reqKind) bool {
 }
 
 // call performs one RPC to rank r under the configured deadline.
-// Idempotent kinds are retried with exponential backoff and jitter; when
-// every attempt fails, r is marked dead and the returned error wraps
-// errPeerDead, which callers treat as degradation rather than a fatal
-// protocol error. Must be called from the worker/Run goroutine (it
-// records into the rank's single-writer tracer lane).
+// Idempotent kinds are retried with exponential backoff and jitter.
+// When every attempt fails, the verdict depends on the kind: an
+// exhausted idempotent retry loop is itself the evidence, but a
+// non-idempotent kind had only one attempt, so a fully retried
+// idempotent probe confirms first — a peer that answers it is alive,
+// and the error wraps errRPCFailed (exchange lost, membership kept)
+// instead of errPeerDead. Only a confirmed-unreachable r is marked
+// dead. Must be called from the worker/Run goroutine (it records into
+// the rank's single-writer tracer lane).
 func (n *node) call(r int, req *request) (*response, error) {
 	if n.killed.Load() {
 		return nil, errKilled
@@ -310,6 +330,34 @@ func (n *node) call(r int, req *request) (*response, error) {
 	if idempotentKind(req.Kind) {
 		attempts += n.cfg.RPCRetries
 	}
+	resp, lastErr := n.attempt(r, req, attempts)
+	if resp != nil {
+		return resp, nil
+	}
+	if errors.Is(lastErr, errKilled) {
+		return nil, errKilled
+	}
+	if !idempotentKind(req.Kind) {
+		probe := request{Kind: kindGetAvail, From: n.cfg.Rank}
+		if pr, _ := n.attempt(r, &probe, 1+n.cfg.RPCRetries); pr != nil {
+			return nil, fmt.Errorf("cluster: rank %d: rpc kind %d to rank %d %w: %v",
+				n.cfg.Rank, req.Kind, r, errRPCFailed, lastErr)
+		}
+		if n.killed.Load() {
+			return nil, errKilled
+		}
+	}
+	n.markDead(r)
+	return nil, fmt.Errorf("cluster: rank %d: rank %d %w after %d attempt(s): %v",
+		n.cfg.Rank, r, errPeerDead, attempts, lastErr)
+}
+
+// attempt runs the bounded retry loop for one RPC: a per-attempt
+// deadline via callOnce, exponential backoff with jitter between
+// attempts, and a redial after every failure (a failed exchange poisons
+// the gob stream). Returns the first successful response, or (nil,
+// lastErr) once the attempts are spent.
+func (n *node) attempt(r int, req *request, attempts int) (*response, error) {
 	backoff := n.cfg.RPCTimeout / 16
 	if backoff < time.Millisecond {
 		backoff = time.Millisecond
@@ -356,9 +404,47 @@ func (n *node) call(r int, req *request) (*response, error) {
 			return nil, errKilled
 		}
 	}
-	n.markDead(r)
-	return nil, fmt.Errorf("cluster: rank %d: rank %d %w after %d attempt(s): %v",
-		n.cfg.Rank, r, errPeerDead, attempts, lastErr)
+	return nil, lastErr
+}
+
+// respWait bounds a thief's wait for a victim's steal response: the
+// worst case a live victim can go without running service() — one fully
+// retried call() toward a genuinely dead peer (a redial plus an RPC
+// deadline per attempt, plus the backoff sleeps between attempts) —
+// with one extra RPCTimeout of slack for the response transfer itself.
+// Waiting any less risks declaring a merely busy victim dead: it may be
+// stuck in its own retry loop toward a dead third rank, unable to
+// answer steals meanwhile.
+func (n *node) respWait() time.Duration {
+	rpcT := n.cfg.RPCTimeout
+	if rpcT <= 0 {
+		rpcT = 5 * time.Second
+	}
+	attempts := 1 + n.cfg.RPCRetries
+	if attempts < 1 {
+		attempts = 1
+	}
+	d := time.Duration(attempts) * 2 * rpcT
+	backoff := rpcT / 16
+	if backoff < time.Millisecond {
+		backoff = time.Millisecond
+	}
+	for a := 1; a < attempts; a++ {
+		d += backoff + backoff/2 // sleep is backoff/2 + jitter < backoff
+		backoff *= 2
+	}
+	return d + rpcT
+}
+
+// staleAfter is how long a handoff entry may sit unfetched before the
+// reclaim sweep takes it back: the thief's full response wait again,
+// doubled, which covers its chunk fetch and any service() it performs
+// between receiving the response and issuing the fetch. Past this the
+// thief has provably given up (or died). Reclaiming early is safe for
+// the count — a late fetch finds the entry gone and books a failed
+// steal, never a double delivery — it merely wastes a granted transfer.
+func (n *node) staleAfter() time.Duration {
+	return 2 * n.respWait()
 }
 
 // isDead reports this rank's local verdict on r.
@@ -394,6 +480,18 @@ func (n *node) noteDead(r int) {
 		return
 	}
 	n.dead[r].Store(true)
+	// Verdicts that arrive after termination has been announced are
+	// shutdown races, not membership events: a finished rank closes its
+	// listener while slower peers are still mid-probe in their terminate
+	// loop, and the failed probe would otherwise brand a rank that
+	// completed the run intact. The dead[] store above still settles the
+	// stats gather, and a rank that genuinely dies post-termination shows
+	// up in FailedRanks (its counters never arrive) — so skipping the
+	// deadSeen record here never hides a real failure.
+	if n.announced.Load() {
+		n.pokeStats()
+		return
+	}
 	n.barMu.Lock()
 	if !n.deadSeen[r] {
 		n.deadSeen[r] = true
@@ -461,7 +559,11 @@ func Run(cfg Config) (*stats.Run, error) {
 	// summary covers rank 0's own lane only (remote ranks write their
 	// own trace files).
 	failed := n.gatherStats()
-	run := &stats.Run{Elapsed: time.Since(start), FailedRanks: failed}
+	run := &stats.Run{
+		Elapsed:        time.Since(start),
+		FailedRanks:    failed,
+		SuspectedRanks: n.suspectedRanks(),
+	}
 	run.Threads = append(run.Threads, n.t)
 	n.statsMu.Lock()
 	run.Threads = append(run.Threads, n.collected...)
@@ -497,6 +599,24 @@ wait:
 		}
 	}
 	return failed
+}
+
+// suspectedRanks returns, in rank order, every rank the coordinator saw
+// declared dead — by its own verdicts or a survivor's PeerDown report —
+// whether or not that rank's stats later arrived. A suspected rank that
+// still reported means the barrier membership shrank on a false
+// positive: the run must be visibly annotated as degraded even though
+// FailedRanks is empty, not pass as healthy.
+func (n *node) suspectedRanks() []int {
+	n.barMu.Lock()
+	defer n.barMu.Unlock()
+	var out []int
+	for r, d := range n.deadSeen {
+		if d {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // statsSettled reports whether every rank has reported or died.
@@ -755,16 +875,23 @@ func (n *node) serveConn(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder) {
 		if !ok {
 			return // protocol error: drop the connection
 		}
+		// Any path on which a served GetChunks response provably does not
+		// reach the thief must redeposit the chunks — already consumed
+		// from the handoff table — rather than recycle (double delivery)
+		// or leak them (a lost subtree and a silently short node count).
 		if op, d, hooked := n.faults.act(ServerSide, req.From, req.Kind); hooked {
 			switch op {
 			case FaultDelay:
 				time.Sleep(d)
 			case FaultDrop:
 				if recycle != nil {
-					n.recycle(recycle)
+					n.redeposit(int32(req.From), recycle)
 				}
 				continue
 			case FaultSever:
+				if recycle != nil {
+					n.redeposit(int32(req.From), recycle)
+				}
 				return
 			case FaultBlackHole:
 				mute = true
@@ -775,7 +902,7 @@ func (n *node) serveConn(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder) {
 		}
 		if mute {
 			if recycle != nil {
-				n.recycle(recycle)
+				n.redeposit(int32(req.From), recycle)
 			}
 			continue
 		}
@@ -783,6 +910,9 @@ func (n *node) serveConn(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder) {
 			conn.SetWriteDeadline(time.Now().Add(n.cfg.RPCTimeout))
 		}
 		if err := enc.Encode(&resp); err != nil {
+			if recycle != nil {
+				n.redeposit(int32(req.From), recycle)
+			}
 			return
 		}
 		if recycle != nil {
@@ -808,9 +938,15 @@ func (n *node) handleRequest(req *request, resp *response) (recycle []stack.Chun
 		n.respReady.Store(true)
 		n.respMu.Unlock()
 	case kindGetChunks:
+		// An absent handle is served as an empty response, not an error:
+		// the worker's reclaim sweep may have taken the entry back, and
+		// the thief books a failed steal for it.
 		n.handoffMu.Lock()
-		resp.Chunk = n.handoff[req.Handle]
-		delete(n.handoff, req.Handle)
+		if e, ok := n.handoff[req.Handle]; ok {
+			delete(n.handoff, req.Handle)
+			n.handoffN.Store(int32(len(n.handoff)))
+			resp.Chunk = e.chunks
+		}
 		n.handoffMu.Unlock()
 		recycle = resp.Chunk
 	case kindBarrierEnter:
@@ -951,14 +1087,40 @@ func (n *node) close() {
 	n.peersMu.Unlock()
 }
 
-// deposit reserves chunks in the handoff table and returns their handle.
-func (n *node) deposit(chunks []stack.Chunk) uint64 {
+// handoffEntry is one reserved-work record in the handoff table: the
+// chunks, which thief they were granted to, and when. A zero deposit
+// time marks the entry as already stranded (the redeposit path), making
+// it eligible for the very next reclaim sweep.
+type handoffEntry struct {
+	chunks []stack.Chunk
+	thief  int32
+	at     time.Time
+}
+
+// deposit reserves chunks in the handoff table for thief and returns
+// their handle.
+func (n *node) deposit(chunks []stack.Chunk, thief int32) uint64 {
 	n.handoffMu.Lock()
 	n.handoffSeq++
 	h := n.handoffSeq
-	n.handoff[h] = chunks
+	n.handoff[h] = handoffEntry{chunks: chunks, thief: thief, at: time.Now()}
+	n.handoffN.Store(int32(len(n.handoff)))
 	n.handoffMu.Unlock()
 	return h
+}
+
+// redeposit puts chunks whose served GetChunks response never reached
+// the thief back into the table as an already-stranded entry. The
+// progress engine cannot touch the worker-owned pool directly, so the
+// table is the rendezvous: the worker's next reclaim sweep returns the
+// work to the pool. This is the server-side counterpart of service()'s
+// withdraw — a lost response must not lose the subtree it carried.
+func (n *node) redeposit(thief int32, chunks []stack.Chunk) {
+	n.handoffMu.Lock()
+	n.handoffSeq++
+	n.handoff[n.handoffSeq] = handoffEntry{chunks: chunks, thief: thief}
+	n.handoffN.Store(int32(len(n.handoff)))
+	n.handoffMu.Unlock()
 }
 
 // withdraw takes reserved chunks back out of the handoff table — the
@@ -967,11 +1129,41 @@ func (n *node) deposit(chunks []stack.Chunk) uint64 {
 func (n *node) withdraw(h uint64) ([]stack.Chunk, bool) {
 	n.handoffMu.Lock()
 	defer n.handoffMu.Unlock()
-	chunks, ok := n.handoff[h]
+	e, ok := n.handoff[h]
 	if ok {
 		delete(n.handoff, h)
+		n.handoffN.Store(int32(len(n.handoff)))
 	}
-	return chunks, ok
+	return e.chunks, ok
+}
+
+// reclaimStranded withdraws every handoff entry whose thief this rank
+// has declared dead or whose age exceeds staleAfter, returning the
+// entries so the worker can put the work back into its pool. This is
+// the backstop for death-verdict false positives: a thief that timed
+// out waiting for the response (while the PutResponse in fact landed)
+// never fetches its grant, and without the sweep that subtree would sit
+// in the table forever while the run printed a clean, silently short
+// summary. Worker-goroutine only. Delivery and reclamation cannot
+// double-count: both delete the entry under handoffMu, so exactly one
+// side obtains the chunks.
+func (n *node) reclaimStranded() []handoffEntry {
+	if n.handoffN.Load() == 0 {
+		return nil
+	}
+	now := time.Now()
+	limit := n.staleAfter()
+	var out []handoffEntry
+	n.handoffMu.Lock()
+	for h, e := range n.handoff {
+		if n.isDead(int(e.thief)) || now.Sub(e.at) > limit {
+			delete(n.handoff, h)
+			out = append(out, e)
+		}
+	}
+	n.handoffN.Store(int32(len(n.handoff)))
+	n.handoffMu.Unlock()
+	return out
 }
 
 // getNodeBuf returns a recycled node buffer, or nil when none is free (the

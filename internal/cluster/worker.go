@@ -73,6 +73,19 @@ func (w *clusterWorker) main() error {
 			continue
 		}
 		w.setState(stats.Idle)
+		// Reserved-but-unfetched handoff entries pin this worker out of
+		// the termination barrier: entering with work still reserved
+		// could let the run terminate with that subtree unexplored. Wait
+		// for every entry to be fetched or reclaimed; reclaimed work
+		// sends the worker back to Working instead.
+		regained, err := w.drainHandoffs()
+		if err != nil {
+			return err
+		}
+		if regained && w.pool.Len() > 0 {
+			w.setState(stats.Working)
+			continue
+		}
 		t.TermBarrierEntries++
 		w.lane.Rec(obs.KindTermEnter, -1, 0)
 		done, err := w.terminate()
@@ -95,6 +108,7 @@ func (w *clusterWorker) work() error {
 	for {
 		if sinceYield++; sinceYield >= 256 {
 			sinceYield = 0
+			w.reclaim() // one atomic load while the handoff table is empty
 			runtime.Gosched()
 		}
 		if err := w.service(); err != nil {
@@ -152,7 +166,7 @@ func (w *clusterWorker) service() error {
 		chunks := w.pool.TakeHalfAppend(w.n.getChunkBuf())
 		w.n.workAvail.Store(int32(w.pool.Len()))
 		amount = int32(len(chunks))
-		handle = w.n.deposit(chunks)
+		handle = w.n.deposit(chunks, thief)
 	}
 	_, err := w.n.call(int(thief), &request{
 		Kind: kindPutResponse, From: w.me, Amount: amount, Handle: handle,
@@ -170,7 +184,7 @@ func (w *clusterWorker) service() error {
 			w.n.workAvail.Store(int32(w.pool.Len()))
 		}
 		w.n.reqWord.Store(-1)
-		if errors.Is(err, errPeerDead) {
+		if errors.Is(err, errPeerDead) || errors.Is(err, errRPCFailed) {
 			return nil
 		}
 		return err
@@ -185,16 +199,62 @@ func (w *clusterWorker) service() error {
 	return nil
 }
 
+// reclaim sweeps the handoff table for stranded reservations — entries
+// whose thief this rank declared dead, or that sat unfetched past the
+// stale bound — and puts the work back into the pool. Returns true when
+// any work came back. Costs one atomic load while the table is empty,
+// so the hot loop calls it on its yield cadence.
+func (w *clusterWorker) reclaim() bool {
+	entries := w.n.reclaimStranded()
+	if len(entries) == 0 {
+		return false
+	}
+	for _, e := range entries {
+		w.lane.Rec(obs.KindHandoffReclaim, e.thief, int64(len(e.chunks)))
+		for _, c := range e.chunks {
+			w.pool.Put(c)
+		}
+		w.n.putChunkBuf(e.chunks)
+	}
+	w.n.workAvail.Store(int32(w.pool.Len()))
+	return true
+}
+
+// drainHandoffs blocks until the handoff table is empty: every reserved
+// entry has either been fetched by its thief or reclaimed back into the
+// pool. It keeps servicing steal requests meanwhile (reclaimed work is
+// immediately stealable again), and reports whether any reclaim put
+// work back — the caller must then resume working rather than enter the
+// termination barrier.
+func (w *clusterWorker) drainHandoffs() (bool, error) {
+	regained := false
+	for w.n.handoffN.Load() > 0 {
+		if err := w.service(); err != nil {
+			return regained, err
+		}
+		if w.reclaim() {
+			regained = true
+		}
+		runtime.Gosched()
+	}
+	return regained, nil
+}
+
 // discover probes the other ranks in pseudo-random cycles, returning true
 // once work has been stolen onto the local stack and false when a full
 // cycle saw every other rank entirely out of work. Ranks marked dead are
 // skipped; a probe that dies mid-cycle degrades to "not a worker" rather
-// than aborting the search.
+// than aborting the search. Each cycle starts with a reclaim sweep: work
+// stranded by a thief that never fetched its grant counts as discovered
+// work, not a reason to keep searching.
 func (w *clusterWorker) discover() (bool, error) {
 	if w.ranks == 1 {
 		return false, nil
 	}
 	for {
+		if w.reclaim() {
+			return true, nil
+		}
 		sawWorker := false
 		for _, v := range w.rng.Cycle(w.me, w.ranks) {
 			if err := w.service(); err != nil {
@@ -253,14 +313,16 @@ func (w *clusterWorker) stealFail(v int) {
 // in the local slot, then fetches the reserved chunks with a one-sided
 // get. A victim that dies at any point in the exchange turns the attempt
 // into a failed steal, never a hang: the CAS and the chunk fetch carry
-// RPC deadlines, and the response wait has its own timeout after which v
-// is declared dead.
+// RPC deadlines, and the response wait is bounded by the worst case a
+// live victim can spend unable to service (its own retry loop toward a
+// dead peer) — after which a confirmation probe separates a dead victim
+// from one whose response was merely lost.
 func (w *clusterWorker) steal(v int) (bool, error) {
 	t := &w.n.t
 	w.lane.Rec(obs.KindStealRequest, int32(v), 0)
 	resp, err := w.n.call(v, &request{Kind: kindCASRequest, From: w.me, Thief: int32(w.me)})
 	if err != nil {
-		if errors.Is(err, errPeerDead) {
+		if errors.Is(err, errPeerDead) || errors.Is(err, errRPCFailed) {
 			w.stealFail(v)
 			return false, nil
 		}
@@ -272,7 +334,7 @@ func (w *clusterWorker) steal(v int) (bool, error) {
 	}
 	var amount int32
 	var handle uint64
-	respDeadline := time.Now().Add(2 * w.n.cfg.RPCTimeout)
+	respDeadline := time.Now().Add(w.n.respWait())
 	spins := 0
 	for {
 		if w.n.respReady.Load() {
@@ -281,9 +343,11 @@ func (w *clusterWorker) steal(v int) (bool, error) {
 			w.n.respReady.Store(false)
 			w.n.respMu.Unlock()
 			if from != v {
-				// Stale response from an earlier timed-out steal (that
-				// victim was marked dead, so it cannot be v): drop it
-				// and keep waiting for the real one.
+				// Stale response from an earlier abandoned steal (its
+				// victim timed out or the exchange failed): drop it and
+				// keep waiting for the real one. Any grant it named is
+				// taken back by its victim's reclaim sweep, so dropping
+				// it loses nothing.
 				continue
 			}
 			amount, handle = a, h
@@ -293,7 +357,15 @@ func (w *clusterWorker) steal(v int) (bool, error) {
 			return false, err
 		}
 		if spins++; spins&0xff == 0 && time.Now().After(respDeadline) {
-			w.n.markDead(v)
+			// No response within the worst-case service gap. The
+			// progress engine answers probes even while v's worker is
+			// blocked elsewhere, so a fully retried probe separates the
+			// verdicts: if it also fails, call() marks v dead; if v
+			// answers, the exchange is abandoned without a verdict and
+			// any reserved work returns via v's reclaim sweep.
+			if _, perr := w.probe(v); perr != nil && !errors.Is(perr, errPeerDead) {
+				return false, perr
+			}
 			w.stealFail(v)
 			return false, nil
 		}
@@ -305,14 +377,20 @@ func (w *clusterWorker) steal(v int) (bool, error) {
 	}
 	got, err := w.n.call(v, &request{Kind: kindGetChunks, From: w.me, Handle: handle})
 	if err != nil {
-		if errors.Is(err, errPeerDead) {
+		if errors.Is(err, errPeerDead) || errors.Is(err, errRPCFailed) {
+			// The fetch failed, but the reservation is intact at v (or
+			// redeposited there when only the response leg was lost):
+			// v's reclaim sweep returns the work to v's own pool.
 			w.stealFail(v)
 			return false, nil
 		}
 		return false, err
 	}
 	if len(got.Chunk) == 0 {
-		return false, fmt.Errorf("cluster: rank %d: empty handoff %d at rank %d", w.me, handle, v)
+		// The entry is gone: v's reclaim sweep took it back because this
+		// steal outlived the stale-entry bound. The work stays at v.
+		w.stealFail(v)
+		return false, nil
 	}
 	t.Steals++
 	t.ChunksGot += int64(len(got.Chunk))

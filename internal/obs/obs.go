@@ -87,6 +87,10 @@ const (
 	// exhausted their retries; Other is removed from probe cycles and
 	// the run degrades to the surviving membership.
 	KindPeerDead
+	// KindHandoffReclaim: this PE withdrew Value reserved chunks back
+	// into its pool because thief PE Other never fetched them (it gave
+	// up on the exchange, or died). Only the real-TCP cluster emits it.
+	KindHandoffReclaim
 	numKinds
 )
 
@@ -95,7 +99,7 @@ var kindNames = [numKinds]string{
 	"steal-request", "steal-grant", "steal-deny", "steal-fail",
 	"chunk-transfer", "release", "reacquire",
 	"term-enter", "term-exit",
-	"rpc-retry", "peer-dead",
+	"rpc-retry", "peer-dead", "handoff-reclaim",
 }
 
 // String names the kind in the hyphenated vocabulary used by the
@@ -185,6 +189,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("rpc-retry → PE %d attempt=%d", e.Other, e.Value)
 	case KindPeerDead:
 		return fmt.Sprintf("peer-dead PE %d", e.Other)
+	case KindHandoffReclaim:
+		return fmt.Sprintf("handoff-reclaim ← PE %d chunks=%d", e.Other, e.Value)
 	}
 	return e.Kind.String()
 }

@@ -129,6 +129,15 @@ type Run struct {
 	// healthy runs.
 	FailedRanks []int
 
+	// SuspectedRanks lists ranks some surviving rank declared dead
+	// during the run, as recorded by the coordinator (distributed runs
+	// only). A suspected rank may still have delivered its stats — a
+	// death-verdict false positive under extreme slowness — so any
+	// non-empty value means the termination-barrier membership shrank
+	// and the run must be reported as degraded even when FailedRanks is
+	// empty; a clean summary must be impossible for such a run.
+	SuspectedRanks []int
+
 	// Obs holds the merged event-tracer histograms (steal latency,
 	// chunk size, probe distance, per-state dwell) when the run was
 	// traced; nil otherwise. Summary folds it into the report, so
@@ -260,6 +269,9 @@ func (r *Run) Summary() string {
 		len(r.Threads), r.Nodes(), r.Leaves(), r.Elapsed.Round(time.Microsecond), r.Rate()/1e6)
 	if len(r.FailedRanks) > 0 {
 		fmt.Fprintf(&b, "PARTIAL RESULT: no stats from rank(s) %v (failed or unreachable)\n", r.FailedRanks)
+	}
+	if len(r.SuspectedRanks) > 0 {
+		fmt.Fprintf(&b, "DEGRADED: rank(s) %v were declared dead during the run (membership shrank; totals may be partial)\n", r.SuspectedRanks)
 	}
 	if r.SeqRate > 0 {
 		fmt.Fprintf(&b, "speedup=%.1f efficiency=%.1f%%\n", r.Speedup(), 100*r.Efficiency())
