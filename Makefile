@@ -2,9 +2,32 @@
 
 GO ?= go
 
-.PHONY: all build test race short bench bench-smoke bench-obs bench-des experiments experiments-full clean
+.PHONY: all build test race short bench bench-smoke bench-obs bench-des experiments experiments-full clean lint fuzz-smoke
 
 all: build test
+
+# Static analysis: the custom uts-vet analyzer suite (chargecheck,
+# detcheck, noalloc, retrycheck, obscheck — see internal/lint and
+# DESIGN.md §11) runs through go vet so test files are covered too,
+# then staticcheck and govulncheck when the binaries are installed
+# (the CI lint job installs them; offline dev boxes may not have them).
+lint:
+	$(GO) build -o bin/uts-vet ./cmd/uts-vet
+	$(GO) vet -vettool=bin/uts-vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (CI runs it)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed; skipping (CI runs it)"; \
+	fi
+
+# Seeded-corpus fuzz smoke for the -fault mini-language parser.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzParseFaultSpec -fuzztime=10s ./internal/cluster/
 
 build:
 	$(GO) build ./...

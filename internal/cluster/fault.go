@@ -14,6 +14,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"net"
 	"strconv"
@@ -175,6 +176,9 @@ func ParseFaultSpec(spec string) (*FaultPlan, error) {
 				rule.Op, haveOp = op, ok
 			case "p":
 				rule.P, err = strconv.ParseFloat(v, 64)
+				if err == nil && (math.IsNaN(rule.P) || math.IsInf(rule.P, 0)) {
+					err = fmt.Errorf("probability %q is not finite", v)
+				}
 			case "delay":
 				rule.Delay, err = time.ParseDuration(v)
 			case "after":

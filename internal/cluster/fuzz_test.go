@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// renderFaultRule formats a rule back into the -fault mini-language with
+// every field explicit, using the same vocabulary tables the parser
+// reads. Inverse of one ParseFaultSpec rule for all parseable rules.
+func renderFaultRule(r FaultRule) string {
+	sideNames := map[FaultSide]string{AnySide: "any", ClientSide: "client", ServerSide: "server"}
+	kindName := "any"
+	for name, k := range faultKindNames {
+		if k == r.Kind {
+			kindName = name
+			break
+		}
+	}
+	return fmt.Sprintf("rank=%d,peer=%d,side=%s,kind=%s,op=%s,p=%s,delay=%s,after=%d,times=%d",
+		r.Rank, r.Peer, sideNames[r.Side], kindName, r.Op,
+		strconv.FormatFloat(r.P, 'g', -1, 64), r.Delay, r.After, r.Times)
+}
+
+// FuzzParseFaultSpec drives the -fault mini-language parser with
+// arbitrary input. Invariants:
+//
+//   - never panics (the fuzzer's implicit property);
+//   - error and plan are mutually exclusive, and a returned plan has at
+//     least one rule (the documented contract);
+//   - every accepted rule round-trips: rendering it back to spec syntax
+//     and reparsing yields the identical rule, so nothing the parser
+//     accepts is outside what it can represent.
+func FuzzParseFaultSpec(f *testing.F) {
+	// The documented examples, each field at least once, and shapes that
+	// probe parser edges (empty rules, whitespace, duplicate keys,
+	// malformed values, huge numbers).
+	seeds := []string{
+		"rank=2,side=server,kind=cas,after=1,op=kill",
+		"kind=getchunks,op=drop,p=0.1;rank=1,op=delay,delay=5ms",
+		"op=sever",
+		"op=blackhole,times=3 ; op=drop,peer=0",
+		" rank=-1 , peer=-1 , side=any , kind=any , op=delay , delay=1h2m3s , p=1 ",
+		"kind=barrier-enter,op=drop;kind=barrier-leave,op=drop;kind=barrier-done,op=drop",
+		"kind=hello,op=sever;kind=getavail,op=drop;kind=putresponse,op=drop",
+		"kind=stats,op=delay,delay=250us;kind=peerdown,op=drop",
+		"op=kill,p=0.5,after=10,times=1",
+		"op=delay,delay=0s,p=1e-9",
+		"",
+		";;;",
+		"op=",
+		"op=kill,op=drop",
+		"rank=2",
+		"rank=x,op=kill",
+		"p=NaN,op=drop",
+		"delay=5,op=delay",
+		"rank=9999999999999999999,op=kill",
+		"unknown=1,op=kill",
+		"kind=getchunks op=drop",
+		"=,=",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		plan, err := ParseFaultSpec(spec)
+		if err != nil {
+			if plan != nil {
+				t.Fatalf("ParseFaultSpec(%q) returned both a plan and error %v", spec, err)
+			}
+			return
+		}
+		if plan == nil || len(plan.Rules) == 0 {
+			t.Fatalf("ParseFaultSpec(%q) succeeded with an empty plan", spec)
+		}
+		for _, r := range plan.Rules {
+			if _, ok := map[FaultOp]bool{FaultDelay: true, FaultDrop: true, FaultSever: true,
+				FaultBlackHole: true, FaultKill: true}[r.Op]; !ok {
+				t.Fatalf("ParseFaultSpec(%q) produced unknown op %v", spec, r.Op)
+			}
+			if r.Delay < 0 {
+				// A negative delay would make time.Sleep a no-op but is
+				// never meaningful; the renderer still round-trips it.
+				t.Logf("note: negative delay %v accepted", r.Delay)
+			}
+			rt := renderFaultRule(r)
+			plan2, err := ParseFaultSpec(rt)
+			if err != nil {
+				t.Fatalf("round-trip of %q via %q failed: %v", spec, rt, err)
+			}
+			if len(plan2.Rules) != 1 || !reflect.DeepEqual(plan2.Rules[0], r) {
+				t.Fatalf("round-trip of rule %+v via %q produced %+v", r, rt, plan2.Rules[0])
+			}
+		}
+		// Rule count matches the number of non-empty ';' segments.
+		n := 0
+		for _, seg := range strings.Split(spec, ";") {
+			if strings.TrimSpace(seg) != "" {
+				n++
+			}
+		}
+		if n != len(plan.Rules) {
+			t.Fatalf("ParseFaultSpec(%q): %d non-empty segments but %d rules", spec, n, len(plan.Rules))
+		}
+	})
+}
+
+// TestRenderFaultRuleInverse pins the renderer against a hand-built rule
+// so corpus shrinkage cannot silently weaken the round-trip property.
+func TestRenderFaultRuleInverse(t *testing.T) {
+	r := FaultRule{Rank: 3, Peer: 1, Side: ServerSide, Kind: int(kindGetChunks),
+		Op: FaultDelay, P: 0.25, Delay: 5 * time.Millisecond, After: 2, Times: 7}
+	plan, err := ParseFaultSpec(renderFaultRule(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan.Rules[0], r) {
+		t.Fatalf("got %+v, want %+v", plan.Rules[0], r)
+	}
+}

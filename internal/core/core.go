@@ -206,7 +206,7 @@ func RunCtx(ctx context.Context, sp *uts.Spec, opt Options) (*Result, error) {
 		res.Threads[i].ID = i
 	}
 
-	start := time.Now()
+	start := time.Now() //uts:ok detcheck wall-clock Elapsed/rate reporting only; scheduling runs on virtual time
 	var err error
 	switch opt.Algorithm {
 	case Sequential:

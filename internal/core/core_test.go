@@ -432,7 +432,7 @@ func TestRunCtxMidFlightCancellation(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
 	defer cancel()
-	start := time.Now()
+	start := time.Now() //uts:ok detcheck measures real cancellation latency, not simulated time
 	_, err := RunCtx(ctx, &uts.BenchLarge, Options{Algorithm: UPCDistMem, Threads: 4, Chunk: 16})
 	if err == nil {
 		t.Skip("machine finished BenchLarge before the 5ms deadline?!")

@@ -193,6 +193,8 @@ func (s *Sim) schedule(p *Proc, t int64) {
 // next — one heap exchange (single sift-down) instead of a push/pop pair.
 // The sequence number is drawn from the same counter, in the same order,
 // as schedule would have drawn it, so tie-breaks are unchanged.
+//
+//uts:noalloc
 func (s *Sim) park(p *Proc, t int64) {
 	s.seq++
 	s.pend = ev{t: t, seq: s.seq, p: p}
@@ -204,6 +206,8 @@ func (s *Sim) park(p *Proc, t int64) {
 // the root (the park condition required root.t <= t, and on a time tie the
 // root's smaller sequence number wins), so the pending slot always goes
 // through exchange when the heap is nonempty.
+//
+//uts:noalloc
 func (s *Sim) next() (ev, bool) {
 	if s.hasPend {
 		s.hasPend = false
@@ -232,14 +236,16 @@ func (s *Sim) Run() error {
 // either Run's caller or the PE that just yielded; every transfer of
 // control is one buffered-channel send, which is also the happens-before
 // edge that makes lock-free sharing of all simulation state sound.
+//
+//uts:noalloc
 func (s *Sim) dispatch() {
 	for {
 		e, ok := s.next()
 		if !ok {
 			if s.finished != s.nprocs {
 				s.stuck = true
-				s.err = fmt.Errorf("des: deadlock: %d of %d PEs still blocked at t=%v",
-					s.nprocs-s.finished, s.nprocs, s.Now())
+				//uts:ok noalloc deadlock teardown: the simulation is over once this error is built
+				s.err = fmt.Errorf("des: deadlock: %d of %d PEs still blocked at t=%v", s.nprocs-s.finished, s.nprocs, s.Now())
 			}
 			s.doneCh <- s.err
 			return
@@ -264,6 +270,8 @@ func (s *Sim) dispatch() {
 // channel traffic — until the advance ends (control is handed to the PE's
 // goroutine; returns true) or a quantum collides with the queue and is
 // rescheduled (returns false: the dispatcher keeps going).
+//
+//uts:noalloc
 func (s *Sim) contStep(p *Proc) bool {
 	fl := p.stepFl
 	for {
@@ -301,6 +309,8 @@ func (s *Sim) contStep(p *Proc) bool {
 // carry a larger sequence number than anything already queued, so the
 // strict inequality is exactly the condition under which skipping the
 // queue preserves the schedule. Negative delays are treated as zero.
+//
+//uts:noalloc
 func (p *Proc) Advance(d time.Duration) {
 	if d < 0 {
 		d = 0
@@ -333,6 +343,8 @@ func (p *Proc) Advance(d time.Duration) {
 // precedes every queued event; otherwise the PE parks and the dispatcher
 // continues the same step sequence in place, so a whole batch of node
 // work, probes, or idle polls costs zero goroutine switches.
+//
+//uts:noalloc
 func (p *Proc) AdvanceStepped(step Stepper) Intr {
 	s := p.sim
 	if s.legacy {
@@ -365,6 +377,8 @@ func (p *Proc) AdvanceStepped(step Stepper) Intr {
 // yield hands control to the dispatcher and blocks until an event (or a
 // finished stepped advance) hands it back, delivering the interrupt mask
 // that ended a stepped advance, or 0.
+//
+//uts:noalloc
 func (p *Proc) yield() Intr {
 	p.sim.dispatch()
 	return <-p.ch
@@ -412,8 +426,9 @@ type flatHeap struct {
 func (h *flatHeap) empty() bool { return len(h.a) == 0 }
 func (h *flatHeap) minT() int64 { return h.a[0].t }
 
+//uts:noalloc
 func (h *flatHeap) push(e ev) {
-	h.a = append(h.a, e)
+	h.a = append(h.a, e) //uts:ok noalloc amortized slice growth; steady-state pushes reuse the backing array
 	a := h.a
 	i := len(a) - 1
 	for i > 0 {
@@ -427,6 +442,7 @@ func (h *flatHeap) push(e ev) {
 	a[i] = e
 }
 
+//uts:noalloc
 func (h *flatHeap) pop() (ev, bool) {
 	n := len(h.a)
 	if n == 0 {
@@ -448,6 +464,8 @@ func (h *flatHeap) pop() (ev, bool) {
 // for the engine's hottest pattern — a PE parks and the dispatcher
 // immediately needs the next event — valid whenever e orders at-or-after
 // the current root, which the park condition guarantees.
+//
+//uts:noalloc
 func (h *flatHeap) exchange(e ev) ev {
 	top := h.a[0]
 	h.a[0] = e
@@ -458,6 +476,8 @@ func (h *flatHeap) exchange(e ev) ev {
 // siftDown restores heap order below i by hole insertion: the displaced
 // element is held aside while smaller children move up, then written once
 // at its final slot — half the memory traffic of swapping at every level.
+//
+//uts:noalloc
 func (h *flatHeap) siftDown(i int) {
 	a := h.a
 	n := len(a)
@@ -525,6 +545,8 @@ func (l *Lock) dequeue() *Proc {
 
 // Acquire takes the lock, first consuming cost (the acquisition RTT), then
 // queueing behind the current holder if necessary.
+//
+//uts:noalloc
 func (p *Proc) Acquire(l *Lock, cost time.Duration) {
 	p.Advance(cost)
 	if !l.held {
@@ -538,6 +560,8 @@ func (p *Proc) Acquire(l *Lock, cost time.Duration) {
 
 // Release hands the lock to the oldest waiter, if any, and consumes cost
 // (the release RTT) on the calling PE.
+//
+//uts:noalloc
 func (p *Proc) Release(l *Lock, cost time.Duration) {
 	if !l.held {
 		panic("des: release of unheld lock")

@@ -1,0 +1,22 @@
+package lint
+
+// All returns the full analyzer suite in the order uts-vet runs it.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Chargecheck,
+		Detcheck,
+		Noalloc,
+		Retrycheck,
+		Obscheck,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detcheck enforces virtual-time determinism in the simulator and the
+// algorithm kernels: a run must be an exact function of (tree spec,
+// algorithm, machine profile, seed), which is what the byte-identical
+// DES differential tests and the cross-implementation count tests pin.
+//
+// Banned inside internal/des, internal/core, and internal/uts:
+//
+//   - time.Now — wall-clock reads. Exception: feeding a stats.Thread
+//     wall timer (Switch / StartTimers / StopTimers) directly, since
+//     those only time the real-time run for reporting and never steer
+//     a scheduling or protocol decision.
+//   - package-level math/rand state (rand.Intn, rand.Float64, ...).
+//     Constructing explicitly seeded generators (rand.New,
+//     rand.NewSource, rand.NewZipf) is allowed.
+//   - ranging over a map where iteration order is observable — Go
+//     randomizes it per run.
+var Detcheck = &Analyzer{
+	Name: "detcheck",
+	Doc:  "forbid wall-clock reads, global math/rand state, and map-order iteration in the deterministic packages",
+	Paths: []string{
+		"internal/des", "internal/core", "internal/uts",
+	},
+	Run: runDetcheck,
+}
+
+// statsTimerMethods are the wall-clock reporting sinks a time.Now
+// result may flow into directly.
+var statsTimerMethods = map[string]bool{
+	"Switch": true, "StartTimers": true, "StopTimers": true,
+}
+
+// seededConstructors are the math/rand functions that build an
+// explicitly-seeded generator rather than touching global state.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func runDetcheck(pass *Pass) error {
+	// Collect the time.Now calls that appear as direct arguments of a
+	// stats timer call; those are exempt.
+	allowedNow := make(map[*ast.CallExpr]bool)
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, method, isMethod := pass.methodCall(call)
+		if !isMethod || recv != "Thread" || !statsTimerMethods[method] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if ac, isCall := arg.(*ast.CallExpr); isCall {
+				if path, name, isFn := pass.pkgFuncCall(ac); isFn && path == "time" && name == "Now" {
+					allowedNow[ac] = true
+				}
+			}
+		}
+		return true
+	})
+
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			path, name, ok := pass.pkgFuncCall(n)
+			if !ok {
+				return true
+			}
+			if path == "time" && name == "Now" && !allowedNow[n] {
+				pass.Reportf(n.Pos(), "time.Now in a deterministic package: virtual-time code must not read the wall clock (use the DES clock or charge the cost model)")
+			}
+			if (path == "math/rand" || path == "math/rand/v2") && !seededConstructors[name] {
+				pass.Reportf(n.Pos(), "global math/rand state (rand.%s) in a deterministic package: draw from an explicitly seeded generator (internal/rng or rand.New)", name)
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "map iteration order is randomized per run: ranging over a map in a deterministic package feeds nondeterminism into results (iterate a sorted key slice instead)")
+				}
+			}
+		}
+		return true
+	})
+	return nil
+}

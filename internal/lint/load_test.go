@@ -1,0 +1,29 @@
+package lint
+
+import "testing"
+
+// TestLoadModulePackages exercises the export-data loader over real
+// module packages, including one (core) that imports several others.
+func TestLoadModulePackages(t *testing.T) {
+	pkgs, err := Load("../..", "./internal/pgas", "./internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.PkgPath] = p
+	}
+	for _, want := range []string{"repro/internal/pgas", "repro/internal/core"} {
+		p, ok := byPath[want]
+		if !ok {
+			t.Fatalf("Load returned no package %s (got %d packages)", want, len(pkgs))
+		}
+		if p.Types == nil || p.Info == nil || len(p.Files) == 0 {
+			t.Fatalf("%s loaded without types or files", want)
+		}
+	}
+	core := byPath["repro/internal/core"]
+	if core.Types.Scope().Lookup("Options") == nil {
+		t.Fatal("core.Options not found in type-checked scope")
+	}
+}

@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Noalloc checks functions annotated with a //uts:noalloc doc-comment
+// line for constructs that heap-allocate or box. The annotated set is
+// the repo's measured zero-alloc hot paths — the SHA-1 spawn kernel,
+// the DES dispatch/heap core, the obs record path, and the msg inbox
+// ring — whose 0 allocs/op benchmarks are part of the paper numbers.
+//
+// The check is a conservative syntactic/type approximation of escape
+// analysis, not a reimplementation of it: it flags constructs that
+// *can* allocate. Amortized or provably-stack cases (an append into a
+// recycled backing array, say) are silenced with //uts:ok noalloc and a
+// justification, which keeps each exception visible in the diff that
+// introduces it. Arguments of panic calls are exempt — a panicking hot
+// path is already off the measured path.
+//
+// Flagged: new, make, append, &composite{}, slice/map/func literals,
+// interface boxing (concrete value assigned/passed/returned as an
+// interface), string concatenation and string<->[]byte conversions,
+// calls that spread one or more operands into a variadic parameter,
+// go statements, and deferred function literals.
+var Noalloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "functions annotated //uts:noalloc must not contain allocating or boxing constructs",
+	Run:  runNoalloc,
+}
+
+const noallocDirective = "//uts:noalloc"
+
+func runNoalloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasFuncComment(fd, noallocDirective) {
+				continue
+			}
+			checkNoalloc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkNoalloc(pass *Pass, fd *ast.FuncDecl) {
+	// Positions inside panic(...) arguments are exempt: the panic
+	// itself leaves the measured path.
+	var panicRanges [][2]token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, isIdent := call.Fun.(*ast.Ident); isIdent && id.Name == "panic" {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					panicRanges = append(panicRanges, [2]token.Pos{call.Pos(), call.End()})
+				}
+			}
+		}
+		return true
+	})
+	inPanic := func(pos token.Pos) bool {
+		for _, r := range panicRanges {
+			if r[0] <= pos && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+	report := func(pos token.Pos, format string, args ...any) {
+		if !inPanic(pos) {
+			pass.Reportf(pos, "//uts:noalloc "+fd.Name.Name+": "+format, args...)
+		}
+	}
+
+	sig, _ := pass.Info.Defs[fd.Name].Type().(*types.Signature)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkNoallocCall(pass, n, report)
+		case *ast.CompositeLit:
+			t := pass.TypeOf(n)
+			if t == nil {
+				break
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				report(n.Pos(), "slice literal allocates its backing array")
+			case *types.Map:
+				report(n.Pos(), "map literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, isLit := n.X.(*ast.CompositeLit); isLit {
+					report(n.Pos(), "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.FuncLit:
+			report(n.Pos(), "function literal may allocate its closure")
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement allocates a goroutine")
+		case *ast.DeferStmt:
+			if _, isLit := n.Call.Fun.(*ast.FuncLit); isLit {
+				report(n.Pos(), "deferred function literal may allocate")
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := pass.TypeOf(n.X); t != nil {
+					if b, isBasic := t.Underlying().(*types.Basic); isBasic && b.Info()&types.IsString != 0 {
+						report(n.Pos(), "string concatenation allocates")
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i < len(n.Lhs) {
+					checkBoxing(pass, pass.TypeOf(n.Lhs[i]), rhs, report)
+				}
+			}
+		case *ast.ReturnStmt:
+			if sig != nil && sig.Results().Len() == len(n.Results) {
+				for i, res := range n.Results {
+					checkBoxing(pass, sig.Results().At(i).Type(), res, report)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkNoallocCall flags allocating call forms: new/make/append
+// builtins, string<->[]byte/[]rune conversions, and calls spreading
+// arguments into a variadic parameter.
+func checkNoallocCall(pass *Pass, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "new":
+				report(call.Pos(), "new allocates")
+			case "make":
+				report(call.Pos(), "make allocates")
+			case "append":
+				report(call.Pos(), "append may grow the backing array")
+			}
+			return
+		}
+	}
+	// Conversion? (CallExpr whose Fun names a type.)
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := tv.Type, pass.TypeOf(call.Args[0])
+		if isStringBytesConv(to, from) {
+			report(call.Pos(), "string/byte-slice conversion copies and allocates")
+		}
+		checkBoxing(pass, to, call.Args[0], report)
+		return
+	}
+	// Ordinary call: boxing into interface parameters, and variadic
+	// argument slices.
+	sigT := pass.TypeOf(call.Fun)
+	if sigT == nil {
+		return
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				pt = params.At(params.Len() - 1).Type() // passing slice as-is
+			} else {
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		checkBoxing(pass, pt, arg, report)
+	}
+	if sig.Variadic() && call.Ellipsis == token.NoPos && len(call.Args) >= params.Len() {
+		report(call.Pos(), "call spreads %d operand(s) into a variadic parameter, allocating the argument slice", len(call.Args)-params.Len()+1)
+	}
+}
+
+// checkBoxing flags e when its concrete value would be boxed into an
+// interface-typed destination.
+func checkBoxing(pass *Pass, dst types.Type, e ast.Expr, report func(token.Pos, string, ...any)) {
+	if dst == nil {
+		return
+	}
+	if _, isIface := dst.Underlying().(*types.Interface); !isIface {
+		return
+	}
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, alreadyIface := tv.Type.Underlying().(*types.Interface); alreadyIface {
+		return
+	}
+	if tv.IsNil() {
+		return
+	}
+	// Pointers and channels box without allocating the payload, but the
+	// eface/iface pair itself may still escape; keep the check strict
+	// and let call sites justify with //uts:ok noalloc if needed.
+	report(e.Pos(), "value of concrete type %s boxed into interface %s", tv.Type, dst)
+}
+
+// isStringBytesConv reports string <-> []byte/[]rune conversions.
+func isStringBytesConv(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteSlice := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(to) && isByteSlice(from)) || (isByteSlice(to) && isStr(from))
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// Obscheck keeps the observability layer honest about its two core
+// contracts:
+//
+//  1. Event vocabulary: every Lane.Rec / Lane.RecV call names its event
+//     with a declared Kind* constant (or forwards a value already typed
+//     Kind). Raw integer literals or arithmetic would silently fall out
+//     of the exporters' taxonomy (timeline names, Chrome trace lanes,
+//     histogram routing).
+//  2. Nil-tracer guards: a nil *Tracer/*Lane is the documented
+//     "tracing off" representation — every scheduler holds a possibly
+//     nil lane and records unconditionally — so every exported method
+//     with a *Tracer or *Lane receiver in the obs package must begin by
+//     checking its receiver against nil. A missing guard is a latent
+//     panic on every untraced run.
+var Obscheck = &Analyzer{
+	Name: "obscheck",
+	Doc:  "obs events use declared Kind* constants; obs recording methods keep their nil-receiver guards",
+	Run:  runObscheck,
+}
+
+func runObscheck(pass *Pass) error {
+	// Rule 1: event kinds at every Rec/RecV call site, repo-wide.
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, method, isMethod := pass.methodCall(call)
+		if !isMethod || recv != "Lane" || (method != "Rec" && method != "RecV") || len(call.Args) == 0 {
+			return true
+		}
+		if !isDeclaredKind(pass, call.Args[0]) {
+			pass.Reportf(call.Args[0].Pos(), "obs.Lane.%s called with an event kind that is not a declared Kind* constant: undeclared kinds break the timeline/Chrome exporters and histogram routing", method)
+		}
+		return true
+	})
+
+	// Rule 2: nil-receiver guards, only inside the obs package itself.
+	if pass.Pkg == nil || pass.Pkg.Name() != "obs" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recvName := namedTypeName(pass.TypeOf(fd.Recv.List[0].Type))
+			if recvName != "Lane" && recvName != "Tracer" {
+				continue
+			}
+			if _, isPtr := fd.Recv.List[0].Type.(*ast.StarExpr); !isPtr {
+				continue
+			}
+			r := recvIdent(fd)
+			if r == nil || len(fd.Body.List) == 0 || !firstStmtNilChecks(pass, fd.Body.List[0], r.Name) {
+				pass.Reportf(fd.Pos(), "exported method (*%s).%s must begin with a nil-receiver check: a nil tracer/lane is the documented tracing-off value and every call site relies on it", recvName, fd.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// isDeclaredKind reports whether e is an acceptable event-kind
+// argument: a constant whose name starts with "Kind", or a plain
+// identifier whose static type is the named Kind type (a forwarded
+// parameter).
+func isDeclaredKind(pass *Pass, e ast.Expr) bool {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	if tv, ok := pass.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		return strings.HasPrefix(id.Name, "Kind")
+	}
+	// Non-constant: allow variables/parameters already typed Kind.
+	return namedTypeName(obj.Type()) == "Kind"
+}
+
+// firstStmtNilChecks reports whether stmt contains a comparison of the
+// identifier recv against nil (if recv == nil {...}, or
+// return recv != nil && ...).
+func firstStmtNilChecks(pass *Pass, stmt ast.Stmt, recv string) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || found {
+			return !found
+		}
+		var x, y ast.Expr = be.X, be.Y
+		for _, pair := range [][2]ast.Expr{{x, y}, {y, x}} {
+			id, isIdent := pair[0].(*ast.Ident)
+			nilId, isNil := pair[1].(*ast.Ident)
+			if isIdent && isNil && id.Name == recv && nilId.Name == "nil" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

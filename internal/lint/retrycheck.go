@@ -1,0 +1,482 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Retrycheck enforces the cluster transport's failure-model contract:
+//
+//  1. Retry idempotence: only RPC kinds declared in the package's
+//     idempotentKind function may flow into the multi-attempt retry
+//     path (the attempt method with an attempt count other than the
+//     literal 1). Retrying a non-idempotent kind (CASRequest,
+//     PutResponse, GetChunks, barrier transitions) can double-apply a
+//     steal grant or barrier transition — the exact double-delivery
+//     bugs PR 4's exactly-once handoff machinery exists to rule out.
+//     A call passes if its attempt count is the literal 1, if the
+//     request traces to a composite literal whose Kind is in the
+//     declared set, or if the count variable is only ever raised under
+//     an idempotentKind(...) guard.
+//
+//  2. Lock pairing: every mutex Lock/RLock (and every pgas-style
+//     Acquire) is matched by an Unlock/RUnlock (Release) on every exit
+//     path of the function — via an immediate defer or a
+//     lexically-dominating release before each return and before
+//     function fall-through. The dominance test is lexical (prior
+//     statements on the return's own block path), the same
+//     approximation chargecheck uses.
+var Retrycheck = &Analyzer{
+	Name: "retrycheck",
+	Doc:  "only declared-idempotent RPC kinds may be retried; every Lock/Acquire is released on all exit paths",
+	Paths: []string{
+		"internal/cluster", "internal/core", "internal/msg",
+	},
+	Run: runRetrycheck,
+}
+
+func runRetrycheck(pass *Pass) error {
+	idem := idempotentKindSet(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if idem != nil {
+				checkRetryIdempotence(pass, fd, idem)
+			}
+			checkLockPairing(pass, fd)
+		}
+	}
+	return nil
+}
+
+// idempotentKindSet extracts the declared idempotent kind names from
+// the package's idempotentKind function (the switch-case constants).
+// nil when the package declares no such function.
+func idempotentKindSet(pass *Pass) map[string]bool {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "idempotentKind" || fd.Body == nil {
+				continue
+			}
+			set := make(map[string]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				cc, isCase := n.(*ast.CaseClause)
+				if !isCase {
+					return true
+				}
+				// Only cases that lead to `return true` declare kinds.
+				returnsTrue := false
+				for _, s := range cc.Body {
+					if ret, isRet := s.(*ast.ReturnStmt); isRet && len(ret.Results) == 1 {
+						if id, isIdent := ret.Results[0].(*ast.Ident); isIdent && id.Name == "true" {
+							returnsTrue = true
+						}
+					}
+				}
+				if !returnsTrue {
+					return true
+				}
+				for _, e := range cc.List {
+					if id, isIdent := e.(*ast.Ident); isIdent {
+						set[id.Name] = true
+					}
+				}
+				return true
+			})
+			return set
+		}
+	}
+	return nil
+}
+
+// checkRetryIdempotence validates every call to the attempt method
+// inside fd.
+func checkRetryIdempotence(pass *Pass, fd *ast.FuncDecl, idem map[string]bool) {
+	if fd.Name.Name == "call" {
+		// The call method is the one place allowed to hold both worlds:
+		// it computes the attempt budget from idempotentKind itself.
+		// Its guard pattern is still validated below; this comment only
+		// documents intent.
+		_ = fd
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		callE, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		_, method, isMethod := pass.methodCall(callE)
+		if !isMethod || method != "attempt" || len(callE.Args) != 3 {
+			return true
+		}
+		attemptsArg, reqArg := callE.Args[2], callE.Args[1]
+		if isIntLiteral(attemptsArg, "1") {
+			return true
+		}
+		if kindName, found := requestKindName(pass, fd, reqArg); found {
+			if idem[kindName] {
+				return true
+			}
+			pass.Reportf(callE.Pos(), "request kind %s is not in the declared idempotent set but flows into the retry path (attempts != 1); retrying it can double-apply the RPC", kindName)
+			return true
+		}
+		if id, isIdent := attemptsArg.(*ast.Ident); isIdent && attemptsGuardedByIdempotentKind(fd, id.Name) {
+			return true
+		}
+		pass.Reportf(callE.Pos(), "cannot prove the request reaching this retry path (attempts != 1) is idempotent: construct the request with a Kind from the idempotentKind set, or guard the attempt count with idempotentKind(...)")
+		return true
+	})
+}
+
+// requestKindName traces reqArg (an ident or &ident) to a request
+// composite literal assigned in fd and returns the name of its Kind
+// field value.
+func requestKindName(pass *Pass, fd *ast.FuncDecl, reqArg ast.Expr) (string, bool) {
+	if ue, ok := reqArg.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		reqArg = ue.X
+	}
+	if cl, ok := reqArg.(*ast.CompositeLit); ok {
+		return kindFieldName(cl)
+	}
+	id, ok := reqArg.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	var name string
+	var found bool
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, isAssign := n.(*ast.AssignStmt)
+		if !isAssign || found {
+			return !found
+		}
+		for i, lhs := range as.Lhs {
+			lid, isIdent := lhs.(*ast.Ident)
+			if !isIdent || lid.Name != id.Name || i >= len(as.Rhs) {
+				continue
+			}
+			rhs := as.Rhs[i]
+			if ue, isUnary := rhs.(*ast.UnaryExpr); isUnary && ue.Op == token.AND {
+				rhs = ue.X
+			}
+			if cl, isLit := rhs.(*ast.CompositeLit); isLit {
+				if k, ok2 := kindFieldName(cl); ok2 {
+					name, found = k, true
+				}
+			}
+		}
+		return !found
+	})
+	return name, found
+}
+
+// kindFieldName returns the identifier assigned to the Kind field of a
+// composite literal.
+func kindFieldName(cl *ast.CompositeLit) (string, bool) {
+	for _, el := range cl.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Kind" {
+			if val, ok := kv.Value.(*ast.Ident); ok {
+				return val.Name, true
+			}
+			return "", false
+		}
+	}
+	return "", false
+}
+
+// attemptsGuardedByIdempotentKind reports whether every statement that
+// raises the named attempts variable above its initial value sits under
+// an if whose condition calls idempotentKind.
+func attemptsGuardedByIdempotentKind(fd *ast.FuncDecl, name string) bool {
+	guarded := true
+	sawRaise := false
+	var walk func(n ast.Node, underGuard bool)
+	walk = func(n ast.Node, underGuard bool) {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			g := underGuard || condCallsIdempotentKind(n.Cond)
+			if n.Init != nil {
+				walk(n.Init, underGuard)
+			}
+			walk(n.Body, g)
+			if n.Else != nil {
+				walk(n.Else, underGuard)
+			}
+			return
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name == name {
+					if n.Tok == token.DEFINE || n.Tok == token.ASSIGN {
+						// Initial definition / reset: not a raise.
+						continue
+					}
+					sawRaise = true
+					if !underGuard {
+						guarded = false
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := n.X.(*ast.Ident); ok && id.Name == name {
+				sawRaise = true
+				if !underGuard {
+					guarded = false
+				}
+			}
+		}
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n || c == nil {
+				return true
+			}
+			switch c.(type) {
+			case *ast.IfStmt, *ast.AssignStmt, *ast.IncDecStmt:
+				walk(c, underGuard)
+				return false
+			}
+			return true
+		})
+	}
+	walk(fd.Body, false)
+	return guarded && sawRaise
+}
+
+// condCallsIdempotentKind reports whether the expression contains a
+// call to idempotentKind.
+func condCallsIdempotentKind(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "idempotentKind" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// lockPairs maps an acquire method name to its matching releases.
+var lockPairs = map[string][]string{
+	"Lock":    {"Unlock"},
+	"RLock":   {"RUnlock"},
+	"Acquire": {"Release"},
+}
+
+// checkLockPairing runs the per-function lock/release pairing check.
+func checkLockPairing(pass *Pass, fd *ast.FuncDecl) {
+	type acquire struct {
+		stmt ast.Stmt
+		call *ast.CallExpr
+		recv string // rendered receiver expression, e.g. "ib.mu"
+		rels []string
+	}
+	var acquires []acquire
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		rels, isAcq := lockPairs[sel.Sel.Name]
+		if !isAcq {
+			return true
+		}
+		// Only consider method calls on lock-ish receivers (named type
+		// with a matching release method), not arbitrary same-name funcs.
+		if _, _, isMethod := pass.methodCall(call); !isMethod {
+			return true
+		}
+		recv := exprString(sel.X)
+		if recv == "" {
+			return true
+		}
+		acquires = append(acquires, acquire{stmt: es, call: call, recv: recv, rels: rels})
+		return true
+	})
+
+	for _, acq := range acquires {
+		if deferredReleaseFollows(pass, fd, acq.stmt, acq.recv, acq.rels) {
+			continue
+		}
+		// Exit paths to validate: returns inside the acquire's own region
+		// subtree (checked individually for a dominating release), and
+		// the region's fall-through (which also stands in for any later
+		// code outside it). A region is the innermost block, switch case,
+		// or select clause holding the acquire.
+		region := enclosingRegion(fd, acq.stmt)
+		if region == nil {
+			continue
+		}
+		bad := 0
+		ast.Inspect(region, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok || ret.Pos() <= acq.stmt.Pos() {
+				return true
+			}
+			if !releaseDominates(pass, fd, acq.stmt, ret, acq.recv, acq.rels) {
+				bad++
+				pass.Reportf(ret.Pos(), "return may leave %s held: %s.%s at %s has no dominating %s before this exit (or use defer)",
+					acq.recv, acq.recv, lockName(acq.call), pass.Fset.Position(acq.stmt.Pos()), acq.rels[0])
+			}
+			return true
+		})
+		if bad == 0 && !fallThroughReleased(pass, fd, acq.stmt, acq.recv, acq.rels) {
+			pass.Reportf(acq.stmt.Pos(), "%s.%s is not released on the path falling out of its block (no %s after the acquire)",
+				acq.recv, lockName(acq.call), acq.rels[0])
+		}
+	}
+}
+
+func lockName(call *ast.CallExpr) string {
+	return call.Fun.(*ast.SelectorExpr).Sel.Name
+}
+
+// isReleaseStmt reports whether stmt is recv.Release(...) (or a defer
+// of it) for one of the given release names.
+func isReleaseStmt(stmt ast.Stmt, recv string, rels []string) bool {
+	var call *ast.CallExpr
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		call, _ = s.X.(*ast.CallExpr)
+	case *ast.DeferStmt:
+		call = s.Call
+	}
+	if call == nil {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || exprString(sel.X) != recv {
+		return false
+	}
+	for _, r := range rels {
+		if sel.Sel.Name == r {
+			return true
+		}
+	}
+	return false
+}
+
+// deferredReleaseFollows reports whether a defer of the matching
+// release appears in the statements immediately after the acquire in
+// the same region (the idiomatic mu.Lock(); defer mu.Unlock() pair, in
+// any of the next few statements as long as no return intervenes).
+func deferredReleaseFollows(pass *Pass, fd *ast.FuncDecl, acqStmt ast.Stmt, recv string, rels []string) bool {
+	region := enclosingRegion(fd, acqStmt)
+	if region == nil {
+		return false
+	}
+	seen := false
+	for _, s := range stmtList(region) {
+		if s == acqStmt {
+			seen = true
+			continue
+		}
+		if !seen {
+			continue
+		}
+		if ds, ok := s.(*ast.DeferStmt); ok && isReleaseStmt(ds, recv, rels) {
+			return true
+		}
+		if _, isRet := s.(*ast.ReturnStmt); isRet {
+			return false
+		}
+	}
+	return false
+}
+
+// releaseDominates reports whether a release of recv lexically
+// dominates ret: it appears as a direct prior statement on ret's own
+// block path (prior siblings at each enclosing block level), after the
+// acquire. Releases nested inside control flow of a prior sibling do
+// not count — they may be on a different path.
+func releaseDominates(pass *Pass, fd *ast.FuncDecl, acqStmt ast.Stmt, ret ast.Stmt, recv string, rels []string) bool {
+	chain := pathTo(fd.Body, ret)
+	for _, n := range chain {
+		for _, s := range stmtList(n) {
+			if s.Pos() >= ret.Pos() {
+				break
+			}
+			if s.Pos() > acqStmt.Pos() && isReleaseStmt(s, recv, rels) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fallThroughReleased reports whether the function's implicit final
+// exit is covered: a release appears in the acquire's own region after
+// the acquire, or the region provably cannot fall through (ends in an
+// infinite loop or return — in which case the per-return checks above
+// already covered every exit).
+func fallThroughReleased(pass *Pass, fd *ast.FuncDecl, acqStmt ast.Stmt, recv string, rels []string) bool {
+	region := enclosingRegion(fd, acqStmt)
+	if region == nil {
+		return true
+	}
+	list := stmtList(region)
+	after := false
+	for _, s := range list {
+		if s == acqStmt {
+			after = true
+			continue
+		}
+		if after && isReleaseStmt(s, recv, rels) {
+			return true
+		}
+	}
+	// No textual release after the acquire in its own region: accept only
+	// when the region's last statement cannot complete normally.
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt:
+		return true // covered by the per-return dominance checks
+	case *ast.ForStmt:
+		return last.Cond == nil // for {} never falls through
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}
+
+// enclosingRegion returns the innermost block, switch case, or select
+// clause containing stmt.
+func enclosingRegion(fd *ast.FuncDecl, stmt ast.Stmt) ast.Node {
+	chain := pathTo(fd.Body, stmt)
+	var region ast.Node
+	for _, n := range chain {
+		if stmtList(n) != nil {
+			region = n
+		}
+	}
+	return region
+}
+
+// isIntLiteral reports whether e is the given integer literal.
+func isIntLiteral(e ast.Expr, lit string) bool {
+	bl, ok := e.(*ast.BasicLit)
+	return ok && bl.Kind == token.INT && bl.Value == lit
+}

@@ -1,0 +1,99 @@
+// Package charge is the chargecheck golden corpus: a miniature of the
+// internal/core worker vocabulary (a Domain latency model, pgas-style
+// locks, a stacks slice indexed by PE id) exercising the legal charged
+// patterns, the violations, and one justified suppression.
+package charge
+
+type Domain struct{}
+
+func (d *Domain) ChargeRef(me, owner int)     {}
+func (d *Domain) ChargeBulk(me, owner, n int) {}
+func (d *Domain) ChargeLockRTT(me, owner int) {}
+
+type Lock struct{}
+
+func (l *Lock) Acquire(me int) {}
+func (l *Lock) Release(me int) {}
+
+type stack struct {
+	lk        Lock
+	workAvail int
+	top       int
+}
+
+type run struct {
+	dom    *Domain
+	stacks []*stack
+}
+
+type worker struct {
+	run *run
+	me  int
+}
+
+// stack indexes with the worker's own id: local affinity, never charged.
+func (w *worker) stack() *stack { return w.run.stacks[w.me] }
+
+// probe reads a victim's workAvail after charging — the legal pattern.
+func (w *worker) probe(v int) int {
+	w.run.dom.ChargeRef(w.me, v)
+	return w.run.stacks[v].workAvail
+}
+
+// badProbe reads the same word without paying for the reference.
+func (w *worker) badProbe(v int) int {
+	return w.run.stacks[v].workAvail // want "uncharged remote reference"
+}
+
+// badHandle shows that binding the handle is free but the dereference
+// still needs a charge.
+func (w *worker) badHandle(v int) int {
+	vs := w.run.stacks[v]
+	return vs.top // want "uncharged remote reference"
+}
+
+func (w *worker) okHandle(v int) int {
+	vs := w.run.stacks[v]
+	w.run.dom.ChargeRef(w.me, v)
+	return vs.top
+}
+
+// okLock: the lock acquire is itself the payment (ChargeLockRTT happens
+// inside Acquire in the real Domain), and it dominates the accesses
+// that follow.
+func (w *worker) okLock(v int) {
+	vs := w.run.stacks[v]
+	vs.lk.Acquire(w.me)
+	vs.top = 0
+	vs.lk.Release(w.me)
+}
+
+// okBulk charges a bulk transfer before draining the victim's steal
+// half.
+func (w *worker) okBulk(v, n int) int {
+	w.run.dom.ChargeBulk(w.me, v, n)
+	got := w.run.stacks[v].top
+	w.run.stacks[v].top = 0
+	return got
+}
+
+// newRun builds the stacks slice single-threaded before any PE exists:
+// plain functions (no worker receiver with a me field) are exempt.
+func newRun(n int) *run {
+	r := &run{dom: &Domain{}, stacks: make([]*stack, n)}
+	for i := range r.stacks {
+		r.stacks[i] = &stack{}
+		r.stacks[i].top = 0
+	}
+	return r
+}
+
+// termCount reads every PE's counter in the sequential drain after the
+// run has ended; the reference is deliberately free.
+func (w *worker) termCount() int {
+	n := 0
+	for i := range w.run.stacks {
+		n += w.run.stacks[i].top //uts:ok chargecheck post-run accounting outside the timed region
+	}
+	return n
+}

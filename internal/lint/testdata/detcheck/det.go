@@ -1,0 +1,54 @@
+// Package det is the detcheck golden corpus: wall-clock reads, global
+// math/rand state, and map-order iteration, next to the allowed forms
+// (seeded generators, stats wall timers, slice iteration).
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Thread mirrors the stats wall-timer sink whose arguments are exempt.
+type Thread struct{ last time.Time }
+
+func (t *Thread) Switch(now time.Time)      { t.last = now }
+func (t *Thread) StartTimers(now time.Time) { t.last = now }
+
+func badNow() time.Time {
+	return time.Now() // want "time.Now in a deterministic package"
+}
+
+func badRand() int {
+	return rand.Intn(10) // want "global math/rand state"
+}
+
+func okSeeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func okTimer(t *Thread) {
+	t.Switch(time.Now()) // wall timer sink: reporting only, never steers scheduling
+}
+
+func badMapRange(m map[int]int) int {
+	s := 0
+	for k := range m { // want "map iteration order is randomized"
+		s += k
+	}
+	return s
+}
+
+func okSortedRange(m map[int]int) int {
+	keys := make([]int, 0, len(m))
+	for k := range m { //uts:ok detcheck keys are sorted before results are read
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	s := 0
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}

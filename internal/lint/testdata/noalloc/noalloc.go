@@ -1,0 +1,96 @@
+// Package noalloc is the noalloc golden corpus: every flagged
+// construct class, the panic exemption, a justified suppression, and
+// an unannotated function that allocates freely.
+package noalloc
+
+import "fmt"
+
+type ring struct {
+	buf []int
+}
+
+//uts:noalloc
+func badNew() *int {
+	return new(int) // want "new allocates"
+}
+
+//uts:noalloc
+func badMake(n int) []int {
+	s := make([]int, n) // want "make allocates"
+	return s
+}
+
+//uts:noalloc
+func badAppend(s []int, v int) []int {
+	return append(s, v) // want "append may grow the backing array"
+}
+
+//uts:noalloc
+func badSliceLit() []int {
+	return []int{1, 2, 3} // want "slice literal allocates"
+}
+
+//uts:noalloc
+func badEscape() *ring {
+	return &ring{} // want "composite literal escapes"
+}
+
+//uts:noalloc
+func badBox(v int) any {
+	return v // want "boxed into interface"
+}
+
+//uts:noalloc
+func badClosure(v int) func() int {
+	return func() int { return v } // want "function literal may allocate"
+}
+
+//uts:noalloc
+func badConcat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//uts:noalloc
+func badBytes(s string) []byte {
+	return []byte(s) // want "conversion copies and allocates"
+}
+
+func sink(vs ...int) {}
+
+//uts:noalloc
+func badVariadic() {
+	sink(1, 2) // want "variadic parameter"
+}
+
+//uts:noalloc
+func badGo(f func()) {
+	go f() // want "go statement allocates"
+}
+
+// okPanic: constructs inside a panic argument are off the measured
+// path and exempt.
+//
+//uts:noalloc
+func okPanic(v int) int {
+	if v < 0 {
+		panic(fmt.Sprintf("negative %d", v))
+	}
+	return v
+}
+
+// push appends into a backing array recycled across runs; the cap check
+// above the append keeps it allocation-free in steady state.
+//
+//uts:noalloc
+func (r *ring) push(v int) bool {
+	if len(r.buf) == cap(r.buf) {
+		return false
+	}
+	r.buf = append(r.buf, v) //uts:ok noalloc cap checked above, append never grows the recycled backing array
+	return true
+}
+
+// unannotated functions allocate freely.
+func unannotated(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,124 @@
+// Package retry is the retrycheck golden corpus: a miniature of the
+// cluster transport's retry machinery (idempotentKind declaration,
+// request literals, the attempt method, guarded budgets) plus the lock
+// pairing patterns.
+package retry
+
+import "sync"
+
+type kind uint8
+
+const (
+	kindGetAvail kind = iota
+	kindStats
+	kindPut
+	kindCAS
+)
+
+// idempotentKind declares which RPC kinds may be retried.
+func idempotentKind(k kind) bool {
+	switch k {
+	case kindGetAvail, kindStats:
+		return true
+	}
+	return false
+}
+
+type request struct {
+	Kind kind
+	Seq  uint64
+}
+
+type response struct{ OK bool }
+
+type node struct {
+	mu      sync.Mutex
+	retries int
+}
+
+func (n *node) attempt(rank int, req *request, attempts int) (*response, error) {
+	return nil, nil
+}
+
+// okProbe retries a declared-idempotent request.
+func (n *node) okProbe() {
+	probe := request{Kind: kindGetAvail}
+	_, _ = n.attempt(1, &probe, 1+n.retries)
+}
+
+// okSingle sends a non-idempotent request exactly once.
+func (n *node) okSingle() {
+	r := request{Kind: kindCAS}
+	_, _ = n.attempt(1, &r, 1)
+}
+
+// badRetry retries a mutation that is not declared idempotent.
+func (n *node) badRetry() {
+	r := request{Kind: kindPut}
+	_, _ = n.attempt(1, &r, 1+n.retries) // want "not in the declared idempotent set"
+}
+
+// okGuarded raises the attempt budget only under an idempotentKind
+// guard — the transport's own call() pattern.
+func (n *node) okGuarded(req *request) {
+	attempts := 1
+	if idempotentKind(req.Kind) {
+		attempts += n.retries
+	}
+	_, _ = n.attempt(1, req, attempts)
+}
+
+// badUnproven feeds a request of unknowable kind into the retry path.
+func (n *node) badUnproven(req *request, budget int) {
+	_, _ = n.attempt(1, req, budget) // want "cannot prove"
+}
+
+// okDefer pairs the lock with an immediate defer.
+func (n *node) okDefer() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.retries++
+}
+
+// okStraight releases on the straight-line path.
+func (n *node) okStraight() {
+	n.mu.Lock()
+	n.retries++
+	n.mu.Unlock()
+}
+
+// badEarlyReturn leaks the lock on the early exit.
+func (n *node) badEarlyReturn(v int) int {
+	n.mu.Lock()
+	if v < 0 {
+		return -1 // want "may leave n.mu held"
+	}
+	n.mu.Unlock()
+	return v
+}
+
+// okSwitchCase pairs lock and unlock inside one switch case; the
+// unrelated return in the default clause is outside the lock's region.
+func (n *node) okSwitchCase(k kind) bool {
+	switch k {
+	case kindPut:
+		n.mu.Lock()
+		n.retries++
+		n.mu.Unlock()
+	default:
+		return false
+	}
+	return true
+}
+
+// transferOwned hands the held lock to its caller by contract; the
+// release lives in finishTransfer.
+func (n *node) transferOwned() {
+	n.mu.Lock() //uts:ok retrycheck ownership transfers to the caller, released in finishTransfer
+	n.retries++
+}
+
+func (n *node) finishTransfer() {
+	n.retries = 0
+	n.mu.Unlock()
+}

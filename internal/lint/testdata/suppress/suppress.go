@@ -1,0 +1,11 @@
+// Package suppress holds the malformed-suppression case: an //uts:ok
+// with no justification must itself be reported, and must not silence
+// the finding it points at.
+package suppress
+
+import "time"
+
+func stamp() time.Time {
+	//uts:ok detcheck
+	return time.Now()
+}

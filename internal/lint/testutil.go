@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// RunGolden loads the single testdata package at dir, runs the analyzer
+// over it, and compares the findings against the `// want "substring"`
+// expectation comments embedded in the sources — the same golden-file
+// convention as x/tools analysistest, substring-matched.
+//
+// A line may carry several expectations: // want "a" "b". Every
+// expectation must be matched by a diagnostic on its line, and every
+// diagnostic must be claimed by an expectation; leftovers on either
+// side are returned as errors.
+func RunGolden(a *Analyzer, dir string) []error {
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		return []error{err}
+	}
+	diags, err := Run(a, pkg)
+	if err != nil {
+		return []error{err}
+	}
+	wants, err := collectWants(pkg)
+	if err != nil {
+		return []error{err}
+	}
+
+	var errs []error
+	for _, d := range diags {
+		key := lineKey{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for i, w := range wants[key] {
+			if !w.used && strings.Contains(d.Message, w.substr) {
+				wants[key][i].used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			errs = append(errs, fmt.Errorf("%s: unexpected diagnostic: %s", posString(d.Pos), d.Message))
+		}
+	}
+	var unmet []string
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				unmet = append(unmet, fmt.Sprintf("%s:%d: no diagnostic matching %q", filepath.Base(key.file), key.line, w.substr))
+			}
+		}
+	}
+	sort.Strings(unmet)
+	for _, m := range unmet {
+		errs = append(errs, fmt.Errorf("%s", m))
+	}
+	return errs
+}
+
+type wantExpectation struct {
+	substr string
+	used   bool
+}
+
+var wantRe = regexp.MustCompile(`// want((?: "(?:[^"\\]|\\.)*")+)`)
+var wantStrRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// collectWants extracts // want "..." expectations keyed by file:line.
+func collectWants(pkg *Package) (map[lineKey][]wantExpectation, error) {
+	wants := make(map[lineKey][]wantExpectation)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "// want") {
+						return nil, fmt.Errorf("%s: malformed want comment: %s", posString(pkg.Fset.Position(c.Pos())), c.Text)
+					}
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := lineKey{pos.Filename, pos.Line}
+				for _, s := range wantStrRe.FindAllStringSubmatch(m[1], -1) {
+					wants[key] = append(wants[key], wantExpectation{substr: s[1]})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+func posString(p token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", filepath.Base(p.Filename), p.Line, p.Column)
+}

@@ -332,6 +332,8 @@ type Hists struct {
 // Rec records an event with the current wall timestamp and no virtual
 // one — the form the real goroutine implementations use. No-op on a nil
 // lane.
+//
+//uts:noalloc
 func (l *Lane) Rec(k Kind, other int32, value int64) {
 	if l == nil {
 		return
@@ -343,6 +345,8 @@ func (l *Lane) Rec(k Kind, other int32, value int64) {
 // RecV records an event carrying both the given virtual timestamp and
 // the current wall one — the form the discrete-event simulators use.
 // Histogram durations use the virtual clock. No-op on a nil lane.
+//
+//uts:noalloc
 func (l *Lane) RecV(k Kind, other int32, value int64, virt time.Duration) {
 	if l == nil {
 		return
@@ -352,6 +356,8 @@ func (l *Lane) RecV(k Kind, other int32, value int64, virt time.Duration) {
 
 // rec feeds the histograms (using clock, the run's authoritative
 // timebase) and appends the event to the ring.
+//
+//uts:noalloc
 func (l *Lane) rec(k Kind, other int32, value, wall, virt, clock int64) {
 	switch k {
 	case KindStateChange:

@@ -32,6 +32,8 @@ func (r *ring) init(size int) {
 }
 
 // record appends one event. Owner-only.
+//
+//uts:noalloc
 func (r *ring) record(k Kind, pe, other int32, value, wall, virt int64) {
 	seq := r.pos.Load() // single writer: no contention on the load
 	i := (seq % r.size) * slotWords

@@ -39,6 +39,8 @@ type Spawner struct {
 
 // Reset loads the parent state s and precomputes the child-independent
 // rounds 0..4.
+//
+//uts:noalloc
 func (z *Spawner) Reset(s *State) {
 	w0 := binary.BigEndian.Uint32(s[0:4])
 	w1 := binary.BigEndian.Uint32(s[4:8])
@@ -63,6 +65,8 @@ func (z *Spawner) Reset(s *State) {
 // SpawnInto writes the state of child number i of the Reset parent into
 // *dst, running rounds 5..79 of the specialized block. It does not modify
 // the Spawner, so one Reset serves any number of SpawnInto calls.
+//
+//uts:noalloc
 func (z *Spawner) SpawnInto(dst *State, i int) {
 	w5 := uint32(i)
 	w0, w1, w2, w3, w4 := z.w0, z.w1, z.w2, z.w3, z.w4

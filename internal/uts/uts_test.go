@@ -36,7 +36,7 @@ var pinnedLarge = map[string]struct {
 }
 
 func TestPinnedCounts(t *testing.T) {
-	for name, want := range pinned {
+	for name, want := range pinned { //uts:ok detcheck assertion sweep over golden counts; order cannot affect pass/fail
 		sp := ByName(name)
 		if sp == nil {
 			t.Fatalf("tree %q not found", name)
@@ -53,7 +53,7 @@ func TestPinnedCountsLarge(t *testing.T) {
 	if testing.Short() {
 		t.Skip("large trees skipped in -short mode")
 	}
-	for name, want := range pinnedLarge {
+	for name, want := range pinnedLarge { //uts:ok detcheck assertion sweep over golden counts; order cannot affect pass/fail
 		sp := ByName(name)
 		c := SearchSequential(sp)
 		if c.Nodes != want.nodes || c.Leaves != want.leaves || c.MaxDepth != want.maxDepth {
@@ -200,7 +200,7 @@ func TestSearchTimeout(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
-	start := time.Now()
+	start := time.Now() //uts:ok detcheck measures real cancellation latency, not simulated time
 	_, err := SearchSequentialCtx(ctx, &BenchLarge)
 	if err == nil {
 		t.Skip("machine fast enough to finish BenchLarge in 20ms?!")
