@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race short bench bench-smoke bench-obs bench-des experiments experiments-full clean lint fuzz-smoke
+.PHONY: all build test race short bench bench-smoke bench-obs bench-des bench-des-par experiments experiments-full clean lint fuzz-smoke
 
 all: build test
 
@@ -59,6 +59,12 @@ bench-smoke:
 # DES engine microbenches: batched vs legacy on identical event sequences.
 bench-des:
 	$(GO) test -run '^$$' -bench 'SimEngine|SimSteal' -benchtime=2s .
+
+# Parallel-dispatch scaling of the sharded DES engine: the same schedule
+# dispatched by 1/2/4/8 shard goroutines. Meaningful only on a machine
+# with idle cores to match the shard count.
+bench-des-par:
+	$(GO) test -run '^$$' -bench 'SimSharded' -benchtime=2s .
 
 bench-obs:
 	$(GO) test -run '^$$' -bench 'Tracer|LaneRec|SequentialSearch' -benchtime=2s .

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -24,7 +25,7 @@ import (
 func main() {
 	tree := flag.String("tree", "bench-medium", "named sample tree")
 	alg := flag.String("alg", string(core.UPCDistMem), "algorithm: "+algList())
-	pes := flag.Int("pes", 64, "simulated processing elements (1..65536)")
+	pes := flag.Int("pes", 64, "simulated processing elements (1..1048576)")
 	chunk := flag.Int("chunk", 16, "steal granularity k (nodes)")
 	profile := flag.String("profile", "kittyhawk", "machine profile: sharedmem, altix, kittyhawk, topsail")
 	poll := flag.Int("poll", 8, "mpi-ws polling interval (nodes)")
@@ -35,6 +36,7 @@ func main() {
 	hist := flag.Bool("hist", false, "record protocol events and fold latency histograms into the summary")
 	ring := flag.Int("ring", 0, "per-PE trace ring capacity in events (0 = default)")
 	engine := flag.String("engine", des.EngineBatched, "simulation engine: batched, legacy")
+	shards := flag.Int("shards", 1, "parallel dispatcher shards (0 = one per available core; 1 = sequential engine); results are identical at any count")
 	progress := flag.Duration("progress", 0, "emit a wall-clock heartbeat to stderr every interval (e.g. 10s; 0 = off)")
 	flag.Parse()
 
@@ -56,6 +58,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
 		os.Exit(2)
 	}
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "-shards %d out of range (want 0 for auto or a positive count)\n", *shards)
+		os.Exit(2)
+	}
+	nshards := *shards
+	if nshards == 0 {
+		nshards = runtime.GOMAXPROCS(0)
+	}
 	cfg := des.Config{
 		Algorithm:    core.Algorithm(*alg),
 		PEs:          *pes,
@@ -64,6 +74,9 @@ func main() {
 		PollInterval: *poll,
 		Seed:         *seed,
 		Engine:       *engine,
+	}
+	if nshards > 1 {
+		cfg.Shards = nshards
 	}
 	var tracer *obs.Tracer
 	if *traceOut != "" || *timeline || *hist {
@@ -84,8 +97,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("tree=%s alg=%s pes=%d chunk=%d profile=%s engine=%s events=%d wall=%v\n",
-		sp.Name, *alg, *pes, *chunk, *profile, info.Engine, info.Events, wall.Round(time.Millisecond))
+	shardNote := ""
+	if info.Shards > 0 {
+		shardNote = fmt.Sprintf(" shards=%d lookahead=%v", info.Shards, info.Lookahead)
+	}
+	fmt.Printf("tree=%s alg=%s pes=%d chunk=%d profile=%s engine=%s%s events=%d wall=%v\n",
+		sp.Name, *alg, *pes, *chunk, *profile, info.Engine, shardNote, info.Events, wall.Round(time.Millisecond))
 	fmt.Print(res.Summary())
 	if *verbose {
 		fmt.Print(res.PerThreadTable())
@@ -106,8 +123,10 @@ func main() {
 }
 
 // maxPEs bounds -pes: above this, memory for per-PE state (goroutine
-// stacks, counters, trace lanes) exceeds what a single host handles.
-const maxPEs = 65536
+// stacks, counters, trace lanes) exceeds what a single host handles. The
+// sharded engine's horizon protocol keeps per-PE engine state constant, so
+// the bound is set by goroutine stacks alone: ~1M PEs fits in a few GB.
+const maxPEs = 1 << 20
 
 func validAlg(name string) bool {
 	for _, a := range simulatable() {

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"repro/internal/core"
@@ -25,6 +26,7 @@ func main() {
 	pes := flag.Int("pes", 64, "simulated processing elements")
 	profile := flag.String("profile", "kittyhawk", "machine profile")
 	engine := flag.String("engine", des.EngineBatched, "simulation engine: batched, legacy")
+	shards := flag.Int("shards", 1, "parallel dispatcher shards per sweep point (0 = one per available core; 1 = sequential engine)")
 	flag.Parse()
 
 	sp := uts.ByName(*tree)
@@ -37,10 +39,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
 		os.Exit(2)
 	}
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "-shards %d out of range (want 0 for auto or a positive count)\n", *shards)
+		os.Exit(2)
+	}
+	nshards := *shards
+	if nshards == 0 {
+		nshards = runtime.GOMAXPROCS(0)
+	}
 
-	best, results, err := des.TuneChunk(sp, des.Config{
+	cfg := des.Config{
 		Algorithm: core.Algorithm(*alg), PEs: *pes, Model: model, Engine: *engine,
-	}, nil)
+	}
+	if nshards > 1 {
+		cfg.Shards = nshards
+	}
+	best, results, err := des.TuneChunk(sp, cfg, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -374,3 +374,148 @@ func (r *ProbeOrder) shuffle(s []int) {
 		s[i], s[j] = s[j], s[i]
 	}
 }
+
+// probeWalkCacheMax is the largest thread count for which probe walks
+// materialize and shuffle the cached victim permutation (exact
+// Cycle/CycleHier behavior, so historical schedules at experiment scales
+// are preserved byte-for-byte). Above it the walk switches to a
+// coprime-strided traversal of the ID space with O(1) state per walker:
+// with P simulated PEs each caching an O(P) cycle, the permutations cost
+// O(P²) memory in one simulator process — ≈137 GB at 131072 PEs, which
+// OOM-killed exactly the runs the sharded engine exists to make possible.
+const probeWalkCacheMax = 4096
+
+// ProbeWalk is a lazily generated probe cycle: each of the n−1 victims
+// exactly once, consumed with Victim (peek), Advance, and Exhausted —
+// mirroring indexed iteration over a permutation slice, which is how the
+// simulator's probe state machines use it across event callbacks. Below
+// probeWalkCacheMax it wraps the cached Cycle/CycleHier permutation;
+// above it victims come from (start + k·stride) mod n with the stride
+// coprime to n — a uniformly chosen cyclic permutation rather than a
+// uniformly chosen permutation. For idle-victim probing the lost shuffle
+// entropy is immaterial, and the O(1) footprint is what makes 100K+-PE
+// work-stealing simulations affordable in memory.
+type ProbeWalk struct {
+	perm []int // cached-permutation path; nil on the strided path
+	idx  int
+
+	// Strided path. Victims are (start+k·str) mod n skipping the block
+	// [base, end): the walker's own node for hierarchical walks, or just
+	// [me, me+1) for flat ones. Hierarchical walks first cover the block
+	// itself (minus me) with its own stride s0/st0 so same-node victims
+	// still come first.
+	me, n      int
+	base, end  int
+	s0, st0    int
+	start, str int
+	k          int
+	phase      int // 0 = intra-block segment, 1 = whole-ring segment
+	cur        int
+	done       bool
+}
+
+// Walk starts a probe cycle over the n−1 threads other than me.
+func (r *ProbeOrder) Walk(me, n int) ProbeWalk { return r.WalkHier(me, n, 1) }
+
+// WalkHier starts a locality-aware probe cycle: victims on me's node (of
+// nodeSize consecutive IDs) first, then everyone else, as in CycleHier.
+func (r *ProbeOrder) WalkHier(me, n, nodeSize int) ProbeWalk {
+	if n <= probeWalkCacheMax {
+		if nodeSize > 1 {
+			return ProbeWalk{perm: r.CycleHier(me, n, nodeSize)}
+		}
+		return ProbeWalk{perm: r.Cycle(me, n)}
+	}
+	w := ProbeWalk{me: me, n: n, cur: -1}
+	if nodeSize > 1 {
+		node := me / nodeSize
+		w.base = node * nodeSize
+		w.end = w.base + nodeSize
+		if w.end > n {
+			w.end = n
+		}
+	} else {
+		w.base, w.end = me, me+1
+	}
+	bl := w.end - w.base
+	w.s0 = int(r.next() % uint64(bl))
+	w.st0 = r.coprimeStride(bl)
+	w.start = int(r.next() % uint64(n))
+	w.str = r.coprimeStride(n)
+	w.Advance() // position on the first victim
+	return w
+}
+
+// Victim returns the walk's current victim without consuming it.
+func (w *ProbeWalk) Victim() int {
+	if w.perm != nil {
+		return w.perm[w.idx]
+	}
+	return w.cur
+}
+
+// Exhausted reports whether every victim of the cycle has been consumed.
+func (w *ProbeWalk) Exhausted() bool {
+	if w.perm != nil {
+		return w.idx >= len(w.perm)
+	}
+	return w.done
+}
+
+// Advance moves the walk to its next victim.
+func (w *ProbeWalk) Advance() {
+	if w.perm != nil {
+		w.idx++
+		return
+	}
+	for {
+		if w.phase == 0 {
+			bl := w.end - w.base
+			if w.k >= bl {
+				w.phase, w.k = 1, 0
+				continue
+			}
+			v := w.base + (w.s0+w.k*w.st0)%bl
+			w.k++
+			if v != w.me {
+				w.cur = v
+				return
+			}
+			continue
+		}
+		if w.k >= w.n {
+			w.done = true
+			return
+		}
+		v := (w.start + w.k*w.str) % w.n
+		w.k++
+		if v >= w.base && v < w.end {
+			continue
+		}
+		w.cur = v
+		return
+	}
+}
+
+// coprimeStride draws a uniformly random stride in [1, n) coprime to n —
+// every such stride generates the full cyclic group mod n, so the strided
+// walk visits each ID exactly once. Rejection terminates fast: coprime
+// density is at least 1/O(log log n).
+func (r *ProbeOrder) coprimeStride(n int) int {
+	if n <= 2 {
+		return 1
+	}
+	for {
+		s := 1 + int(r.next()%uint64(n-1))
+		if gcd(s, n) == 1 {
+			return s
+		}
+	}
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

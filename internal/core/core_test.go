@@ -471,3 +471,121 @@ func BenchmarkProbeOrderCycle(b *testing.B) {
 		})
 	}
 }
+
+// TestProbeWalkSmallMatchesCycle pins the compatibility contract: below
+// probeWalkCacheMax a walk must visit victims in exactly the order the
+// cached Cycle/CycleHier permutation would, consuming the same RNG draws,
+// so schedules recorded before ProbeWalk existed stay byte-identical.
+func TestProbeWalkSmallMatchesCycle(t *testing.T) {
+	for _, hier := range []bool{false, true} {
+		a := NewProbeOrder(42, 7)
+		b := NewProbeOrder(42, 7)
+		for round := 0; round < 3; round++ {
+			var perm []int
+			var w ProbeWalk
+			if hier {
+				perm = a.CycleHier(7, 64, 8)
+				w = b.WalkHier(7, 64, 8)
+			} else {
+				perm = a.Cycle(7, 64)
+				w = b.Walk(7, 64)
+			}
+			got := make([]int, 0, len(perm))
+			for !w.Exhausted() {
+				got = append(got, w.Victim())
+				w.Advance()
+			}
+			if len(got) != len(perm) {
+				t.Fatalf("hier=%v round %d: walk length %d, cycle length %d", hier, round, len(got), len(perm))
+			}
+			for i := range perm {
+				if got[i] != perm[i] {
+					t.Fatalf("hier=%v round %d: walk diverges from cycle at %d: %d != %d", hier, round, i, got[i], perm[i])
+				}
+			}
+		}
+	}
+}
+
+// TestProbeWalkLargePermutation checks the strided path is still a true
+// probe cycle: each of the n−1 victims exactly once, never me, with O(1)
+// walker state (the whole point — cached permutations cost O(P²) across
+// P simulated PEs and OOM-killed 131072-PE work-stealing runs).
+func TestProbeWalkLargePermutation(t *testing.T) {
+	const n = probeWalkCacheMax*2 + 17
+	const me = 4099
+	r := NewProbeOrder(3, me)
+	seen := make([]bool, n)
+	count := 0
+	for w := r.Walk(me, n); !w.Exhausted(); w.Advance() {
+		v := w.Victim()
+		if v < 0 || v >= n || v == me {
+			t.Fatalf("bad victim %d", v)
+		}
+		if seen[v] {
+			t.Fatalf("victim %d visited twice", v)
+		}
+		seen[v] = true
+		count++
+	}
+	if count != n-1 {
+		t.Fatalf("visited %d victims, want %d", count, n-1)
+	}
+}
+
+// TestProbeWalkLargeHier checks the locality contract survives the
+// strided path: all nodeSize−1 same-node victims strictly before any
+// off-node victim, and the whole thing still a permutation.
+func TestProbeWalkLargeHier(t *testing.T) {
+	const n = probeWalkCacheMax * 3
+	const nodeSize = 16
+	const me = 8195 // node 512, mid-block
+	r := NewProbeOrder(9, me)
+	base := (me / nodeSize) * nodeSize
+	seen := make([]bool, n)
+	count, intra := 0, 0
+	offNode := false
+	for w := r.WalkHier(me, n, nodeSize); !w.Exhausted(); w.Advance() {
+		v := w.Victim()
+		if v < 0 || v >= n || v == me {
+			t.Fatalf("bad victim %d", v)
+		}
+		if seen[v] {
+			t.Fatalf("victim %d visited twice", v)
+		}
+		seen[v] = true
+		count++
+		if v >= base && v < base+nodeSize {
+			if offNode {
+				t.Fatalf("same-node victim %d after an off-node one", v)
+			}
+			intra++
+		} else {
+			offNode = true
+		}
+	}
+	if count != n-1 {
+		t.Fatalf("visited %d victims, want %d", count, n-1)
+	}
+	if intra != nodeSize-1 {
+		t.Fatalf("%d same-node victims, want %d", intra, nodeSize-1)
+	}
+}
+
+// TestProbeWalkDeterministic: same seed and thread, same walk.
+func TestProbeWalkDeterministic(t *testing.T) {
+	const n = probeWalkCacheMax + 100
+	a := NewProbeOrder(5, 3)
+	b := NewProbeOrder(5, 3)
+	wa, wb := a.Walk(3, n), b.Walk(3, n)
+	for !wa.Exhausted() {
+		if wb.Exhausted() || wa.Victim() != wb.Victim() {
+			t.Fatal("ProbeWalk not deterministic")
+		}
+		wa.Advance()
+		wb.Advance()
+	}
+	if !wb.Exhausted() {
+		t.Fatal("walk lengths differ")
+	}
+}

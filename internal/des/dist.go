@@ -31,6 +31,73 @@ type simDistRun struct {
 	finish func(*Proc)
 }
 
+// Remote operations of the distributed-memory protocol (see remote.go).
+// Every cross-PE effect — probing a victim's work counter, claiming its
+// request word, delivering a steal response, entering or leaving the
+// termination barrier — goes through one of these, so the owner of the
+// touched state applies it in global key order under every engine.
+const (
+	// opDistReadAvail reads dst's stealable-work counter (a probe).
+	opDistReadAvail uint8 = iota
+	// opDistClaim claims dst's request word for thief a; returns 1 on
+	// success, 0 if another thief holds it.
+	opDistClaim
+	// opDistReadAnnounced reads the termination-announcement flag (dst 0:
+	// the barrier state has PE 0 affinity).
+	opDistReadAnnounced
+	// opDistDeliver writes a steal response (the chunks, possibly none)
+	// into thief dst's response slot.
+	opDistDeliver
+	// opDistSbEnter increments the barrier count at PE 0; returns 1 when
+	// this arrival completed the barrier.
+	opDistSbEnter
+	// opDistSbLeave decrements the barrier count at PE 0.
+	opDistSbLeave
+	// opDistSbAnnounce sets the termination-announcement flag at PE 0.
+	opDistSbAnnounce
+)
+
+// apply interprets the protocol's remote operations. It runs in the
+// destination PE's execution context — under the sharded engine that is the
+// shard owning dst (PE 0's shard for the barrier state) — and never
+// advances time.
+func (r *simDistRun) apply(dst int, op uint8, a, b int64, chunks []stack.Chunk) int64 {
+	switch op {
+	case opDistReadAvail:
+		return int64(r.pes[dst].workAvail)
+	case opDistClaim:
+		vs := r.pes[dst]
+		if vs.request != -1 {
+			return 0
+		}
+		vs.request = int(a)
+		vs.p.Post(IntrSteal)
+		return 1
+	case opDistReadAnnounced:
+		if r.sbAnnounced {
+			return 1
+		}
+		return 0
+	case opDistDeliver:
+		tp := r.pes[dst]
+		tp.resp = chunks
+		tp.respReady = true
+		return 0
+	case opDistSbEnter:
+		r.sbCount++
+		if r.sbCount == len(r.pes) {
+			return 1
+		}
+		return 0
+	case opDistSbLeave:
+		r.sbCount--
+		return 0
+	default: // opDistSbAnnounce
+		r.sbAnnounced = true
+		return 0
+	}
+}
+
 // sameNode reports whether PEs a and b share a cluster node.
 func (r *simDistRun) sameNode(a, b int) bool {
 	return r.nodeSize > 1 && a/r.nodeSize == b/r.nodeSize
@@ -89,6 +156,7 @@ func simDistMem(sim *Sim, sp *uts.Spec, cfg Config, cs costs, res *core.Result, 
 		r.nodeSize = cfg.NodeSize
 		r.intra = newCosts(cfg.Intra)
 	}
+	sim.SetRemote(r.apply)
 	r.pes = make([]*simDistPE, cfg.PEs)
 	for i := 0; i < cfg.PEs; i++ {
 		pe := &simDistPE{r: r, me: i, t: &res.Threads[i], lane: cfg.Tracer.Lane(i), request: -1, rng: core.NewProbeOrder(cfg.Seed, i), ex: uts.NewExpander(sp)}
@@ -242,21 +310,21 @@ func (pe *simDistPE) service() {
 	if pe.request < 0 {
 		return
 	}
-	thief := pe.r.pes[pe.request]
+	thief := pe.request
 	var chunks []stack.Chunk
 	if pe.pool.Len() > 0 {
 		chunks = pe.pool.TakeHalf()
 		pe.workAvail = pe.pool.Len()
 	}
-	pe.advance(2 * pe.r.refCost(pe.me, thief.me)) // amount + address writes
-	thief.resp = chunks
-	thief.respReady = true
+	d := 2 * pe.r.refCost(pe.me, thief) // amount + address writes
+	pe.t.AddState(pe.state, d)
+	pe.p.RemoteSend(thief, d, 0, opDistDeliver, 0, 0, chunks)
 	pe.request = -1
 	pe.t.Requests++
 	if len(chunks) > 0 {
-		pe.rec(obs.KindStealGrant, int32(thief.me), int64(len(chunks)))
+		pe.rec(obs.KindStealGrant, int32(thief), int64(len(chunks)))
 	} else {
-		pe.rec(obs.KindStealDeny, int32(thief.me), 0)
+		pe.rec(obs.KindStealDeny, int32(thief), 0)
 	}
 }
 
@@ -272,21 +340,19 @@ func (pe *simDistPE) search() bool {
 	if n == 1 {
 		return false
 	}
-	var perm []int
-	idx := 0
+	var walk core.ProbeWalk
 	sawWorker := false
 	stealFrom := -1
 	exhausted := false
-	newPerm := func() {
+	newWalk := func() {
 		if pe.r.hier {
-			perm = pe.rng.CycleHier(pe.me, n, pe.r.nodeSize)
+			walk = pe.rng.WalkHier(pe.me, n, pe.r.nodeSize)
 		} else {
-			perm = pe.rng.Cycle(pe.me, n)
+			walk = pe.rng.Walk(pe.me, n)
 		}
-		idx = 0
 		sawWorker = false
 	}
-	newPerm()
+	newWalk()
 	ph := phPoll
 	victim := -1
 	// One quantum triple per victim: a zero-length service point (the
@@ -300,13 +366,14 @@ func (pe *simDistPE) search() bool {
 			ph = phProbe
 			return 0, 0
 		case phProbe:
-			victim = perm[idx]
+			victim = walk.Victim()
 			pe.rec(obs.KindProbeStart, int32(victim), 0)
 			ph = phEval
-			return pe.charge(pe.r.refCost(pe.me, victim)), StepNoPoll
+			d := pe.p.StageRemote(victim, pe.r.refCost(pe.me, victim), opDistReadAvail, 0, 0)
+			return pe.charge(d), StepNoPoll
 		default: // phEval
 			pe.t.Probes++
-			wa := pe.r.pes[victim].workAvail
+			wa := int(pe.p.StagedResult(0))
 			pe.rec(obs.KindProbeResult, int32(victim), int64(wa))
 			if wa > 0 {
 				sawWorker = true
@@ -316,13 +383,13 @@ func (pe *simDistPE) search() bool {
 			if wa >= 0 {
 				sawWorker = true
 			}
-			idx++
-			if idx == len(perm) {
+			walk.Advance()
+			if walk.Exhausted() {
 				if !sawWorker {
 					exhausted = true
 					return 0, StepDone
 				}
-				newPerm()
+				newWalk()
 			}
 			ph = phProbe
 			return 0, 0 // service point before the next probe
@@ -344,12 +411,12 @@ func (pe *simDistPE) search() bool {
 		if ok {
 			return true
 		}
-		idx++
-		if idx == len(perm) {
+		walk.Advance()
+		if walk.Exhausted() {
 			if !sawWorker {
 				return false
 			}
-			newPerm()
+			newWalk()
 		}
 		ph = phPoll // the original serviced before the next probe
 	}
@@ -364,17 +431,15 @@ func (pe *simDistPE) search() bool {
 func (pe *simDistPE) steal(v int) bool {
 	r := pe.r
 	cs := &r.cs
-	vs := r.pes[v]
 
 	pe.rec(obs.KindStealRequest, int32(v), 0)
-	pe.advance(r.lockCost(pe.me, v)) // lock-protected request-word write
-	if vs.request != -1 {
+	d := r.lockCost(pe.me, v) // lock-protected request-word write
+	pe.t.AddState(pe.state, d)
+	if pe.p.RemoteCall(v, d, opDistClaim, int64(pe.me), 0) == 0 {
 		pe.t.FailedSteals++
 		pe.rec(obs.KindStealFail, int32(v), 0)
 		return false
 	}
-	vs.request = pe.me
-	vs.p.Post(IntrSteal)
 
 	// The response wait is a stepped advance: each quantum is one respPoll,
 	// each boundary is the original loop-top respReady check, and a steal
@@ -435,13 +500,14 @@ func (pe *simDistPE) steal(v int) bool {
 
 func (pe *simDistPE) sbEnter() bool {
 	r := pe.r
-	pe.advance(r.cs.remoteRef)
-	r.sbCount++
-	if r.sbCount == len(r.pes) {
-		if lv := term.AnnounceLevels(len(r.pes)); lv > 0 {
-			pe.advance(time.Duration(lv) * r.cs.remoteRef)
-		}
-		r.sbAnnounced = true
+	d := r.cs.remoteRef
+	pe.t.AddState(pe.state, d)
+	if pe.p.RemoteCall(0, d, opDistSbEnter, 0, 0) != 0 {
+		// This arrival completed the barrier: announce termination, paying
+		// one remote reference per level of the announcement tree.
+		ad := time.Duration(term.AnnounceLevels(len(r.pes))) * r.cs.remoteRef
+		pe.t.AddState(pe.state, ad)
+		pe.p.RemoteSend(0, ad, 0, opDistSbAnnounce, 0, 0, nil)
 		return true
 	}
 	return false
@@ -459,12 +525,18 @@ func (pe *simDistPE) terminate() bool {
 	}
 	n := len(r.pes)
 	announced := false
+	sawAnn := false
 	stealFrom := -1
 	ph := phPoll
 	victim := -1
 	// Each in-barrier iteration is [service point, announcement poll,
 	// probe, eval], with the boundary check suppressed on the two advances
 	// the original performed back-to-back without a service call between.
+	// The announcement flag lives at PE 0, so reading it is a staged remote
+	// op completing at the poll's boundary; the probe quantum stages two
+	// reads — the victim's work counter and the flag again — because the
+	// original re-checks announcement at the probe's completion instant
+	// before leaving the barrier to steal.
 	step := func() (time.Duration, uint8) {
 		switch ph {
 		case phPoll:
@@ -472,19 +544,23 @@ func (pe *simDistPE) terminate() bool {
 			return 0, 0
 		case phAnn:
 			ph = phProbe
-			return pe.charge(r.cs.remoteRef), StepNoPoll
+			d := pe.p.StageRemote(0, r.cs.remoteRef, opDistReadAnnounced, 0, 0)
+			return pe.charge(d), StepNoPoll
 		case phProbe:
-			if r.sbAnnounced {
+			if pe.p.StagedResult(0) != 0 {
 				announced = true
 				return 0, StepDone
 			}
 			victim = pe.rng.Victim(pe.me, n)
 			pe.rec(obs.KindProbeStart, int32(victim), 0)
 			ph = phEval
-			return pe.charge(pe.r.refCost(pe.me, victim)), StepNoPoll
+			d := pe.p.StageRemote(victim, pe.r.refCost(pe.me, victim), opDistReadAvail, 0, 0)
+			pe.p.StageRemote(0, d, opDistReadAnnounced, 0, 0)
+			return pe.charge(d), StepNoPoll
 		default: // phEval
 			pe.t.Probes++
-			wa := pe.r.pes[victim].workAvail
+			wa := int(pe.p.StagedResult(0))
+			sawAnn = pe.p.StagedResult(1) != 0
 			pe.rec(obs.KindProbeResult, int32(victim), int64(wa))
 			ph = phPoll
 			if wa > 0 {
@@ -504,11 +580,12 @@ func (pe *simDistPE) terminate() bool {
 		}
 		v := stealFrom
 		stealFrom = -1
-		if r.sbAnnounced {
+		if sawAnn {
 			return true
 		}
-		pe.advance(r.cs.remoteRef) // leave the barrier
-		r.sbCount--
+		ld := r.cs.remoteRef // leave the barrier
+		pe.t.AddState(pe.state, ld)
+		pe.p.RemoteCall(0, ld, opDistSbLeave, 0, 0)
 		pe.setState(stats.Stealing)
 		ok := pe.steal(v)
 		pe.setState(stats.Idle)

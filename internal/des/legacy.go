@@ -67,6 +67,9 @@ func (p *Proc) legacyAdvanceStepped(step Stepper) Intr {
 		if d > 0 {
 			p.legacyAdvance(int64(d))
 		}
+		if p.nstag > 0 {
+			p.runStaged()
+		}
 		if fl&StepDone != 0 {
 			return 0
 		}

@@ -12,13 +12,53 @@ import (
 )
 
 // simMsg is one in-flight message: visible to the receiver once virtual
-// time reaches arriveAt.
+// time reaches arriveAt. The inbox is kept sorted by (sentAt, from) — the
+// order in which a sequential engine executes the sends — so the sharded
+// engine, whose deliveries apply at the arrival instant rather than the
+// send instant, reconstructs exactly the sequential receive order.
 type simMsg struct {
 	arriveAt time.Duration
+	sentAt   time.Duration
 	from     int
 	tag      msg.Tag
 	chunks   []stack.Chunk
 	color    msg.Color
+}
+
+// opMPIDeliver is the protocol's single remote operation: insert a message
+// into rank dst's inbox. a packs (from, tag, color), b is the send-complete
+// stamp; the arrival stamp is recomputed from the payload size, and
+// visibility is gated on it by recv/hasArrived — the contract RemoteSend
+// requires of delayed effects.
+const opMPIDeliver uint8 = 0
+
+func (r *simMPIRun) apply(dst int, op uint8, a, b int64, chunks []stack.Chunk) int64 {
+	pe := r.pes[dst]
+	size := 16
+	for _, c := range chunks {
+		size += nodeBytes * len(c)
+	}
+	m := simMsg{
+		sentAt:   time.Duration(b),
+		arriveAt: time.Duration(b) + r.cs.bulk(size),
+		from:     int(a & 0xffffffff),
+		tag:      msg.Tag((a >> 32) & 0xff),
+		chunks:   chunks,
+		color:    msg.Color((a >> 40) & 0xff),
+	}
+	// Sorted insert by (sentAt, from). Under the sequential engines sends
+	// apply in exactly that order, so this is an append; under the sharded
+	// engine a small message can be delivered before an earlier-sent bulky
+	// one, and the insert restores send order.
+	i := len(pe.inbox)
+	pe.inbox = append(pe.inbox, simMsg{})
+	for i > 0 && (pe.inbox[i-1].sentAt > m.sentAt ||
+		(pe.inbox[i-1].sentAt == m.sentAt && pe.inbox[i-1].from > m.from)) {
+		pe.inbox[i] = pe.inbox[i-1]
+		i--
+	}
+	pe.inbox[i] = m
+	return 0
 }
 
 // simMPIRun is the run state of the simulated mpi-ws baseline.
@@ -54,6 +94,7 @@ type simMPIPE struct {
 
 func simMPIWS(sim *Sim, sp *uts.Spec, cfg Config, cs costs, res *core.Result, finish func(*Proc)) (sampler, error) {
 	r := &simMPIRun{sp: sp, cfg: cfg, cs: cs, finish: finish}
+	sim.SetRemote(r.apply)
 	r.pes = make([]*simMPIPE, cfg.PEs)
 	for i := 0; i < cfg.PEs; i++ {
 		pe := &simMPIPE{r: r, me: i, t: &res.Threads[i], lane: cfg.Tracer.Lane(i), rng: core.NewProbeOrder(cfg.Seed, i), ex: uts.NewExpander(sp)}
@@ -116,15 +157,11 @@ func (pe *simMPIPE) send(to int, tag msg.Tag, chunks []stack.Chunk, color msg.Co
 	for _, c := range chunks {
 		size += nodeBytes * len(c)
 	}
-	pe.advance(pe.r.cs.localRef) // injection overhead
-	dst := pe.r.pes[to]
-	dst.inbox = append(dst.inbox, simMsg{
-		arriveAt: pe.p.Now() + pe.r.cs.bulk(size),
-		from:     pe.me,
-		tag:      tag,
-		chunks:   chunks,
-		color:    color,
-	})
+	adv := pe.r.cs.localRef // injection overhead
+	pe.t.AddState(pe.state, adv)
+	a := int64(uint32(pe.me)) | int64(tag)<<32 | int64(color)<<40
+	b := int64(pe.p.Now() + adv)
+	pe.p.RemoteSend(to, adv, pe.r.cs.bulk(size), opMPIDeliver, a, b, chunks)
 }
 
 // recv returns the oldest message that has arrived by now.

@@ -1,0 +1,915 @@
+package des
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stack"
+)
+
+// This file is the sharded engine: conservative-lookahead parallel
+// execution of the exact sequential schedule.
+//
+// The simulated PEs are partitioned into S shards of contiguous IDs. Each
+// shard owns a flat 4-ary event heap, a virtual clock, and a baton: exactly
+// one goroutine executes a shard's events at any moment, handed between the
+// dispatcher loop and the shard's PE goroutines exactly as in the batched
+// engine — so within a shard the PR 3 inline fast path survives unchanged.
+// Across shards, every interaction goes through the remote-operation layer
+// (remote.go): operations become messages carrying the virtual instant and
+// the initiating proc's (id, seq) position, delivered through per-shard-
+// pair inboxes and merged into the owner's heap, where they execute in
+// global (t, pid, seq) key order.
+//
+// # Conservative synchronization
+//
+// The pgas cost model guarantees that every cross-PE operation pays at
+// least the lookahead L (the model's minimum remote-hop cost, clamped):
+// a PE deciding to touch another PE's partition at instant t cannot make
+// the effect land before t+L. Each shard therefore publishes a *horizon
+// promise* — "no message I ever send will be stamped earlier than this" —
+// computed as (earliest pending local event) + L, and each shard may
+// freely execute every event strictly earlier than the minimum promise of
+// its peers. Promises are exchanged through atomic words (the degenerate,
+// always-current form of null messages); a shard with nothing executable
+// publishes its horizon and sleeps until a peer's promise moves or a
+// message arrives. Two shards whose next events carry equal timestamps t
+// both promise t+L > t, so both proceed — equal horizons never deadlock
+// for L > 0.
+//
+// Rendezvous operations (RemoteCall, StageRemote) need a result back; the
+// reply is solicited — stamped with the requester's own boundary, not
+// bounded below by the owner's promise — so the requester *self-gates*:
+// it stalls at the boundary, executes every smaller-keyed event that
+// arrives meanwhile, and resumes only when the reply lands. The shard
+// holding the globally minimal proc event can always run (every peer
+// promise is at least that minimum plus L), so some shard always makes
+// progress and the protocol is deadlock-free; if every shard sleeps with
+// an infinite horizon while procs remain, the procs are blocked on each
+// other — a protocol deadlock, reported exactly like the sequential
+// engine's drained-queue error.
+//
+// # Determinism
+//
+// For a fixed shard count the execution is a deterministic function of the
+// configuration: every event executes in (t, pid, seq) key order within
+// its owning shard, cross-shard messages are applied at keys computed at
+// send time, and the only engine freedom — the order in which same-key
+// delayed deliveries are drained — is over operations that commute (sorted
+// inserts into a receive queue). The differential test matrix checks the
+// stronger property that the result is bit-identical to the batched
+// engine's; DESIGN.md §12 gives the argument.
+
+const maxVT = int64(^uint64(0) >> 1) // +infinity for virtual time
+
+// sev event kinds.
+const (
+	seProc   byte = iota // a proc resumption (scheduled or parked boundary)
+	seEffect             // fire-and-forget remote apply at the stamp
+	seCall               // rendezvous request: apply at the stamp, reply
+	seReply              // rendezvous reply: fills a slot, never enters the heap
+)
+
+// sev is one sharded-engine event: a proc resumption or a cross-shard
+// operation, ordered by the same (t, pid, seq) key the sequential engines
+// use. Delayed effects carry pid −1 so they order before every proc
+// boundary at their stamp — a receiver polling its queue at exactly the
+// arrival instant must see the message, as it does sequentially.
+type sev struct {
+	t      int64
+	pid    int32
+	seq    uint64
+	p      *Proc // seProc: the proc to resume
+	kind   byte
+	from   int32 // seCall: requesting shard (reply destination)
+	slot   int8  // seCall/seReply: staged slot, or -1 for RemoteCall
+	dst    int32 // seEffect/seCall: destination PE; seReply: requester PE
+	op     uint8
+	a, b   int64
+	chunks []stack.Chunk
+}
+
+func sevLess(a, b *sev) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	if a.pid != b.pid {
+		return a.pid < b.pid
+	}
+	return a.seq < b.seq
+}
+
+// shHeap is the per-shard flat 4-ary min-heap of sharded events — the same
+// layout and hole-insertion sift as the sequential flatHeap.
+type shHeap struct {
+	a []sev
+}
+
+//uts:noalloc
+func (h *shHeap) push(e sev) {
+	h.a = append(h.a, e) //uts:ok noalloc amortized slice growth; steady-state pushes reuse the backing array
+	a := h.a
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !sevLess(&e, &a[parent]) {
+			break
+		}
+		a[i] = a[parent]
+		i = parent
+	}
+	a[i] = e
+}
+
+//uts:noalloc
+func (h *shHeap) pop() sev {
+	n := len(h.a) - 1
+	top := h.a[0]
+	h.a[0] = h.a[n]
+	h.a[n] = sev{}
+	h.a = h.a[:n]
+	if n > 1 {
+		h.siftDown(0)
+	}
+	return top
+}
+
+//uts:noalloc
+func (h *shHeap) siftDown(i int) {
+	a := h.a
+	n := len(a)
+	e := a[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if sevLess(&a[j], &a[m]) {
+				m = j
+			}
+		}
+		if !sevLess(&a[m], &e) {
+			break
+		}
+		a[i] = a[m]
+		i = m
+	}
+	a[i] = e
+}
+
+// rootAfterProc reports whether the heap minimum orders strictly after a
+// would-be boundary of proc pid at time t — the shard-local half of the
+// inline-commit condition. A (t, pid) tie against a queued event is
+// impossible: a proc has one outstanding resumption, its own requests
+// live in other shards' heaps, and delayed effects carry pid −1.
+//
+//uts:noalloc
+func (h *shHeap) rootAfterProc(t int64, pid int32) bool {
+	r := &h.a[0]
+	if r.t != t {
+		return r.t > t
+	}
+	return r.pid > pid
+}
+
+// shInbox is one bounded shard-pair inbox: peers append under the mutex,
+// the owning shard swaps the queue out wholesale. Steady state reuses two
+// buffers; growth beyond the initial bound doubles (and is amortized away).
+type shInbox struct {
+	mu    sync.Mutex
+	dirty atomic.Bool
+	q     []sev
+	spare []sev
+}
+
+// shard is one partition of the simulation: a block of contiguous PEs, an
+// event heap, a clock, and the conservative-synchronization state.
+type shard struct {
+	eng  *shardEngine
+	idx  int
+	heap shHeap
+	now  int64
+
+	// safeT caches min over peers' promises: every event with t < safeT
+	// is safe to execute without looking at the inboxes again (messages
+	// stamped below it were enqueued before their sender published the
+	// promise we read, so they were drained when safeT was refreshed).
+	safeT int64
+
+	// promise is this shard's published horizon (single writer: the baton
+	// holder). pub mirrors it locally; lastNowPub throttles fast-path
+	// republishing to once per lookahead of virtual time.
+	promise    atomic.Int64
+	pub        int64
+	lastNowPub int64
+
+	// helds are procs stalled at a boundary awaiting rendezvous replies,
+	// each at key (heldT, id). Events beyond the minimum held key must
+	// wait; events before it keep executing.
+	helds []*Proc
+
+	in       []shInbox // indexed by sending shard
+	kick     chan struct{}
+	sleeping atomic.Int32
+
+	events   uint64
+	nprocs   int
+	finished int
+	exited   bool // dispatch loop has exited (wg accounting)
+}
+
+// shardEngine coordinates the S shards of one simulation.
+type shardEngine struct {
+	sim      *Sim
+	nshards  int
+	la       int64 // lookahead L: minimum cross-shard stamp distance
+	pending  []*Proc
+	byPid    []*Proc
+	shards   []*shard
+	shardOf  []int32
+	wg       sync.WaitGroup
+	done     chan struct{}
+	failOnce sync.Once
+	err      error
+	sleepers atomic.Int32
+	doneShs  atomic.Int32
+}
+
+// NewSharded creates an empty simulation using the sharded engine: shards
+// parallel dispatchers synchronized with conservative lookahead la, which
+// must be positive when shards > 1 (it is the minimum virtual latency of
+// any cross-PE operation — see pgas.Model.MinRemoteHop). PEs are assigned
+// to shards in contiguous blocks of spawn order at Run time.
+func NewSharded(shards int, la time.Duration) *Sim {
+	if shards < 1 {
+		panic("des: sharded engine needs at least one shard")
+	}
+	if shards > 1 && la <= 0 {
+		panic("des: sharded engine needs positive lookahead")
+	}
+	s := &Sim{}
+	s.eng = &shardEngine{sim: s, nshards: shards, la: int64(la)}
+	return s
+}
+
+// Shards reports the shard count of a sharded simulation (0 under the
+// sequential engines).
+func (s *Sim) Shards() int {
+	if s.eng == nil {
+		return 0
+	}
+	return s.eng.nshards
+}
+
+// assign partitions the spawned procs into contiguous-ID shard blocks and
+// seeds each shard's heap and horizon.
+func (eng *shardEngine) assign() {
+	n := len(eng.pending)
+	s := eng.nshards
+	if s > n {
+		s = n
+		eng.nshards = s
+	}
+	eng.byPid = eng.pending
+	eng.shardOf = make([]int32, n)
+	eng.shards = make([]*shard, s)
+	for i := range eng.shards {
+		eng.shards[i] = &shard{
+			eng:   eng,
+			idx:   i,
+			in:    make([]shInbox, s),
+			kick:  make(chan struct{}, 1),
+			safeT: eng.la,
+		}
+	}
+	for pid, p := range eng.pending {
+		si := pid * s / n
+		eng.shardOf[pid] = int32(si)
+		sh := eng.shards[si]
+		p.sh = sh
+		sh.nprocs++
+		p.seq++
+		sh.heap.push(sev{t: 0, pid: int32(pid), seq: p.seq, p: p, kind: seProc})
+	}
+	for _, sh := range eng.shards {
+		sh.promise.Store(eng.la) // heap min 0 + L
+		sh.pub = eng.la
+		if s == 1 {
+			sh.safeT = maxVT // no peers: pure fast path
+		}
+	}
+}
+
+// run executes the simulation: one dispatcher goroutine bootstraps each
+// shard's baton, and the engine waits for every shard's dispatch loop to
+// exit (global completion, or a deadlock report).
+func (eng *shardEngine) run() error {
+	if eng.sim.nprocs == 0 {
+		return nil
+	}
+	eng.done = make(chan struct{})
+	eng.assign()
+	eng.wg.Add(len(eng.shards))
+	for _, sh := range eng.shards {
+		go sh.dispatch()
+	}
+	eng.wg.Wait()
+	var events uint64
+	mx := int64(0)
+	for _, sh := range eng.shards {
+		events += sh.events
+		if sh.now > mx {
+			mx = sh.now
+		}
+	}
+	eng.sim.events = events
+	eng.sim.now = mx
+	return eng.err
+}
+
+// fail records a terminal engine error and releases every shard.
+func (eng *shardEngine) fail(err error) {
+	eng.failOnce.Do(func() {
+		eng.err = err
+		close(eng.done)
+	})
+}
+
+// shardDone is called by the wrapper of a shard's last finishing proc;
+// when every shard's procs have finished the run is over (no proc can
+// send again, so nothing meaningful remains in flight).
+func (eng *shardEngine) shardDone() {
+	if int(eng.doneShs.Add(1)) == len(eng.shards) {
+		eng.failOnce.Do(func() { close(eng.done) })
+	}
+}
+
+// enqueue delivers a message into this shard's inbox from the given peer
+// shard, kicking the shard awake if it sleeps. The dirty store precedes
+// the sleeping load (both sequentially consistent), pairing with sleep's
+// flag-then-drain order so a wakeup is never lost.
+//
+//uts:noalloc
+func (sh *shard) enqueue(from int, m sev) {
+	ib := &sh.in[from]
+	ib.mu.Lock()
+	ib.q = append(ib.q, m) //uts:ok noalloc amortized growth of a bounded, reused inbox buffer
+	ib.mu.Unlock()
+	ib.dirty.Store(true)
+	if sh.sleeping.Load() != 0 {
+		select {
+		case sh.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// drain merges every arrived message: replies fill their proc's slots
+// immediately (they are position-free — the stalled proc consumes them at
+// its own boundary), everything else enters the heap at its key.
+//
+//uts:noalloc
+func (sh *shard) drain() {
+	for i := range sh.in {
+		ib := &sh.in[i]
+		if !ib.dirty.Load() {
+			continue
+		}
+		ib.mu.Lock()
+		msgs := ib.q
+		ib.q = ib.spare[:0]
+		ib.spare = msgs
+		ib.dirty.Store(false)
+		ib.mu.Unlock()
+		for j := range msgs {
+			m := &msgs[j]
+			if m.kind == seReply {
+				p := sh.eng.byPid[m.dst]
+				if m.slot >= 0 {
+					p.staged[m.slot].res = m.a
+				} else {
+					p.callRes = m.a
+				}
+				p.pendReplies--
+				continue
+			}
+			sh.heap.push(*m)
+			msgs[j].chunks = nil
+		}
+	}
+}
+
+// publish raises this shard's promise (single writer — monotone by
+// construction) and kicks any sleeping peer so it can re-read horizons.
+//
+//uts:noalloc
+func (sh *shard) publish(v int64) {
+	if v <= sh.pub {
+		return
+	}
+	sh.pub = v
+	sh.promise.Store(v)
+	for _, o := range sh.eng.shards {
+		if o != sh && o.sleeping.Load() != 0 {
+			select {
+			case o.kick <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// maybePublish republishes now+L from the inline fast path at most once
+// per lookahead of virtual progress, so peers starve no longer than ~L
+// behind a shard running a long inline batch.
+//
+//uts:noalloc
+func (sh *shard) maybePublish(t int64) {
+	if t-sh.lastNowPub >= sh.eng.la {
+		sh.lastNowPub = t
+		sh.publish(t + sh.eng.la)
+	}
+}
+
+// refreshSafe re-reads every peer's promise, then drains, then commits the
+// new safe time — in that order. A message stamped below a peer's promise
+// was enqueued before that promise was published (promises are lower
+// bounds on all *future* sends), so a drain that follows the promise load
+// is guaranteed to see every such message; messages arriving after the
+// drain are stamped at or above the promises just read. Loading after
+// draining would leave that guarantee with a hole.
+//
+//uts:noalloc
+func (sh *shard) refreshSafe() {
+	m := maxVT
+	for _, o := range sh.eng.shards {
+		if o == sh {
+			continue
+		}
+		if v := o.promise.Load(); v < m {
+			m = v
+		}
+	}
+	sh.drain()
+	sh.safeT = m
+}
+
+// horizon is the earliest key this shard could still emit a message from:
+// its earliest pending proc boundary (queued or stalled), plus lookahead.
+//
+//uts:noalloc
+func (sh *shard) horizon() int64 {
+	m := maxVT
+	if len(sh.heap.a) > 0 {
+		m = sh.heap.a[0].t
+	}
+	for _, hp := range sh.helds {
+		if hp.heldT < m {
+			m = hp.heldT
+		}
+	}
+	if m == maxVT {
+		return maxVT
+	}
+	return m + sh.eng.la
+}
+
+// minHeld returns the stalled proc with the smallest (heldT, id) key.
+//
+//uts:noalloc
+func (sh *shard) minHeld() *Proc {
+	var hp *Proc
+	for _, q := range sh.helds {
+		if hp == nil || q.heldT < hp.heldT || (q.heldT == hp.heldT && q.id < hp.id) {
+			hp = q
+		}
+	}
+	return hp
+}
+
+//uts:noalloc
+func (sh *shard) removeHeld(p *Proc) {
+	for i, q := range sh.helds {
+		if q == p {
+			n := len(sh.helds) - 1
+			sh.helds[i] = sh.helds[n]
+			sh.helds[n] = nil
+			sh.helds = sh.helds[:n]
+			return
+		}
+	}
+}
+
+// commitOK is the shard-local half of the inline-commit condition: the
+// boundary (t, pid) must precede every queued event and every stalled
+// proc's boundary. The cross-shard half (t < safeT) is checked by callers.
+//
+//uts:noalloc
+func (sh *shard) commitOK(t int64, pid int32) bool {
+	for _, hp := range sh.helds {
+		if t > hp.heldT || (t == hp.heldT && int(pid) > hp.id) {
+			return false
+		}
+	}
+	if len(sh.heap.a) == 0 {
+		return true
+	}
+	return sh.heap.rootAfterProc(t, pid)
+}
+
+// assertHop enforces the promise contract on protocols: every cross-shard
+// operation must land at least one lookahead after its deciding instant.
+//
+//uts:noalloc
+func (sh *shard) assertHop(stamp int64) {
+	if stamp-sh.now < sh.eng.la {
+		panic("des: cross-shard operation beneath the lookahead — protocol violates the cost model's minimum remote hop")
+	}
+}
+
+// remoteCall implements Proc.RemoteCall under the sharded engine: enqueue
+// the rendezvous request at the completion stamp, advance, and stall at
+// the boundary until the owner's reply lands.
+func (sh *shard) remoteCall(p *Proc, dst int, d time.Duration, op uint8, a, b int64) int64 {
+	eng := sh.eng
+	od := eng.shardOf[dst]
+	if int(od) == sh.idx {
+		p.Advance(d)
+		return eng.sim.remote(dst, op, a, b, nil)
+	}
+	stamp := sh.now + int64(d)
+	sh.assertHop(stamp)
+	p.seq++
+	p.pendReplies++
+	eng.shards[od].enqueue(sh.idx, sev{
+		t: stamp, pid: int32(p.id), seq: p.seq, kind: seCall,
+		from: int32(sh.idx), slot: -1, dst: int32(dst), op: op, a: a, b: b,
+	})
+	p.Advance(d)
+	if p.pendReplies > 0 {
+		sh.stallFrame(p)
+	}
+	return p.callRes
+}
+
+// remoteSend implements Proc.RemoteSend under the sharded engine: the
+// effect applies in the owner's shard at now+adv+effectDelay. Zero-delay
+// effects keep the sender's (pid, seq) position — they commit at the
+// sender's completion instant exactly as sequentially; delayed effects
+// order before every proc boundary at their arrival stamp (pid −1).
+func (sh *shard) remoteSend(p *Proc, dst int, adv, effectDelay time.Duration, op uint8, a, b int64, chunks []stack.Chunk) {
+	eng := sh.eng
+	od := eng.shardOf[dst]
+	if int(od) == sh.idx {
+		p.Advance(adv)
+		eng.sim.remote(dst, op, a, b, chunks)
+		return
+	}
+	stamp := sh.now + int64(adv) + int64(effectDelay)
+	sh.assertHop(stamp)
+	pid := int32(p.id)
+	if effectDelay > 0 {
+		pid = -1
+	}
+	p.seq++
+	eng.shards[od].enqueue(sh.idx, sev{
+		t: stamp, pid: pid, seq: p.seq, kind: seEffect,
+		dst: int32(dst), op: op, a: a, b: b, chunks: chunks,
+	})
+	p.Advance(adv)
+}
+
+// stageRemote implements the sharded half of Proc.StageRemote: same-shard
+// ops are marked for inline execution at the boundary; cross-shard ops
+// become rendezvous requests stamped with the boundary instant.
+func (sh *shard) stageRemote(p *Proc, d time.Duration) {
+	st := &p.staged[p.nstag-1]
+	eng := sh.eng
+	od := eng.shardOf[st.dst]
+	if int(od) == sh.idx {
+		st.local = true
+		return
+	}
+	stamp := sh.now + int64(d)
+	sh.assertHop(stamp)
+	p.seq++
+	p.pendReplies++
+	eng.shards[od].enqueue(sh.idx, sev{
+		t: stamp, pid: int32(p.id), seq: p.seq, kind: seCall,
+		from: int32(sh.idx), slot: int8(p.nstag - 1), dst: st.dst, op: st.op, a: st.a, b: st.b,
+	})
+}
+
+// runStagedSharded resolves a boundary's staged ops: cross-shard slots
+// were filled by rendezvous replies; same-shard slots execute here, at
+// the proc's own position in its shard's schedule.
+//
+//uts:noalloc
+func (p *Proc) runStagedSharded() {
+	for i := 0; i < p.nstag; i++ {
+		st := &p.staged[i]
+		if st.local {
+			st.local = false
+			st.res = p.sh.eng.sim.remote(int(st.dst), st.op, st.a, st.b, nil)
+		}
+	}
+	p.nstag = 0
+}
+
+// stallFrame parks the running proc at its current boundary until its
+// outstanding rendezvous replies arrive, handing the baton to the
+// dispatcher so every smaller-keyed event keeps executing meanwhile.
+func (sh *shard) stallFrame(p *Proc) {
+	p.heldT = sh.now
+	p.heldLive = true
+	sh.helds = append(sh.helds, p)
+	sh.dispatch()
+	<-p.ch
+}
+
+// shardAdvance is Proc.Advance under the sharded engine.
+//
+//uts:noalloc
+func (p *Proc) shardAdvance(d time.Duration) {
+	sh := p.sh
+	t := sh.now + int64(d)
+	pid := int32(p.id)
+	if t < sh.safeT && sh.commitOK(t, pid) {
+		sh.now = t
+		sh.events++
+		sh.maybePublish(t)
+		return
+	}
+	// Refresh visibility once before paying for a park.
+	sh.refreshSafe()
+	if t < sh.safeT && sh.commitOK(t, pid) {
+		sh.now = t
+		sh.events++
+		sh.maybePublish(t)
+		return
+	}
+	p.seq++
+	sh.heap.push(sev{t: t, pid: pid, seq: p.seq, p: p, kind: seProc})
+	sh.dispatch()
+	<-p.ch
+}
+
+// shardAdvanceStepped is Proc.AdvanceStepped under the sharded engine:
+// identical boundary semantics to the batched engine, plus the rendezvous
+// stall when a boundary's staged replies are still in flight.
+func (p *Proc) shardAdvanceStepped(step Stepper) Intr {
+	sh := p.sh
+	pid := int32(p.id)
+	for {
+		d, fl := step()
+		if d > 0 {
+			t := sh.now + int64(d)
+			if !(t < sh.safeT && sh.commitOK(t, pid)) {
+				sh.refreshSafe()
+				if !(t < sh.safeT && sh.commitOK(t, pid)) {
+					p.stepFn = step
+					p.stepFl = fl
+					p.seq++
+					sh.heap.push(sev{t: t, pid: pid, seq: p.seq, p: p, kind: seProc})
+					sh.dispatch()
+					return <-p.ch
+				}
+			}
+			sh.now = t
+			sh.events++
+			sh.maybePublish(t)
+		}
+		if p.pendReplies > 0 {
+			sh.stallFrame(p)
+		}
+		if p.nstag > 0 {
+			p.runStagedSharded()
+		}
+		if fl&StepDone != 0 {
+			return 0
+		}
+		if fl&StepNoPoll == 0 && p.intr != 0 {
+			m := p.intr
+			p.intr = 0
+			return m
+		}
+	}
+}
+
+// shardContStep resumes a parked stepped advance at its boundary in
+// dispatcher context, mirroring the batched engine's contStep. Returns
+// true when the baton was handed to the proc's goroutine.
+func (sh *shard) shardContStep(p *Proc) bool {
+	fl := p.stepFl
+	pid := int32(p.id)
+	for {
+		if p.nstag > 0 {
+			p.runStagedSharded()
+		}
+		if fl&StepDone != 0 {
+			p.stepFn = nil
+			p.ch <- 0
+			return true
+		}
+		if fl&StepNoPoll == 0 && p.intr != 0 {
+			m := p.intr
+			p.intr = 0
+			p.stepFn = nil
+			p.ch <- m
+			return true
+		}
+		var d time.Duration
+		d, fl = p.stepFn()
+		if d > 0 {
+			t := sh.now + int64(d)
+			if !(t < sh.safeT && sh.commitOK(t, pid)) {
+				p.stepFl = fl
+				p.seq++
+				sh.heap.push(sev{t: t, pid: pid, seq: p.seq, p: p, kind: seProc})
+				return false
+			}
+			sh.now = t
+			sh.events++
+			sh.maybePublish(t)
+		}
+		if p.pendReplies > 0 {
+			// Boundary awaits rendezvous replies: stall in dispatcher
+			// context; dispatch resumes the continuation when they land.
+			p.stepFl = fl
+			p.heldT = sh.now
+			sh.helds = append(sh.helds, p)
+			return false
+		}
+	}
+}
+
+// shardYield hands the baton to the dispatcher and blocks until an event
+// hands it back (Block under the sharded engine; Wake pushes the event).
+func (p *Proc) shardYield() Intr {
+	p.sh.dispatch()
+	return <-p.ch
+}
+
+// dispatch is the shard's event loop. Exactly one goroutine per shard runs
+// it at any moment; it returns after handing the baton to a proc, and the
+// goroutine that observes global completion (or failure) does the shard's
+// final exit accounting.
+func (sh *shard) dispatch() {
+	eng := sh.eng
+	for {
+		sh.drain()
+		for sh.runnable() {
+			hp := sh.minHeld()
+			if len(sh.heap.a) > 0 {
+				e := &sh.heap.a[0]
+				if (hp == nil || e.t < hp.heldT || (e.t == hp.heldT && int(e.pid) < hp.id)) && e.t < sh.safeT {
+					ev := sh.heap.pop()
+					if sh.execute(&ev) {
+						return
+					}
+					sh.drain()
+					continue
+				}
+			}
+			// Otherwise runnable means the minimal stalled proc has its
+			// replies: resume it at its boundary.
+			sh.removeHeld(hp)
+			sh.now = hp.heldT
+			if hp.heldLive {
+				hp.heldLive = false
+				hp.ch <- 0
+				return
+			}
+			if sh.shardContStep(hp) {
+				return
+			}
+			sh.drain()
+		}
+		// Nothing executable against the cached horizon: refresh once
+		// before paying for a sleep.
+		sh.refreshSafe()
+		if sh.runnable() {
+			continue
+		}
+		if !sh.sleep() {
+			if !sh.exited {
+				sh.exited = true
+				eng.wg.Done()
+			}
+			return
+		}
+	}
+}
+
+// execute runs one popped event; reports whether the baton left the
+// dispatcher.
+func (sh *shard) execute(e *sev) bool {
+	eng := sh.eng
+	switch e.kind {
+	case seProc:
+		sh.now = e.t
+		sh.events++
+		p := e.p
+		if p.stepFn != nil {
+			if p.pendReplies > 0 {
+				p.heldT = e.t
+				sh.helds = append(sh.helds, p)
+				return false
+			}
+			return sh.shardContStep(p)
+		}
+		p.ch <- 0
+		return true
+	case seCall:
+		res := eng.sim.remote(int(e.dst), e.op, e.a, e.b, e.chunks)
+		eng.shards[e.from].enqueue(sh.idx, sev{kind: seReply, dst: e.pid, slot: e.slot, a: res})
+		return false
+	default: // seEffect
+		eng.sim.remote(int(e.dst), e.op, e.a, e.b, e.chunks)
+		return false
+	}
+}
+
+// sleep publishes this shard's horizon and blocks until a kick or global
+// completion. Returns false when the dispatch loop should exit. The
+// sleeping flag is raised before the final drain-and-recheck, pairing
+// with enqueue's dirty-then-kick order, so a message can never slip in
+// unnoticed between the check and the block.
+func (sh *shard) sleep() bool {
+	eng := sh.eng
+	sh.publish(sh.horizon())
+	sh.sleeping.Store(1)
+	n := eng.sleepers.Add(1)
+	sh.refreshSafe()
+	if sh.runnable() {
+		sh.sleeping.Store(0)
+		eng.sleepers.Add(-1)
+		return true
+	}
+	if int(n) == len(eng.shards) {
+		eng.checkDeadlock()
+	}
+	alive := true
+	select {
+	case <-sh.kick:
+	case <-eng.done:
+		alive = false
+	}
+	sh.sleeping.Store(0)
+	eng.sleepers.Add(-1)
+	if alive {
+		select {
+		case <-eng.done:
+			alive = false
+		default:
+		}
+	}
+	return alive
+}
+
+// runnable reports whether anything can execute right now (after a drain
+// and horizon refresh).
+//
+//uts:noalloc
+func (sh *shard) runnable() bool {
+	hp := sh.minHeld()
+	if len(sh.heap.a) > 0 {
+		e := &sh.heap.a[0]
+		if (hp == nil || e.t < hp.heldT || (e.t == hp.heldT && int(e.pid) < hp.id)) && e.t < sh.safeT {
+			return true
+		}
+	}
+	return hp != nil && hp.pendReplies == 0
+}
+
+// checkDeadlock runs on the last shard to fall asleep. If every shard
+// sleeps with an infinite horizon, no proc event exists or can ever be
+// created anywhere — promises are monotone, only proc events generate
+// messages, and finished runs close done before their last dispatcher
+// sleeps — so any unfinished procs are mutually blocked: the sharded form
+// of the sequential engine's drained-queue deadlock.
+func (eng *shardEngine) checkDeadlock() {
+	for _, o := range eng.shards {
+		if o.sleeping.Load() == 0 || o.promise.Load() != maxVT {
+			return
+		}
+	}
+	blocked := 0
+	for _, sh := range eng.shards {
+		blocked += sh.nprocs - sh.finished
+	}
+	if blocked == 0 {
+		return
+	}
+	//uts:ok noalloc deadlock teardown: the simulation is over once this error is built
+	eng.fail(fmt.Errorf("des: deadlock: %d of %d PEs still blocked (sharded, %d shards)",
+		blocked, len(eng.byPid), len(eng.shards)))
+}

@@ -252,17 +252,15 @@ func (pe *simSharedPE) search() bool {
 	if n == 1 {
 		return false
 	}
-	var perm []int
-	idx := 0
+	var walk core.ProbeWalk
 	sawWorker := false
 	stealFrom := -1
 	exhausted := false
-	newPerm := func() {
-		perm = pe.rng.Cycle(pe.me, n)
-		idx = 0
+	newWalk := func() {
+		walk = pe.rng.Walk(pe.me, n)
 		sawWorker = false
 	}
-	newPerm()
+	newWalk()
 	probing := false
 	victim := -1
 	// Each quantum is one probe's remote reference; the evaluation happens
@@ -281,16 +279,16 @@ func (pe *simSharedPE) search() bool {
 			if wa >= 0 {
 				sawWorker = true
 			}
-			idx++
-			if idx == len(perm) {
+			walk.Advance()
+			if walk.Exhausted() {
 				if !r.mode.streamTerm || !sawWorker {
 					exhausted = true
 					return 0, StepDone
 				}
-				newPerm()
+				newWalk()
 			}
 		}
-		victim = perm[idx]
+		victim = walk.Victim()
 		pe.rec(obs.KindProbeStart, int32(victim), 0)
 		probing = true
 		return pe.charge(pe.r.cs.remoteRef), 0
@@ -308,12 +306,12 @@ func (pe *simSharedPE) search() bool {
 		if ok {
 			return true
 		}
-		idx++
-		if idx == len(perm) {
+		walk.Advance()
+		if walk.Exhausted() {
 			if !r.mode.streamTerm || !sawWorker {
 				return false
 			}
-			newPerm()
+			newWalk()
 		}
 		probing = false
 	}

@@ -44,9 +44,8 @@ import (
 // Sim is one simulation instance.
 type Sim struct {
 	heap     flatHeap
-	pend     ev   // parked event awaiting the dispatcher, if hasPend
-	hasPend  bool // see park: fuses the park-then-dispatch heap traffic
-	seq      uint64
+	pend     ev    // parked event awaiting the dispatcher, if hasPend
+	hasPend  bool  // see park: fuses the park-then-dispatch heap traffic
 	now      int64 // virtual time, ns
 	nprocs   int
 	finished int
@@ -56,8 +55,12 @@ type Sim struct {
 	doneCh chan error
 	err    error
 
+	remote RemoteApply // remote-operation interpreter (remote.go)
+
 	legacy bool
 	lheap  evHeap // legacy engine's boxed queue (legacy.go)
+
+	eng *shardEngine // sharded engine, nil under the sequential ones (sharded.go)
 }
 
 // New creates an empty simulation using the batched engine.
@@ -129,18 +132,41 @@ type Proc struct {
 	stepFn Stepper
 	stepFl uint8
 
+	// seq numbers this proc's scheduled resumptions; the (t, id, seq) key
+	// orders the event queue identically under every engine.
+	seq uint64
+
 	// Legacy engine: two-channel wake/park handshake.
 	wake   chan struct{}
 	park   chan struct{}
 	status procStatus
 	delay  int64
+
+	// Sharded engine: owning shard (nil under the sequential engines), the
+	// staged remote-operation slots of the current quantum, and the
+	// rendezvous-stall state (sharded.go). heldT/heldLive describe a proc
+	// stalled at a boundary awaiting pendReplies rendezvous replies;
+	// callRes receives a RemoteCall's reply.
+	sh          *shard
+	staged      [2]stagedOp
+	nstag       int
+	heldT       int64
+	heldLive    bool
+	pendReplies int32
+	callRes     int64
 }
 
 // ID returns the PE number.
 func (p *Proc) ID() int { return p.id }
 
-// Now returns the current virtual time (valid only while running).
-func (p *Proc) Now() time.Duration { return time.Duration(p.sim.now) }
+// Now returns the current virtual time (valid only while running). Under
+// the sharded engine this is the owning shard's clock.
+func (p *Proc) Now() time.Duration {
+	if p.sh != nil {
+		return time.Duration(p.sh.now)
+	}
+	return time.Duration(p.sim.now)
+}
 
 // Post sets interrupt bits on p. The poster is another PE (or the
 // simulation setup); p observes the mask at its next polling boundary.
@@ -156,6 +182,22 @@ func (p *Proc) ClearIntr(m Intr) { p.intr &^= m }
 func (s *Sim) Spawn(body func(p *Proc)) *Proc {
 	p := &Proc{id: s.nprocs, sim: s}
 	s.nprocs++
+	if s.eng != nil {
+		p.ch = make(chan Intr, 1)
+		eng := s.eng
+		eng.pending = append(eng.pending, p)
+		go func() {
+			<-p.ch // shard assignment (assign) happens before this send
+			body(p)
+			sh := p.sh
+			sh.finished++
+			if sh.finished == sh.nprocs {
+				eng.shardDone()
+			}
+			sh.dispatch()
+		}()
+		return p
+	}
 	if s.legacy {
 		p.wake = make(chan struct{})
 		p.park = make(chan struct{})
@@ -180,32 +222,32 @@ func (s *Sim) Spawn(body func(p *Proc)) *Proc {
 
 // schedule enqueues a run event for p at virtual time t.
 func (s *Sim) schedule(p *Proc, t int64) {
-	s.seq++
+	p.seq++
 	if s.legacy {
-		s.lheap.push(ev{t: t, seq: s.seq, p: p})
+		s.lheap.push(ev{t: t, seq: p.seq, p: p})
 	} else {
-		s.heap.push(ev{t: t, seq: s.seq, p: p})
+		s.heap.push(ev{t: t, seq: p.seq, p: p})
 	}
 }
 
 // park records p's resume event without pushing it: every park site hands
 // control straight to the dispatcher, which consumes the pending event via
 // next — one heap exchange (single sift-down) instead of a push/pop pair.
-// The sequence number is drawn from the same counter, in the same order,
-// as schedule would have drawn it, so tie-breaks are unchanged.
+// The sequence number comes from the proc's own counter, exactly as
+// schedule would have drawn it, so tie-breaks are unchanged.
 //
 //uts:noalloc
 func (s *Sim) park(p *Proc, t int64) {
-	s.seq++
-	s.pend = ev{t: t, seq: s.seq, p: p}
+	p.seq++
+	s.pend = ev{t: t, seq: p.seq, p: p}
 	s.hasPend = true
 }
 
 // next yields the globally minimal event: the pending parked event fused
 // against the heap root, or a plain pop. A parked event can never precede
-// the root (the park condition required root.t <= t, and on a time tie the
-// root's smaller sequence number wins), so the pending slot always goes
-// through exchange when the heap is nonempty.
+// the root (the park condition required the root's key to order at or
+// before the parked event's (t, id, seq) key), so the pending slot always
+// goes through exchange when the heap is nonempty.
 //
 //uts:noalloc
 func (s *Sim) next() (ev, bool) {
@@ -223,6 +265,9 @@ func (s *Sim) next() (ev, bool) {
 // returns an error if the event queue drains while PEs are still blocked —
 // a protocol deadlock, which the test suite treats as a hard failure.
 func (s *Sim) Run() error {
+	if s.eng != nil {
+		return s.eng.run()
+	}
 	if s.legacy {
 		return s.runLegacy()
 	}
@@ -275,6 +320,9 @@ func (s *Sim) dispatch() {
 func (s *Sim) contStep(p *Proc) bool {
 	fl := p.stepFl
 	for {
+		if p.nstag > 0 {
+			p.runStaged()
+		}
 		if fl&StepDone != 0 {
 			p.stepFn = nil
 			p.ch <- 0
@@ -291,7 +339,7 @@ func (s *Sim) contStep(p *Proc) bool {
 		d, fl = p.stepFn()
 		if d > 0 {
 			t := s.now + int64(d)
-			if !s.heap.empty() && s.heap.minT() <= t {
+			if !s.heap.empty() && !s.heap.rootAfter(t, p.id) {
 				p.stepFl = fl
 				s.park(p, t)
 				return false
@@ -303,17 +351,21 @@ func (s *Sim) contStep(p *Proc) bool {
 }
 
 // Advance consumes d of virtual time: the PE resumes once the clock
-// reaches now+d. When the deadline strictly precedes every queued event
-// the clock commits inline — no heap traffic, no goroutine switch. On a
-// tie the queued event wins: had this PE parked, its resume event would
-// carry a larger sequence number than anything already queued, so the
-// strict inequality is exactly the condition under which skipping the
-// queue preserves the schedule. Negative delays are treated as zero.
+// reaches now+d. When the deadline's (t, id, seq) key strictly precedes
+// every queued event the clock commits inline — no heap traffic, no
+// goroutine switch. Otherwise the smaller-keyed queued event must run
+// first, exactly as if this PE had parked and been popped in key order,
+// so skipping the queue preserves the schedule. Negative delays are
+// treated as zero.
 //
 //uts:noalloc
 func (p *Proc) Advance(d time.Duration) {
 	if d < 0 {
 		d = 0
+	}
+	if p.sh != nil {
+		p.shardAdvance(d)
+		return
 	}
 	s := p.sim
 	if s.legacy {
@@ -321,7 +373,7 @@ func (p *Proc) Advance(d time.Duration) {
 		return
 	}
 	t := s.now + int64(d)
-	if s.heap.empty() || s.heap.minT() > t {
+	if s.heap.empty() || s.heap.rootAfter(t, p.id) {
 		s.now = t
 		s.events++
 		return
@@ -346,6 +398,9 @@ func (p *Proc) Advance(d time.Duration) {
 //
 //uts:noalloc
 func (p *Proc) AdvanceStepped(step Stepper) Intr {
+	if p.sh != nil {
+		return p.shardAdvanceStepped(step)
+	}
 	s := p.sim
 	if s.legacy {
 		return p.legacyAdvanceStepped(step)
@@ -354,7 +409,7 @@ func (p *Proc) AdvanceStepped(step Stepper) Intr {
 		d, fl := step()
 		if d > 0 {
 			t := s.now + int64(d)
-			if !s.heap.empty() && s.heap.minT() <= t {
+			if !s.heap.empty() && !s.heap.rootAfter(t, p.id) {
 				p.stepFn = step
 				p.stepFl = fl
 				s.park(p, t)
@@ -362,6 +417,9 @@ func (p *Proc) AdvanceStepped(step Stepper) Intr {
 			}
 			s.now = t
 			s.events++
+		}
+		if p.nstag > 0 {
+			p.runStaged()
 		}
 		if fl&StepDone != 0 {
 			return 0
@@ -386,6 +444,10 @@ func (p *Proc) yield() Intr {
 
 // Block parks the PE until another PE calls Wake on it.
 func (p *Proc) Block() {
+	if p.sh != nil {
+		p.shardYield()
+		return
+	}
 	if p.sim.legacy {
 		p.legacyBlock()
 		return
@@ -395,13 +457,30 @@ func (p *Proc) Block() {
 
 // Wake schedules a blocked PE q to resume at the current virtual time plus
 // d. Calling Wake on a PE that is not blocked corrupts the schedule; the
-// lock discipline in this package is the only caller.
+// lock discipline in this package is the only caller. Under the sharded
+// engine waker and woken must share a shard: Block/Wake handoffs carry no
+// lookahead, so the run configuration must keep lock-coupled PEs together
+// (run.go forces one shard for the shared-memory family).
 func (p *Proc) Wake(q *Proc, d time.Duration) {
+	if sh := p.sh; sh != nil {
+		if q.sh != sh {
+			panic("des: cross-shard Wake — zero-lookahead handoffs must stay within one shard")
+		}
+		q.seq++
+		sh.heap.push(sev{t: sh.now + int64(d), pid: int32(q.id), seq: q.seq, p: q, kind: seProc})
+		return
+	}
 	p.sim.schedule(q, p.sim.now+int64(d))
 }
 
-// ev is one scheduled resumption, ordered by (t, seq); the seq tie-break
-// makes simultaneous events fire in FIFO order, keeping runs deterministic.
+// ev is one scheduled resumption, ordered by the key (t, proc ID, per-proc
+// seq). The key is *shard-computable*: no component depends on a global
+// counter, so the sharded engine can merge events arriving from concurrent
+// shards into exactly the order a sequential engine would have executed
+// them — the foundation of the sharded/batched bit-identity proof (see
+// DESIGN.md §12). Within one proc the seq keeps its resumptions FIFO;
+// across procs a time tie resolves by proc ID, which is deterministic
+// under every engine.
 type ev struct {
 	t   int64
 	seq uint64
@@ -411,6 +490,9 @@ type ev struct {
 func evLess(a, b ev) bool {
 	if a.t != b.t {
 		return a.t < b.t
+	}
+	if a.p.id != b.p.id {
+		return a.p.id < b.p.id
 	}
 	return a.seq < b.seq
 }
@@ -425,6 +507,21 @@ type flatHeap struct {
 
 func (h *flatHeap) empty() bool { return len(h.a) == 0 }
 func (h *flatHeap) minT() int64 { return h.a[0].t }
+
+// rootAfter reports whether the heap minimum orders strictly after a
+// would-be event of proc id at time t — the inline-commit condition. A
+// proc has at most one outstanding resumption, so the (t, id) prefix of
+// the key can never tie exactly against a queued event and the seq
+// component need not be consulted.
+//
+//uts:noalloc
+func (h *flatHeap) rootAfter(t int64, id int) bool {
+	r := &h.a[0]
+	if r.t != t {
+		return r.t > t
+	}
+	return r.p.id > id
+}
 
 //uts:noalloc
 func (h *flatHeap) push(e ev) {

@@ -46,6 +46,111 @@ func (p *enginePair) check(t *testing.T, name string, minSpeedup float64) {
 // be internally consistent — speedup fields must match the recorded
 // rates, the pure-dispatch ratio must meet the engine rewrite's headline
 // claim, and the batched engine must be allocation-free per event.
+// TestBenchPR6Schema validates the recorded sharded-engine measurements
+// in results/BENCH_PR6.json. The file records a single-core host, so it
+// deliberately does NOT gate on shard scaling (TestShardedSpeedupGate
+// does that, on runners with the cores to back it up); what must hold is
+// that the file parses, names its environment and core count, records
+// positive rates and wall times, carries a bit-identity statement for
+// every engine comparison, and proves a >= 100K-PE run actually happened.
+func TestBenchPR6Schema(t *testing.T) {
+	raw, err := os.ReadFile("results/BENCH_PR6.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		PR          string `json:"pr"`
+		Date        string `json:"date"`
+		Environment struct {
+			Go    string `json:"go"`
+			CPU   string `json:"cpu"`
+			Cores int    `json:"cores"`
+		} `json:"environment"`
+		Sharded struct {
+			Config     string             `json:"config"`
+			EventsPerS map[string]float64 `json:"events_per_s"`
+		} `json:"BenchmarkSimSharded"`
+		Sim1024 struct {
+			Config       string  `json:"config"`
+			Events       uint64  `json:"events"`
+			BatchedWallS float64 `json:"batched_wall_s"`
+			Sharded2WS   float64 `json:"sharded2_wall_s"`
+			BitIdentity  string  `json:"bit_identity"`
+		} `json:"uts_sim_1024pe_t3xxl"`
+		Static100K struct {
+			Config       string  `json:"config"`
+			PEs          int     `json:"pes"`
+			Events       uint64  `json:"events"`
+			BatchedWallS float64 `json:"batched_wall_s"`
+			Sharded2WS   float64 `json:"sharded2_wall_s"`
+			BitIdentity  string  `json:"bit_identity"`
+		} `json:"uts_sim_131072pe_static"`
+		WSMem struct {
+			Config    string  `json:"config"`
+			PEs       int     `json:"pes"`
+			BeforeFix string  `json:"before_fix"`
+			AfterRSS  float64 `json:"after_fix_peak_rss_gb"`
+		} `json:"uts_sim_131072pe_upc_distmem_memory"`
+		WS32K struct {
+			Config string  `json:"config"`
+			PEs    int     `json:"pes"`
+			Events uint64  `json:"events"`
+			WallS  float64 `json:"wall_s"`
+		} `json:"uts_sim_32768pe_upc_distmem"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("results/BENCH_PR6.json does not parse: %v", err)
+	}
+	if doc.PR == "" || doc.Date == "" || doc.Environment.Go == "" || doc.Environment.CPU == "" {
+		t.Error("pr, date, environment.go, and environment.cpu must all be recorded")
+	}
+	if doc.Environment.Cores <= 0 {
+		t.Error("environment.cores must be recorded: shard scaling is meaningless without it")
+	}
+
+	if doc.Sharded.Config == "" {
+		t.Error("BenchmarkSimSharded: missing config string")
+	}
+	for _, key := range []string{"batched", "shards_1", "shards_2", "shards_4", "shards_8"} {
+		if doc.Sharded.EventsPerS[key] <= 0 {
+			t.Errorf("BenchmarkSimSharded: events_per_s.%s must be positive", key)
+		}
+	}
+
+	if doc.Sim1024.Config == "" || doc.Sim1024.BitIdentity == "" {
+		t.Error("uts_sim_1024pe_t3xxl: config and bit_identity must be recorded")
+	}
+	if doc.Sim1024.Events == 0 || doc.Sim1024.BatchedWallS <= 0 || doc.Sim1024.Sharded2WS <= 0 {
+		t.Error("uts_sim_1024pe_t3xxl: events and both wall times must be positive")
+	}
+
+	if doc.Static100K.PEs < 100000 {
+		t.Errorf("uts_sim_131072pe_static: pes %d below the 100K-PE scale this PR claims", doc.Static100K.PEs)
+	}
+	if doc.Static100K.Events == 0 || doc.Static100K.BatchedWallS <= 0 || doc.Static100K.Sharded2WS <= 0 {
+		t.Error("uts_sim_131072pe_static: events and both wall times must be positive")
+	}
+	if doc.Static100K.BitIdentity == "" {
+		t.Error("uts_sim_131072pe_static: bit_identity must be recorded")
+	}
+
+	if doc.WSMem.PEs < 100000 {
+		t.Errorf("uts_sim_131072pe_upc_distmem_memory: pes %d below the 100K-PE scale this PR claims", doc.WSMem.PEs)
+	}
+	if doc.WSMem.BeforeFix == "" || doc.WSMem.AfterRSS <= 0 {
+		t.Error("uts_sim_131072pe_upc_distmem_memory: before_fix and after_fix_peak_rss_gb must be recorded")
+	}
+	if doc.WSMem.AfterRSS > 64 {
+		t.Errorf("uts_sim_131072pe_upc_distmem_memory: %v GB peak RSS; the probe-walk fix must keep 131072 idle PEs far below the 137 GB the cached permutations cost", doc.WSMem.AfterRSS)
+	}
+	if doc.WS32K.PEs < 32768 {
+		t.Errorf("uts_sim_32768pe_upc_distmem: pes %d below the recorded scaling point", doc.WS32K.PEs)
+	}
+	if doc.WS32K.Events == 0 || doc.WS32K.WallS <= 0 {
+		t.Error("uts_sim_32768pe_upc_distmem: events and wall_s must be positive")
+	}
+}
+
 func TestBenchPR3Schema(t *testing.T) {
 	raw, err := os.ReadFile("results/BENCH_PR3.json")
 	if err != nil {
