@@ -67,7 +67,8 @@ bench-des-par:
 	$(GO) test -run '^$$' -bench 'SimSharded' -benchtime=2s .
 
 bench-obs:
-	$(GO) test -run '^$$' -bench 'Tracer|LaneRec|SequentialSearch' -benchtime=2s .
+	$(GO) test -run '^$$' -bench 'Tracer|LaneRec|SequentialSearch|Sampler' -benchtime=2s .
+	OBS_BENCH_GATE=1 $(GO) test -run TestSamplerOverheadGate -count=1 -v ./internal/des/
 
 # Regenerate every paper table/figure at quick scale (~3 min).
 experiments:

@@ -139,6 +139,42 @@ func benchTracedRun(b *testing.B, traced bool) {
 	}
 }
 
+// BenchmarkSamplerDetached and BenchmarkSamplerAttached bracket the cost
+// of the live telemetry read side on a traced run: the attached variant
+// adds a Sampler folding at millisecond cadence from its own goroutine.
+// The pair is the measured form of the <2% overhead gate
+// (TestSamplerOverheadGate, OBS_BENCH_GATE=1): the sampler reads only the
+// rings' seqlock side, so the two must be within noise of each other.
+func BenchmarkSamplerDetached(b *testing.B) { benchSampledRun(b, false) }
+func BenchmarkSamplerAttached(b *testing.B) { benchSampledRun(b, true) }
+
+func benchSampledRun(b *testing.B, sampled bool) {
+	b.ReportAllocs()
+	var folded int64
+	for i := 0; i < b.N; i++ {
+		tr := obs.New(4, 0)
+		var s *obs.Sampler
+		if sampled {
+			s = obs.NewSampler(tr)
+			s.Start(time.Millisecond)
+		}
+		res, err := core.Run(&uts.BenchTiny, core.Options{Algorithm: core.UPCDistMem, Threads: 4, Chunk: 8, Tracer: tr})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Stop()
+		if res.Nodes() != 3337 {
+			b.Fatalf("count mismatch: %d", res.Nodes())
+		}
+		if sampled {
+			folded += s.Stats().Events
+		}
+	}
+	if sampled {
+		b.ReportMetric(float64(folded)/float64(b.N), "events/run")
+	}
+}
+
 // BenchmarkLaneRec measures the raw cost of recording one event into a
 // lane's ring — the per-protocol-operation price of an enabled tracer.
 func BenchmarkLaneRec(b *testing.B) {

@@ -30,6 +30,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
+	blockProfile := flag.String("blockprofile", "", "write a blocking profile to this file on exit")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -60,6 +62,16 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 			}
 		}()
+	}
+	if *mutexProfile != "" {
+		// Sample every mutex-contention event: the steal protocol's hot
+		// paths are lock-free, so contention is rare enough to keep whole.
+		runtime.SetMutexProfileFraction(1)
+		defer writeProfile("mutex", *mutexProfile)
+	}
+	if *blockProfile != "" {
+		runtime.SetBlockProfileRate(1) // nanoseconds; 1 = every blocking event
+		defer writeProfile("block", *blockProfile)
 	}
 
 	if *list {
@@ -132,5 +144,24 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("json results written to %s\n", *jsonOut)
+	}
+}
+
+// writeProfile dumps a named runtime/pprof profile (mutex, block, ...)
+// to path. Profiling rates must have been set before the run.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer f.Close()
+	p := pprof.Lookup(name)
+	if p == nil {
+		fmt.Fprintf(os.Stderr, "no %s profile\n", name)
+		return
+	}
+	if err := p.WriteTo(f, 0); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 	}
 }

@@ -51,6 +51,8 @@ type options struct {
 	traceOut     string
 	timeline     bool
 	hist         bool
+	metricsAddr  string
+	metricsLing  time.Duration
 
 	sp    *uts.Spec
 	fault *cluster.FaultPlan
@@ -64,6 +66,7 @@ func (o *options) config(rank int) cluster.Config {
 		Spec: o.sp, Chunk: o.chunk, Seed: o.seed,
 		RPCTimeout: o.rpcTimeout, RPCRetries: o.rpcRetries,
 		StatsTimeout: o.statsTimeout, Fault: o.fault,
+		MetricsAddr: o.metricsAddr, MetricsLinger: o.metricsLing,
 	}
 }
 
@@ -85,6 +88,8 @@ func run() int {
 	flag.StringVar(&o.traceOut, "trace", "", "write Chrome trace_event JSON per rank (rank 0 to the path, rank N to path.rankN)")
 	flag.BoolVar(&o.timeline, "timeline", false, "print rank 0's steal-protocol event timeline")
 	flag.BoolVar(&o.hist, "hist", false, "record protocol events and fold rank 0's histograms into the summary")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9100; rank 0 adds the cluster-wide rollup)")
+	flag.DurationVar(&o.metricsLing, "metrics-linger", 0, "keep the metrics endpoint up this long after the search finishes (lets a final scrape land)")
 	flag.Parse()
 
 	o.sp = uts.ByName(o.tree)
@@ -113,6 +118,7 @@ func run() int {
 		tracer = obs.New(o.ranks, 0)
 		cfg.Tracer = tracer
 	}
+	announceMetrics(&cfg, *rank)
 	res, err := cluster.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -139,6 +145,22 @@ func run() int {
 		}
 	}
 	return 0
+}
+
+// announceMetrics arranges for the rank to print its bound metrics
+// address once the endpoint is up — essential with port 0, where the
+// scraper can't know the port in advance.
+func announceMetrics(cfg *cluster.Config, rank int) {
+	if cfg.MetricsAddr == "" {
+		return
+	}
+	ready := make(chan string, 1)
+	cfg.MetricsReady = ready
+	go func() {
+		if addr, ok := <-ready; ok {
+			fmt.Fprintf(os.Stderr, "rank %d metrics: http://%s/metrics\n", rank, addr)
+		}
+	}()
 }
 
 // rankTracePath places rank 0's trace at the requested path and every
@@ -179,6 +201,16 @@ func (o *options) childArgs(rank int) []string {
 	if o.traceOut != "" {
 		args = append(args, "-trace", o.traceOut)
 	}
+	if o.metricsAddr != "" {
+		// Children share this host, so a pinned port would collide; each
+		// child serves its own kernel-assigned loopback port instead. The
+		// rollup still covers them: rank 0 polls every rank over the
+		// cluster RPC plane, not over HTTP.
+		args = append(args, "-metrics-addr", "127.0.0.1:0")
+	}
+	if o.metricsLing != 0 {
+		args = append(args, "-metrics-linger", o.metricsLing.String())
+	}
 	return args
 }
 
@@ -209,6 +241,7 @@ func launchLocal(o *options) int {
 		tracer = obs.New(o.ranks, 0)
 		cfg.Tracer = tracer
 	}
+	announceMetrics(&cfg, 0)
 	res, err := cluster.Run(cfg)
 	status := 0
 	if err != nil {

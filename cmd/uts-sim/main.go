@@ -38,6 +38,7 @@ func main() {
 	engine := flag.String("engine", des.EngineBatched, "simulation engine: batched, legacy")
 	shards := flag.Int("shards", 1, "parallel dispatcher shards (0 = one per available core; 1 = sequential engine); results are identical at any count")
 	progress := flag.Duration("progress", 0, "emit a wall-clock heartbeat to stderr every interval (e.g. 10s; 0 = off)")
+	live := flag.Duration("live", 0, "print a live progress line (rates, virtual time, steal p95) to stderr every interval (e.g. 1s; 0 = off)")
 	flag.Parse()
 
 	sp := uts.ByName(*tree)
@@ -79,7 +80,7 @@ func main() {
 		cfg.Shards = nshards
 	}
 	var tracer *obs.Tracer
-	if *traceOut != "" || *timeline || *hist {
+	if *traceOut != "" || *timeline || *hist || *live > 0 {
 		tracer = obs.NewVirtual(*pes, *ring)
 		cfg.Tracer = tracer
 	}
@@ -87,9 +88,16 @@ func main() {
 	if *progress > 0 {
 		stopBeat = heartbeat(*progress)
 	}
+	var sampler *obs.Sampler
+	if *live > 0 {
+		sampler = obs.NewSampler(tracer)
+		sampler.OnSample(func(st obs.LiveStats) { fmt.Fprintln(os.Stderr, st.Line()) })
+		sampler.Start(*live)
+	}
 	start := time.Now()
 	res, info, err := des.RunInfo(sp, cfg)
 	wall := time.Since(start)
+	sampler.Stop() // nil-safe; takes and prints the final sample
 	if stopBeat != nil {
 		close(stopBeat)
 	}

@@ -39,6 +39,7 @@ func main() {
 	timeline := flag.Bool("timeline", false, "print the merged steal-protocol event timeline")
 	hist := flag.Bool("hist", false, "record protocol events and fold latency histograms into the summary")
 	ring := flag.Int("ring", 0, "per-thread trace ring capacity in events (0 = default)")
+	live := flag.Duration("live", 0, "print a live progress line to stderr every interval (e.g. 1s; 0 = off)")
 	flag.Parse()
 
 	if *trees {
@@ -78,7 +79,7 @@ func main() {
 		Seed:         *seed,
 	}
 	var tracer *obs.Tracer
-	if *traceOut != "" || *timeline || *hist {
+	if *traceOut != "" || *timeline || *hist || *live > 0 {
 		tracer = obs.New(*threads, *ring)
 		opt.Tracer = tracer
 	}
@@ -87,7 +88,14 @@ func main() {
 		opt.SeqRate = c.Rate()
 		fmt.Printf("sequential baseline: %.2fM nodes/s\n", c.Rate()/1e6)
 	}
+	var sampler *obs.Sampler
+	if *live > 0 {
+		sampler = obs.NewSampler(tracer)
+		sampler.OnSample(func(st obs.LiveStats) { fmt.Fprintln(os.Stderr, st.Line()) })
+		sampler.Start(*live)
+	}
 	res, err := core.Run(sp, opt)
+	sampler.Stop() // nil-safe; takes and prints the final sample
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/uts"
+)
+
+// expositionLine matches one valid line of the Prometheus text format
+// (version 0.0.4): a HELP/TYPE comment or a sample with optional labels.
+var expositionLine = regexp.MustCompile(
+	`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+` +
+		`|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (-?[0-9]*\.?[0-9]+([eE][+-]?[0-9]+)?|\+Inf|-Inf|NaN))$`)
+
+// scrapeMetrics GETs one exposition and validates every line's syntax.
+func scrapeMetrics(t *testing.T, addr string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q, want text exposition 0.0.4", ct)
+	}
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape read: %v", err)
+	}
+	body := string(buf)
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if !expositionLine.MatchString(line) {
+			t.Errorf("invalid exposition line: %q", line)
+		}
+	}
+	return body
+}
+
+// sampleValue finds the value of an exact sample line ("name" or
+// "name{labels}"), or NaN-like -1 when absent.
+func sampleValue(body, series string) (float64, bool) {
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// TestMetricsRollup brings up a 3-rank in-process cluster with the
+// telemetry plane enabled on every rank and scrapes rank 0 during the
+// linger window: the exposition must be syntactically valid and the
+// rollup must show every rank up, the per-rank families populated, and
+// the cluster-wide node sum equal to the tree's exact size.
+func TestMetricsRollup(t *testing.T) {
+	const n = 3
+	old := runtime.GOMAXPROCS(n + 1)
+	defer runtime.GOMAXPROCS(old)
+	sp := &uts.BenchTiny
+	const linger = 4 * time.Second
+
+	ready := make(chan string, 1)
+	mready := make(chan string, 1)
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := Run(Config{
+			Rank: 0, Ranks: n, Coord: "127.0.0.1:0", CoordReady: ready,
+			Spec: sp, Chunk: 4, Seed: 0,
+			MetricsAddr: "127.0.0.1:0", MetricsReady: mready, MetricsLinger: linger,
+		}); err != nil {
+			errs <- err
+		}
+	}()
+	var coord string
+	select {
+	case coord = <-ready:
+	case err := <-errs:
+		t.Fatalf("coordinator failed to start: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator never came up")
+	}
+	for r := 1; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if _, err := Run(Config{
+				Rank: r, Ranks: n, Coord: coord,
+				Spec: sp, Chunk: 4, Seed: 0,
+				MetricsAddr: "127.0.0.1:0", MetricsLinger: linger,
+			}); err != nil {
+				errs <- err
+			}
+		}(r)
+	}
+	var addr string
+	select {
+	case addr = <-mready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("rank 0 metrics endpoint never came up")
+	}
+
+	// The samplers fold once a second and the rollup caches for a second,
+	// so poll until the cluster-wide totals converge on the finished run.
+	wantNodes := float64(3337)
+	deadline := time.Now().Add(linger)
+	var body string
+	for {
+		body = scrapeMetrics(t, addr)
+		nodes, _ := sampleValue(body, "uts_cluster_nodes_total")
+		up, _ := sampleValue(body, "uts_cluster_ranks_up")
+		if nodes == wantNodes && up == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rollup never converged (nodes=%v up=%v); last scrape:\n%s", nodes, up, body)
+		}
+		time.Sleep(300 * time.Millisecond)
+	}
+
+	for r := 0; r < n; r++ {
+		if v, ok := sampleValue(body, fmt.Sprintf("uts_rank_up{rank=%q}", strconv.Itoa(r))); !ok || v != 1 {
+			t.Errorf("uts_rank_up{rank=%d} = %v (present=%v), want 1", r, v, ok)
+		}
+	}
+	perRank := strings.Count(body, "uts_rank_nodes_total{rank=")
+	if perRank < 2 {
+		t.Errorf("per-rank nodes series from %d ranks, want >= 2", perRank)
+	}
+	for _, series := range []string{
+		"uts_dead_peers", "uts_suspected_ranks", "uts_handoff_pending",
+		"uts_cluster_steals_total", "uts_cluster_rpc_retries_total",
+		"uts_cluster_dead_peers", "go_goroutines",
+	} {
+		if _, ok := sampleValue(body, series); !ok {
+			t.Errorf("series %s missing from the rollup exposition", series)
+		}
+	}
+	if v, ok := sampleValue(body, "uts_dead_peers"); !ok || v != 0 {
+		t.Errorf("uts_dead_peers = %v, want 0 on a healthy cluster", v)
+	}
+	if !strings.Contains(body, `uts_steal_latency_seconds{quantile="0.95"}`) {
+		t.Error("local steal-latency summary missing from rank 0's exposition")
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("cluster run timed out")
+	}
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}

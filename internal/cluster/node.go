@@ -13,6 +13,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/stack"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/uts"
 )
 
@@ -73,6 +74,22 @@ type Config struct {
 	// numbering matches rank numbering). Traces are per-process: each
 	// rank writes its own file; there is no cross-rank event merge.
 	Tracer *obs.Tracer
+	// MetricsAddr, when non-empty, serves this rank's live telemetry on
+	// it: /metrics (Prometheus text exposition) and /debug/pprof. Port 0
+	// picks a free port (see MetricsReady). Rank 0 additionally appends
+	// the cluster-wide rollup — per-rank and aggregated scheduler metrics
+	// plus fault-tolerance gauges — polled over the kindMetrics RPC with
+	// dead ranks skipped. A run with metrics on is bit-identical to one
+	// with metrics off: the plane only reads.
+	MetricsAddr string
+	// MetricsReady, if non-nil, receives the telemetry server's actual
+	// listen address once it is serving (the port-0 analogue of
+	// CoordReady).
+	MetricsReady chan<- string
+	// MetricsLinger keeps the telemetry endpoint (and this rank's
+	// progress engine) alive that long after the run completes, so an
+	// external scraper can observe the finished state; default 0.
+	MetricsLinger time.Duration
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -227,6 +244,13 @@ type node struct {
 	// only from the worker/Run goroutine — obs lanes are single-writer.
 	lane *obs.Lane
 
+	// Telemetry plane (nil when Config.MetricsAddr is empty): the live
+	// sampler over the tracer, the /metrics + pprof server, and — rank 0
+	// only — the cluster rollup poller.
+	sampler *obs.Sampler
+	telem   *telemetry.Server
+	roll    *rollup
+
 	t stats.Thread
 }
 
@@ -299,11 +323,11 @@ func (p *peerConn) callOnce(req *request, timeout time.Duration) (*response, err
 }
 
 // idempotentKind reports whether a request may be retried safely: pure
-// reads (GetAvail, BarrierDone), the coordinator-deduplicated stats
-// delivery, and failure reports.
+// reads (GetAvail, BarrierDone, the Metrics snapshot), the
+// coordinator-deduplicated stats delivery, and failure reports.
 func idempotentKind(k reqKind) bool {
 	switch k {
-	case kindGetAvail, kindBarrierDone, kindStats, kindPeerDown:
+	case kindGetAvail, kindBarrierDone, kindStats, kindPeerDown, kindMetrics:
 		return true
 	}
 	return false
@@ -537,6 +561,15 @@ func Run(cfg Config) (*stats.Run, error) {
 	}
 	defer n.close()
 
+	// The telemetry plane comes up after bootstrap (the rollup needs the
+	// address map) and lingers past the run before teardown, so every
+	// rank's progress engine is still answering kindMetrics while an
+	// external scraper reads the finished state.
+	if err := n.startMetrics(); err != nil {
+		return nil, err
+	}
+	defer n.stopMetrics()
+
 	start := time.Now()
 	if err := n.search(); err != nil {
 		return nil, err
@@ -568,7 +601,7 @@ func Run(cfg Config) (*stats.Run, error) {
 	n.statsMu.Lock()
 	run.Threads = append(run.Threads, n.collected...)
 	n.statsMu.Unlock()
-	run.Obs = cfg.Tracer.Summary()
+	run.Obs = n.cfg.Tracer.Summary() // n.cfg: startMetrics may have armed the tracer
 	return run, nil
 }
 
@@ -969,6 +1002,8 @@ func (n *node) handleRequest(req *request, resp *response) (recycle []stack.Chun
 		if r := int(req.Dead); n.cfg.Rank == 0 && r > 0 && r < n.cfg.Ranks {
 			n.noteDead(r)
 		}
+	case kindMetrics:
+		resp.Metrics = n.metricsSnapshot()
 	default:
 		return nil, false
 	}

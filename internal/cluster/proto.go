@@ -60,6 +60,11 @@ const (
 	// the termination barrier and the stats gather can complete over the
 	// surviving membership. Idempotent: repeats are harmless.
 	kindPeerDown
+	// kindMetrics reads a rank's live telemetry snapshot (one-sided; the
+	// progress engine answers from the sampler's last fold plus a few
+	// atomics). Pure read, so idempotent; rank 0's rollup poller issues it
+	// on /metrics scrapes, skipping dead ranks like probe cycles do.
+	kindMetrics
 )
 
 // request is the wire format of one RPC request. Fields are a union over
@@ -90,6 +95,8 @@ type response struct {
 	Done  bool          // kindBarrierDone
 	Addrs []string      // kindHello: rank → listen address map
 	Chunk []stack.Chunk // kindGetChunks
+
+	Metrics *MetricsSnapshot // kindMetrics
 }
 
 // reset clears a reply for reuse (and drops chunk/address references so

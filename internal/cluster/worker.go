@@ -47,6 +47,19 @@ type clusterWorker struct {
 	pool  stack.Pool
 	ex    *uts.Expander
 	lane  *obs.Lane // nil when the run is untraced
+
+	nodesFlushed int64 // t.Nodes already published to the lane's live counter
+}
+
+// flushNodes publishes node progress to the lane's live counter (read by
+// the Sampler and the kindMetrics snapshot) in batches at protocol
+// cadence — one atomic add per flush, never per node, so the hot loop
+// stays free of shared-memory traffic.
+func (w *clusterWorker) flushNodes() {
+	if d := w.n.t.Nodes - w.nodesFlushed; d != 0 {
+		w.lane.AddNodes(d)
+		w.nodesFlushed = w.n.t.Nodes
+	}
 }
 
 // setState pairs the stats state timer with the tracer's state event.
@@ -109,6 +122,7 @@ func (w *clusterWorker) work() error {
 		if sinceYield++; sinceYield >= 256 {
 			sinceYield = 0
 			w.reclaim() // one atomic load while the handoff table is empty
+			w.flushNodes()
 			runtime.Gosched()
 		}
 		if err := w.service(); err != nil {
@@ -118,6 +132,7 @@ func (w *clusterWorker) work() error {
 		if !ok {
 			c, ok2 := w.pool.TakeNewest()
 			if !ok2 {
+				w.flushNodes()
 				return nil
 			}
 			w.n.workAvail.Store(int32(w.pool.Len()))

@@ -92,9 +92,21 @@ type distWorker struct {
 	t    *stats.Thread
 	ex   *uts.Expander
 	lane *obs.Lane // nil when the run is untraced
+
+	nodesFlushed int64 // t.Nodes already published to the lane's live counter
 }
 
 func (w *distWorker) stack() *privStack { return w.run.stacks[w.me] }
+
+// flushNodes publishes node progress to the lane's live counter in
+// batches at the hot loop's yield cadence — one atomic add per flush,
+// never per node.
+func (w *distWorker) flushNodes() {
+	if d := w.t.Nodes - w.nodesFlushed; d != 0 {
+		w.lane.AddNodes(d)
+		w.nodesFlushed = w.t.Nodes
+	}
+}
 
 // setState pairs the stats state timer with the tracer's state event.
 func (w *distWorker) setState(s stats.State) {
@@ -139,6 +151,7 @@ func (w *distWorker) work() {
 	for {
 		if sinceYield++; sinceYield >= yieldEvery {
 			sinceYield = 0
+			w.flushNodes()
 			if w.run.opt.abort.Load() {
 				return
 			}
@@ -150,6 +163,7 @@ func (w *distWorker) work() {
 			// Reacquire from the thread's own pool: owner-only, no lock.
 			c, ok2 := s.pool.TakeNewest()
 			if !ok2 {
+				w.flushNodes()
 				return
 			}
 			s.workAvail.Store(int32(s.pool.Len()))

@@ -77,6 +77,18 @@ type mpiWorker struct {
 	firstPass   bool
 	outstanding bool // a steal request awaits its reply
 	terminated  bool
+
+	nodesFlushed int64 // t.Nodes already published to the lane's live counter
+}
+
+// flushNodes publishes node progress to the lane's live counter in
+// batches at the poll/yield cadence — one atomic add per flush, never
+// per node.
+func (w *mpiWorker) flushNodes() {
+	if d := w.t.Nodes - w.nodesFlushed; d != 0 {
+		w.lane.AddNodes(d)
+		w.nodesFlushed = w.t.Nodes
+	}
 }
 
 func (w *mpiWorker) main() {
@@ -111,6 +123,7 @@ func (w *mpiWorker) work() {
 		}
 		if sinceYield++; sinceYield >= yieldEvery {
 			sinceYield = 0
+			w.flushNodes()
 			if w.abort.Load() {
 				w.terminated = true
 				return
@@ -118,6 +131,7 @@ func (w *mpiWorker) work() {
 			runtime.Gosched()
 		}
 	}
+	w.flushNodes()
 	w.drain()
 }
 

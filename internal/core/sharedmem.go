@@ -87,9 +87,21 @@ type sharedWorker struct {
 	t     *stats.Thread
 	ex    *uts.Expander
 	lane  *obs.Lane // nil when the run is untraced
+
+	nodesFlushed int64 // t.Nodes already published to the lane's live counter
 }
 
 func (w *sharedWorker) stack() *sharedStack { return w.run.stacks[w.me] }
+
+// flushNodes publishes node progress to the lane's live counter in
+// batches at the hot loop's yield cadence — one atomic add per flush,
+// never per node.
+func (w *sharedWorker) flushNodes() {
+	if d := w.t.Nodes - w.nodesFlushed; d != 0 {
+		w.lane.AddNodes(d)
+		w.nodesFlushed = w.t.Nodes
+	}
+}
 
 // setState pairs the stats state timer with the tracer's state event.
 func (w *sharedWorker) setState(s stats.State) {
@@ -134,6 +146,7 @@ func (w *sharedWorker) work() {
 	for {
 		if sinceYield++; sinceYield >= yieldEvery {
 			sinceYield = 0
+			w.flushNodes()
 			if w.run.opt.abort.Load() {
 				return
 			}
@@ -142,6 +155,7 @@ func (w *sharedWorker) work() {
 		n, ok := w.local.Pop()
 		if !ok {
 			if !w.reacquire() {
+				w.flushNodes()
 				return
 			}
 			continue

@@ -47,6 +47,13 @@ func runStatic(sp *uts.Spec, opt Options, res *Result) error {
 			}
 			ex := uts.NewExpander(sp)
 			sinceYield := 0
+			nodesFlushed := int64(0)
+			flushNodes := func() {
+				if d := t.Nodes - nodesFlushed; d != 0 {
+					lane.AddNodes(d)
+					nodesFlushed = t.Nodes
+				}
+			}
 			for {
 				n, ok := local.Pop()
 				if !ok {
@@ -61,12 +68,14 @@ func runStatic(sp *uts.Spec, opt Options, res *Result) error {
 				t.NoteDepth(local.Len())
 				if sinceYield++; sinceYield >= yieldEvery {
 					sinceYield = 0
+					flushNodes()
 					if opt.abort.Load() {
 						break
 					}
 					runtime.Gosched()
 				}
 			}
+			flushNodes()
 			t.Switch(stats.Idle, time.Now())
 			lane.Rec(obs.KindStateChange, -1, int64(stats.Idle))
 		}(me)

@@ -147,6 +147,19 @@ type simDistPE struct {
 
 	rng *core.ProbeOrder
 	ex  *uts.Expander
+
+	nodesFlushed int64 // t.Nodes already published to the lane's live counter
+}
+
+// flushNodes publishes node progress to the lane's live counter in
+// batches at the work loop's quantum boundaries — one atomic add per
+// flush, never per node, and never a schedule perturbation (the live
+// counter is observation-only).
+func (pe *simDistPE) flushNodes() {
+	if d := pe.t.Nodes - pe.nodesFlushed; d != 0 {
+		pe.lane.AddNodes(d)
+		pe.nodesFlushed = pe.t.Nodes
+	}
 }
 
 func simDistMem(sim *Sim, sp *uts.Spec, cfg Config, cs costs, res *core.Result, finish func(*Proc)) (sampler, error) {
@@ -271,6 +284,7 @@ func (pe *simDistPE) work() {
 				drained = true
 				d := time.Duration(pending) * cs.nodeCost
 				pending = 0
+				pe.flushNodes()
 				return pe.charge(d), 0
 			}
 			pending++
@@ -290,6 +304,7 @@ func (pe *simDistPE) work() {
 			if pending >= batch {
 				d := time.Duration(pending) * cs.nodeCost
 				pending = 0
+				pe.flushNodes()
 				return pe.charge(d), 0
 			}
 		}

@@ -90,6 +90,18 @@ type simMPIPE struct {
 	firstPass   bool
 	outstanding bool
 	terminated  bool
+
+	nodesFlushed int64 // t.Nodes already published to the lane's live counter
+}
+
+// flushNodes publishes node progress to the lane's live counter in
+// batches at the explore phase's poll boundaries — one atomic add per
+// flush, never per node.
+func (pe *simMPIPE) flushNodes() {
+	if d := pe.t.Nodes - pe.nodesFlushed; d != 0 {
+		pe.lane.AddNodes(d)
+		pe.nodesFlushed = pe.t.Nodes
+	}
 }
 
 func simMPIWS(sim *Sim, sp *uts.Spec, cfg Config, cs costs, res *core.Result, finish func(*Proc)) (sampler, error) {
@@ -237,6 +249,7 @@ func (pe *simMPIPE) work() {
 			}
 			d := time.Duration(pending) * cs.nodeCost
 			pending = 0
+			pe.flushNodes()
 			ph = wIprobe
 			return pe.charge(d), 0
 		case wIprobe:

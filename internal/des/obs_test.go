@@ -1,8 +1,11 @@
 package des
 
 import (
+	"os"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -69,6 +72,127 @@ func TestTracingIsObservationOnly(t *testing.T) {
 		if steals > 0 && !strings.Contains(traced.Summary(), "steal-latency: p50=") {
 			t.Errorf("%s: traced summary lacks the steal-latency line:\n%s", alg, traced.Summary())
 		}
+	}
+}
+
+// TestSamplerIsObservationOnly extends the differential to the live
+// telemetry plane: a run with a Sampler attached and folding at full
+// speed from another goroutine must stay bit-identical to an untraced
+// run — the sampler touches only the rings' seqlock read side and the
+// lanes' atomic progress counters, never the schedule.
+func TestSamplerIsObservationOnly(t *testing.T) {
+	sp := &uts.BenchTiny
+	for _, alg := range core.Algorithms {
+		cfg := Config{Algorithm: alg, PEs: 8, Chunk: 4}
+		plain, err := Run(sp, cfg)
+		if err != nil {
+			t.Fatalf("%s untraced: %v", alg, err)
+		}
+
+		tr := obs.NewVirtual(8, 64) // tiny rings: sampling under constant wraparound
+		cfg.Tracer = tr
+		s := obs.NewSampler(tr)
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s.Sample()
+				}
+			}
+		}()
+		sampled, err := Run(sp, cfg)
+		close(stop)
+		<-done
+		if err != nil {
+			t.Fatalf("%s sampled: %v", alg, err)
+		}
+
+		if plain.Elapsed != sampled.Elapsed {
+			t.Errorf("%s: sampling changed the makespan: %v vs %v", alg, plain.Elapsed, sampled.Elapsed)
+		}
+		for i := range plain.Threads {
+			a, b := &plain.Threads[i], &sampled.Threads[i]
+			if a.Nodes != b.Nodes || a.Steals != b.Steals || a.Probes != b.Probes ||
+				a.FailedSteals != b.FailedSteals || a.InState != b.InState {
+				t.Errorf("%s PE %d: counters diverged under sampling:\nplain   %+v\nsampled %+v", alg, i, a, b)
+			}
+		}
+
+		// The sampler's own view must reconcile with the run it watched:
+		// the flushed node counter covers the whole tree, and the final
+		// fold accounts for every recorded event.
+		st := s.Sample()
+		if nodes := plain.Nodes(); st.Nodes != nodes {
+			t.Errorf("%s: sampler saw %d nodes, run expanded %d", alg, st.Nodes, nodes)
+		}
+		if st.Events <= 0 || !st.Virtual {
+			t.Errorf("%s: sampler stats implausible: %+v", alg, st)
+		}
+		var kindSum int64
+		for k := 0; k < obs.NumKinds; k++ {
+			kindSum += st.Kinds[k]
+		}
+		if kindSum+st.Missed != st.Events {
+			t.Errorf("%s: replayed %d + missed %d != recorded %d", alg, kindSum, st.Missed, st.Events)
+		}
+	}
+}
+
+// TestSamplerOverheadGate is the CI regression gate for the telemetry
+// read side: a traced simulation with a Sampler folding at millisecond
+// cadence must run within 2% of the same traced simulation without one.
+// The sampler only reads the rings' seqlock side from its own goroutine,
+// so any measurable slowdown means a lock, a store, or an allocation
+// leaked onto the record path. Best-of-5 wall times on a deterministic
+// workload keep scheduler noise below the threshold. Skipped unless
+// OBS_BENCH_GATE=1, and — like the sharded dispatch gate — it needs real
+// parallelism: on a single core the sampler's own fold work timeshares
+// with the simulation and the wall clock measures CPU sharing, not
+// record-path interference (which the differential tests already pin to
+// zero).
+func TestSamplerOverheadGate(t *testing.T) {
+	if os.Getenv("OBS_BENCH_GATE") != "1" {
+		t.Skip("set OBS_BENCH_GATE=1 to run the sampler overhead gate")
+	}
+	if runtime.NumCPU() < 2 {
+		t.Skip("sampler overhead gate needs a spare core for the sampler goroutine")
+	}
+	run := func(sampled bool) time.Duration {
+		tr := obs.NewVirtual(64, 0)
+		var s *obs.Sampler
+		if sampled {
+			s = obs.NewSampler(tr)
+			s.Start(time.Millisecond)
+		}
+		start := time.Now() //uts:ok detcheck real-time overhead measurement of the sampler itself
+		_, err := Run(&uts.T3Small, Config{Algorithm: core.UPCDistMem, PEs: 64, Chunk: 8, Tracer: tr})
+		wall := time.Since(start)
+		s.Stop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return wall
+	}
+	best := func(sampled bool) time.Duration {
+		b := time.Duration(1<<63 - 1)
+		for i := 0; i < 5; i++ {
+			if w := run(sampled); w < b {
+				b = w
+			}
+		}
+		return b
+	}
+	run(true) // warm caches and the scheduler before timing
+	plain, sampled := best(false), best(true)
+	overhead := float64(sampled-plain) / float64(plain)
+	t.Logf("detached %v, attached %v, overhead %.2f%%", plain, sampled, 100*overhead)
+	if overhead > 0.02 {
+		t.Errorf("sampler adds %.2f%% to a traced run; want <= 2%%", 100*overhead)
 	}
 }
 

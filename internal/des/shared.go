@@ -61,6 +61,18 @@ type simSharedPE struct {
 
 	rng *core.ProbeOrder
 	ex  *uts.Expander
+
+	nodesFlushed int64 // t.Nodes already published to the lane's live counter
+}
+
+// flushNodes publishes node progress to the lane's live counter in
+// batches at the work loop's quantum boundaries — one atomic add per
+// flush, never per node.
+func (pe *simSharedPE) flushNodes() {
+	if d := pe.t.Nodes - pe.nodesFlushed; d != 0 {
+		pe.lane.AddNodes(d)
+		pe.nodesFlushed = pe.t.Nodes
+	}
 }
 
 // simShared sets up the PEs for upc-sharedmem / upc-term / upc-term-rapdif.
@@ -173,6 +185,7 @@ func (pe *simSharedPE) work() {
 			if !ok {
 				d := time.Duration(pending) * cs.nodeCost
 				pending = 0
+				pe.flushNodes()
 				return pe.charge(d), StepDone
 			}
 			pending++
@@ -192,6 +205,7 @@ func (pe *simSharedPE) work() {
 			if pending >= batch {
 				d := time.Duration(pending) * cs.nodeCost
 				pending = 0
+				pe.flushNodes()
 				return pe.charge(d), 0
 			}
 		}

@@ -58,6 +58,18 @@ type simStaticPE struct {
 	local     stack.Deque
 	extraRoot *uts.Node
 	ex        *uts.Expander
+
+	nodesFlushed int64 // t.Nodes already published to the lane's live counter
+}
+
+// flushNodes publishes node progress to the lane's live counter in
+// batches at the quantum boundaries — one atomic add per flush, never
+// per node.
+func (pe *simStaticPE) flushNodes() {
+	if d := pe.t.Nodes - pe.nodesFlushed; d != 0 {
+		pe.lane.AddNodes(d)
+		pe.nodesFlushed = pe.t.Nodes
+	}
 }
 
 func (pe *simStaticPE) run() {
@@ -79,6 +91,7 @@ func (pe *simStaticPE) run() {
 			if !ok {
 				d := time.Duration(pending) * pe.cs.nodeCost
 				pending = 0
+				pe.flushNodes()
 				pe.t.AddState(stats.Working, d)
 				return d, StepDone
 			}
@@ -93,6 +106,7 @@ func (pe *simStaticPE) run() {
 			if pending >= pe.batch {
 				d := time.Duration(pending) * pe.cs.nodeCost
 				pending = 0
+				pe.flushNodes()
 				pe.t.AddState(stats.Working, d)
 				return d, 0
 			}

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/constant"
+	"go/types"
 	"strings"
 )
 
@@ -20,6 +21,12 @@ import (
 //     with a *Tracer or *Lane receiver in the obs package must begin by
 //     checking its receiver against nil. A missing guard is a latent
 //     panic on every untraced run.
+//  3. Name completeness: the kindNames table must carry a non-empty
+//     entry for every declared Kind. The array type [numKinds]string
+//     makes an over-long table a compile error, but a *missing* tail
+//     entry just zero-fills — Kind.String then falls back to "Kind(n)"
+//     and every exporter keyed on the name (timeline, Chrome lanes,
+//     /metrics kind labels) silently forks its vocabulary.
 var Obscheck = &Analyzer{
 	Name: "obscheck",
 	Doc:  "obs events use declared Kind* constants; obs recording methods keep their nil-receiver guards",
@@ -47,6 +54,7 @@ func runObscheck(pass *Pass) error {
 	if pass.Pkg == nil || pass.Pkg.Name() != "obs" {
 		return nil
 	}
+	checkKindNames(pass)
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -67,6 +75,56 @@ func runObscheck(pass *Pass) error {
 		}
 	}
 	return nil
+}
+
+// checkKindNames enforces rule 3: each index of the kindNames array
+// literal holds a non-empty string.
+func checkKindNames(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for i, name := range vs.Names {
+				if name.Name != "kindNames" || i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				arr, ok := pass.TypeOf(lit).Underlying().(*types.Array)
+				if !ok {
+					continue
+				}
+				names := make([]bool, arr.Len())
+				idx := 0
+				for _, el := range lit.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						if tv, ok := pass.Info.Types[kv.Key]; ok && tv.Value != nil {
+							if v, exact := constant.Int64Val(tv.Value); exact {
+								idx = int(v)
+							}
+						}
+						el = kv.Value
+					}
+					if idx >= 0 && idx < len(names) {
+						tv, ok := pass.Info.Types[el]
+						names[idx] = ok && tv.Value != nil && constant.StringVal(tv.Value) != ""
+					}
+					idx++
+				}
+				for k, named := range names {
+					if !named {
+						pass.Reportf(lit.Pos(), "kindNames entry %d is missing or empty: Kind.String falls back to \"Kind(%d)\" and the timeline/Chrome/metrics vocabulary silently forks", k, k)
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
 }
 
 // isDeclaredKind reports whether e is an acceptable event-kind

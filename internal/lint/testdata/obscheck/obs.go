@@ -15,6 +15,12 @@ const (
 // does not start with Kind falls outside the exporters' taxonomy.
 const rawKind Kind = 7
 
+const numKinds = 3
+
+// kindNames is one entry short: index 2 zero-fills to "", so Kind(2)
+// would stringify to the fallback form and fork the exporters' names.
+var kindNames = [numKinds]string{"spawn", "steal"} // want "kindNames entry 2 is missing or empty"
+
 type Lane struct {
 	n int
 }

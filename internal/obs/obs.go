@@ -33,6 +33,7 @@ package obs
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 )
 
@@ -93,6 +94,10 @@ const (
 	KindHandoffReclaim
 	numKinds
 )
+
+// NumKinds is the number of declared event kinds; per-kind tallies
+// (Sampler counters, /metrics families) are indexed by Kind below it.
+const NumKinds = int(numKinds)
 
 var kindNames = [numKinds]string{
 	"state-change", "probe-start", "probe-result",
@@ -299,6 +304,13 @@ type Lane struct {
 
 	hists Hists
 
+	// nodes is the lane's live progress counter: tree nodes expanded by
+	// the owning PE, flushed in batches from the worker's own counter at
+	// its protocol cadence (release/reacquire/steal boundaries), never
+	// per node. Atomic so the Sampler and the cluster metrics engine can
+	// read it from any goroutine while the owner keeps writing.
+	nodes atomic.Int64
+
 	// stealT0 is the pending steal's start timestamp (−1 when no steal
 	// is in flight); searchProbes counts probes since work was last
 	// held; curState/stateSince drive the dwell histograms.
@@ -402,6 +414,43 @@ func (l *Lane) Snapshot(dst []Event) []Event {
 		return dst
 	}
 	return l.ring.snapshot(dst)
+}
+
+// SnapshotSince appends the lane's retained events with sequence number
+// >= since (oldest first) to dst. It returns the extended slice, the
+// cursor to pass next time (one past the newest sequence examined), and
+// how many events in [since, cursor) were overwritten before this reader
+// could copy them — nonzero means the reader fell at least one full ring
+// revolution behind. Incremental consumers (the Sampler) re-read only
+// what is new; the same seqlock guarantees as Snapshot apply. Nil-safe.
+func (l *Lane) SnapshotSince(since uint64, dst []Event) (events []Event, next, missed uint64) {
+	if l == nil {
+		return dst, since, 0
+	}
+	return l.ring.snapshotSince(since, dst)
+}
+
+// AddNodes adds delta to the lane's live node-progress counter. Owner
+// cadence: workers flush their private node counts here at protocol
+// boundaries (release, reacquire, steal, termination), never per node, so
+// the hot loop stays free of shared-memory traffic. Nil-safe, no-op when
+// tracing is off.
+//
+//uts:noalloc
+func (l *Lane) AddNodes(delta int64) {
+	if l == nil {
+		return
+	}
+	l.nodes.Add(delta)
+}
+
+// LiveNodes returns the lane's live node-progress counter. Safe from any
+// goroutine. Nil-safe.
+func (l *Lane) LiveNodes() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.nodes.Load()
 }
 
 // Recorded returns the number of events the lane has ever recorded

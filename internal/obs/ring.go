@@ -51,19 +51,38 @@ func (r *ring) record(k Kind, pe, other int32, value, wall, virt int64) {
 // snapshot appends the retained events, oldest first, to dst. Safe from
 // any goroutine; slots overwritten mid-read are skipped.
 func (r *ring) snapshot(dst []Event) []Event {
+	dst, _, _ = r.snapshotSince(0, dst)
+	return dst
+}
+
+// snapshotSince appends the retained events with sequence number >= since,
+// oldest first, to dst. It returns the extended slice, the cursor to pass
+// on the next call (one past the newest sequence number examined), and how
+// many events in [since, cursor) this reader lost — overwritten before it
+// got to them, or overwritten mid-copy and dropped by the seqlock check.
+// Safe from any goroutine. Every sequence number in [since, cursor) is
+// thus accounted for exactly once: returned or counted missed.
+func (r *ring) snapshotSince(since uint64, dst []Event) ([]Event, uint64, uint64) {
 	if r.size == 0 {
-		return dst
+		return dst, since, 0
 	}
 	hi := r.pos.Load()
 	lo := uint64(0)
 	if hi > r.size {
 		lo = hi - r.size
 	}
+	var missed uint64
+	if since > lo {
+		lo = since
+	} else if since < lo {
+		missed = lo - since
+	}
 	b := r.buf
 	for s := lo; s < hi; s++ {
 		i := (s % r.size) * slotWords
 		if atomic.LoadUint64(&b[i]) != s+1 {
-			continue // not yet published, or already overwritten
+			missed++ // the writer lapped this slot before we read it
+			continue
 		}
 		kp := atomic.LoadUint64(&b[i+1])
 		other := int64(atomic.LoadUint64(&b[i+2]))
@@ -71,7 +90,8 @@ func (r *ring) snapshot(dst []Event) []Event {
 		wall := int64(atomic.LoadUint64(&b[i+4]))
 		virt := int64(atomic.LoadUint64(&b[i+5]))
 		if atomic.LoadUint64(&b[i]) != s+1 {
-			continue // overwritten while copying: payload may be torn
+			missed++ // overwritten while copying: payload may be torn
+			continue
 		}
 		dst = append(dst, Event{
 			Seq:   s,
@@ -83,5 +103,5 @@ func (r *ring) snapshot(dst []Event) []Event {
 			Virt:  virt,
 		})
 	}
-	return dst
+	return dst, hi, missed
 }

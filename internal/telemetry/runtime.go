@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RegisterRuntime adds the standard Go runtime gauges to reg: goroutine
+// count, heap usage, and GC activity. ReadMemStats stops the world for
+// microseconds, so the stats are cached for a second between scrapes —
+// invisible at Prometheus cadence, and it keeps a curl loop from turning
+// the telemetry plane into a perturbation source.
+func RegisterRuntime(reg *Registry) {
+	var (
+		mu   sync.Mutex
+		ms   runtime.MemStats
+		last time.Time
+	)
+	mem := func(f func(*runtime.MemStats) float64) func() float64 {
+		return func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			if now := time.Now(); now.Sub(last) > time.Second {
+				runtime.ReadMemStats(&ms)
+				last = now
+			}
+			return f(&ms)
+		}
+	}
+	reg.GaugeFunc("go_goroutines", "Number of goroutines that currently exist.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.", nil,
+		mem(func(m *runtime.MemStats) float64 { return float64(m.HeapAlloc) }))
+	reg.GaugeFunc("go_memstats_heap_objects", "Number of allocated heap objects.", nil,
+		mem(func(m *runtime.MemStats) float64 { return float64(m.HeapObjects) }))
+	reg.GaugeFunc("go_memstats_sys_bytes", "Bytes of memory obtained from the OS.", nil,
+		mem(func(m *runtime.MemStats) float64 { return float64(m.Sys) }))
+	reg.CounterFunc("go_gc_cycles_total", "Completed GC cycles.", nil,
+		mem(func(m *runtime.MemStats) float64 { return float64(m.NumGC) }))
+	reg.CounterFunc("go_gc_pause_seconds_total", "Total GC stop-the-world pause time.", nil,
+		mem(func(m *runtime.MemStats) float64 { return float64(m.PauseTotalNs) / 1e9 }))
+}

@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Server is the telemetry endpoint of one process: an HTTP listener
+// serving the registry at /metrics and the Go profiling handlers under
+// /debug/pprof/. It binds eagerly (so port 0 callers can read the
+// assigned address before the run starts) and serves on its own mux —
+// nothing is registered on http.DefaultServeMux, so embedding binaries
+// keep their namespace clean.
+type Server struct {
+	reg *Registry
+	ln  net.Listener
+	srv *http.Server
+
+	mu    sync.Mutex
+	extra []func(io.Writer)
+}
+
+// NewServer binds addr (host:port; port 0 picks a free port) and starts
+// serving /metrics from reg plus the pprof handlers in a background
+// goroutine. Close shuts it down.
+func NewServer(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{reg: reg, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return s, nil
+}
+
+// serveMetrics renders the registry, then any OnScrape appenders (the
+// cluster rollup hangs off this).
+func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WriteText(w)
+	s.mu.Lock()
+	extra := s.extra
+	s.mu.Unlock()
+	for _, fn := range extra {
+		fn(w)
+	}
+}
+
+// OnScrape registers fn to append extra exposition text after the
+// registry on every /metrics scrape — rank 0 of a cluster appends the
+// per-rank rollup here. Appenders must emit valid exposition text for
+// families not already in the registry.
+func (s *Server) OnScrape(fn func(io.Writer)) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.extra = append(s.extra, fn)
+	s.mu.Unlock()
+}
+
+// Addr returns the bound listen address ("127.0.0.1:43live" form) — what
+// callers print, and what tests dial after binding port 0.
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Registry returns the registry this server exposes.
+func (s *Server) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Close stops the listener and in-flight handlers. Nil-safe.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
