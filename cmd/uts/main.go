@@ -26,7 +26,7 @@ import (
 func main() {
 	tree := flag.String("tree", "bench-small", "named sample tree (see -trees)")
 	custom := flag.String("t", "", "custom binomial tree: 'binomial r=SEED b0=N m=M q=Q'")
-	alg := flag.String("alg", string(core.UPCDistMem), "seq, upc-sharedmem, upc-term, upc-term-rapdif, upc-distmem, mpi-ws")
+	alg := flag.String("alg", string(core.UPCDistMem), "seq, upc-sharedmem, upc-term, upc-term-rapdif, upc-term-relaxed, upc-distmem, mpi-ws")
 	threads := flag.Int("threads", 4, "worker threads (goroutines)")
 	chunk := flag.Int("chunk", 16, "steal granularity k (nodes)")
 	poll := flag.Int("poll", 8, "mpi-ws polling interval (nodes)")

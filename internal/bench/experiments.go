@@ -386,10 +386,13 @@ func A3Lockless(sc Scale) (*Table, error) {
 		Title:   fmt.Sprintf("Ablation: lock-guarded vs lock-less stack at %d PEs on %s", pes, tree.Name),
 		Columns: []string{"stack", "chunk", "Mnodes/s", "working", "efficiency"},
 	}
-	for _, alg := range []core.Algorithm{core.UPCTermRapdif, core.UPCDistMem} {
+	for _, alg := range []core.Algorithm{core.UPCTermRapdif, core.UPCDistMem, core.UPCTermRelaxed} {
 		label := "lock-guarded"
-		if alg == core.UPCDistMem {
+		switch alg {
+		case core.UPCDistMem:
 			label = "lock-less"
+		case core.UPCTermRelaxed:
+			label = "fence-free"
 		}
 		for _, k := range pick(sc, []int{4}, []int{2, 8, 32}, []int{2, 8, 32}) {
 			res, err := des.Run(tree, des.Config{Algorithm: alg, PEs: pes, Chunk: k, Model: &pgas.KittyHawk})

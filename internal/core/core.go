@@ -58,6 +58,14 @@ const (
 	// probing off-node (the bupc_thread_distance idea). It differs from
 	// upc-distmem only when Options.NodeSize groups threads into nodes.
 	UPCDistMemHier Algorithm = "upc-distmem-hier"
+
+	// UPCTermRelaxed is upc-term with the lock-guarded shared region
+	// replaced by a fence-free relaxed ring (DESIGN.md §14): the owner
+	// publishes and retracts chunks with atomic stores and loads only,
+	// thieves claim with a versioned-slot load+store handshake that may
+	// rarely duplicate a take, and a per-ring multiplicity ledger dedups
+	// duplicated subtrees before exploration so final counts stay exact.
+	UPCTermRelaxed Algorithm = "upc-term-relaxed"
 )
 
 // Algorithms lists the paper's parallel implementations in refinement
@@ -66,7 +74,7 @@ const (
 var Algorithms = []Algorithm{UPCSharedMem, UPCTerm, UPCTermRapdif, UPCDistMem, MPIWS}
 
 // Extensions lists the post-paper variants implemented in this repository.
-var Extensions = []Algorithm{UPCDistMemHier, Static}
+var Extensions = []Algorithm{UPCDistMemHier, Static, UPCTermRelaxed}
 
 // Options configures a parallel search.
 type Options struct {
@@ -150,7 +158,7 @@ func (o Options) validate() error {
 		return fmt.Errorf("core: negative node size %d", o.NodeSize)
 	}
 	switch o.Algorithm {
-	case Sequential, Static, UPCSharedMem, UPCTerm, UPCTermRapdif, UPCDistMem, UPCDistMemHier, MPIWS, "":
+	case Sequential, Static, UPCSharedMem, UPCTerm, UPCTermRapdif, UPCTermRelaxed, UPCDistMem, UPCDistMemHier, MPIWS, "":
 	default:
 		return fmt.Errorf("core: unknown algorithm %q", o.Algorithm)
 	}
@@ -224,6 +232,8 @@ func RunCtx(ctx context.Context, sp *uts.Spec, opt Options) (*Result, error) {
 		err = runShared(sp, opt, res, sharedVariant{streamTerm: true})
 	case UPCTermRapdif:
 		err = runShared(sp, opt, res, sharedVariant{streamTerm: true, stealHalf: true})
+	case UPCTermRelaxed:
+		err = runShared(sp, opt, res, sharedVariant{streamTerm: true, relaxed: true})
 	case UPCDistMem:
 		err = runDistMem(sp, opt, res, false)
 	case UPCDistMemHier:
@@ -251,6 +261,12 @@ type sharedVariant struct {
 	// stealHalf steals half the victim's chunks instead of one
 	// (Section 3.3.2).
 	stealHalf bool
+	// relaxed replaces the lock-guarded shared region with the fence-free
+	// relaxed ring and its multiplicity ledger (upc-term-relaxed,
+	// DESIGN.md §14). Implies streamTerm in practice: the tri-state
+	// workAvail termination protocol is what makes the owner-only
+	// workAvail writes safe.
+	relaxed bool
 }
 
 // yieldEvery is the number of nodes a worker explores between cooperative

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -408,8 +409,59 @@ func TestCycleHierPartitionProperty(t *testing.T) {
 	}
 }
 
+// TestRelaxedLedgerDifferential is the multiplicity-ledger property test:
+// the relaxed variant's ledger-deduped node/leaf counts must be bit-exact
+// against every lock-based implementation — all seven parallel algorithms
+// across two tree shapes and three probe seeds reduce to the same
+// sequential ground truth, so any duplicate subtree the relaxed protocol
+// failed to dedup (or any chunk it lost) shows up as a count mismatch.
+func TestRelaxedLedgerDifferential(t *testing.T) {
+	algs := append(append([]Algorithm{}, Algorithms...), UPCDistMemHier, UPCTermRelaxed)
+	trees := []*uts.Spec{&uts.BenchTiny, &uts.T3Small}
+	type key struct{ tree string }
+	counts := map[key][2]int64{}
+	for _, sp := range trees {
+		want := expect(t, sp)
+		counts[key{sp.Name}] = [2]int64{want.Nodes, want.Leaves}
+	}
+	for _, alg := range algs {
+		for _, sp := range trees {
+			for seed := int64(0); seed < 3; seed++ {
+				res, err := Run(sp, Options{Algorithm: alg, Threads: 4, Chunk: 4, Seed: seed})
+				if err != nil {
+					t.Fatalf("%s/%s/seed=%d: %v", alg, sp.Name, seed, err)
+				}
+				want := counts[key{sp.Name}]
+				if res.Nodes() != want[0] || res.Leaves() != want[1] {
+					t.Errorf("%s/%s/seed=%d: counts = %d/%d, want %d/%d",
+						alg, sp.Name, seed, res.Nodes(), res.Leaves(), want[0], want[1])
+				}
+			}
+		}
+	}
+}
+
+// TestRelaxedSurfacesDuplicateTakes pins the accounting plumbing: a
+// thread's DuplicateTakes counter reaches the run summary, and a clean
+// run (no duplicates) keeps the summary byte-identical to before.
+func TestRelaxedSurfacesDuplicateTakes(t *testing.T) {
+	res, err := Run(&uts.BenchTiny, Options{Algorithm: UPCTermRelaxed, Threads: 4, Chunk: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRun(t, &uts.BenchTiny, res)
+	dups := res.Sum(func(th *stats.Thread) int64 { return th.DuplicateTakes })
+	if got := strings.Contains(res.Summary(), "duplicate-takes="); got != (dups > 0) {
+		t.Errorf("summary mentions duplicate-takes=%v, but run had %d duplicate takes", got, dups)
+	}
+	res.Threads[0].DuplicateTakes += 3
+	if !strings.Contains(res.Summary(), "duplicate-takes=") {
+		t.Error("summary omits the duplicate-takes line despite a nonzero counter")
+	}
+}
+
 func TestRunCtxCancellation(t *testing.T) {
-	for _, alg := range append(append([]Algorithm{}, Algorithms...), Static, UPCDistMemHier, Sequential) {
+	for _, alg := range append(append([]Algorithm{}, Algorithms...), Static, UPCDistMemHier, UPCTermRelaxed, Sequential) {
 		ctx, cancel := context.WithCancel(context.Background())
 		cancel() // aborted before the search starts
 		res, err := RunCtx(ctx, &uts.BenchMedium, Options{Algorithm: alg, Threads: 4, Chunk: 8})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -24,6 +25,12 @@ const nodeBytes = 28
 type sharedStack struct {
 	lk   *pgas.Lock
 	pool stack.Pool // guarded by lk
+
+	// ring replaces lk/pool under the relaxed variant (upc-term-relaxed):
+	// a fence-free versioned-slot ring with a multiplicity ledger, owner
+	// publish/retract without lock round trips (DESIGN.md §14). nil for
+	// the lock-based variants.
+	ring *stack.Relaxed
 
 	// workAvail is probed remotely without locking. For the streamlined-
 	// termination variants it is a tri-state (Section 3.3.1): −1 when the
@@ -54,6 +61,9 @@ func runShared(sp *uts.Spec, opt Options, res *Result, v sharedVariant) error {
 	r.stacks = make([]*sharedStack, opt.Threads)
 	for i := range r.stacks {
 		r.stacks[i] = &sharedStack{lk: dom.NewLock(i)}
+		if v.relaxed {
+			r.stacks[i].ring = stack.NewRelaxed(i)
+		}
 	}
 	if v.streamTerm {
 		r.sb = term.NewStreamBarrier(dom)
@@ -75,6 +85,17 @@ func runShared(sp *uts.Spec, opt Options, res *Result, v sharedVariant) error {
 		}(me)
 	}
 	wg.Wait()
+	if v.relaxed && !opt.abort.Load() {
+		// Accounting check: termination required every ring to drain, so
+		// every chunk ever published must have exactly one ledger
+		// consumer. A leftover unconsumed entry would mean lost work.
+		// (An aborted run abandons published work by design.)
+		for i, s := range r.stacks {
+			if n := s.ring.Unconsumed(); n != 0 {
+				return fmt.Errorf("relaxed ring %d: %d published chunks never consumed", i, n)
+			}
+		}
+	}
 	return nil
 }
 
@@ -179,22 +200,62 @@ func (w *sharedWorker) work() {
 // them stealable, and — under the shared-memory algorithm — resets the
 // cancelable barrier, a remote lock operation charged to this thread.
 func (w *sharedWorker) release(k int) {
+	if w.run.variant.relaxed {
+		w.releaseRelaxed(k)
+		return
+	}
 	s := w.stack()
 	chunk := w.local.TakeBottom(k)
 	s.lk.Acquire(w.me)
 	s.pool.Put(chunk)
-	s.workAvail.Store(int32(s.pool.Len()))
+	avail := int32(s.pool.Len())
+	s.workAvail.Store(avail)
 	s.lk.Release(w.me)
 	w.t.Releases++
-	w.lane.Rec(obs.KindRelease, -1, int64(s.workAvail.Load()))
+	w.lane.Rec(obs.KindRelease, -1, int64(avail))
 	if !w.run.variant.streamTerm {
 		w.run.cb.Cancel(w.me)
 	}
 }
 
+// releaseRelaxed publishes the k oldest local nodes through the relaxed
+// ring: no lock, a single atomic slot store. When the ring is full the
+// release is skipped — bounded-buffer back-pressure; the owner keeps the
+// nodes local and will try again after further expansion. workAvail is
+// owner-written only under this variant and stored only on the
+// empty→nonempty transition, so the owner's steady-state release path
+// performs exactly one synchronizing store.
+func (w *sharedWorker) releaseRelaxed(k int) {
+	s := w.stack()
+	if s.ring.Full() {
+		return
+	}
+	chunk := w.local.TakeBottom(k)
+	rec, ok := s.ring.Publish(chunk)
+	if rec != nil {
+		// Publish resolved a clobbered, never-consumed slot: the chunk
+		// comes back to the owner and goes straight back to work.
+		w.local.PushAll(rec)
+	}
+	if !ok {
+		// Unreachable after the Full() check (single owner), but keep the
+		// nodes rather than lose them if the protocol ever changes.
+		w.local.PushAll(chunk)
+		return
+	}
+	if s.ring.Live() == 1 {
+		s.workAvail.Store(1)
+	}
+	w.t.Releases++
+	w.lane.Rec(obs.KindRelease, -1, int64(s.ring.Live()))
+}
+
 // reacquire moves the newest chunk of the thread's own shared region back
 // onto the local stack. It reports false if no chunk was available.
 func (w *sharedWorker) reacquire() bool {
+	if w.run.variant.relaxed {
+		return w.reacquireRelaxed()
+	}
 	s := w.stack()
 	s.lk.Acquire(w.me)
 	c, ok := s.pool.TakeNewest()
@@ -204,6 +265,26 @@ func (w *sharedWorker) reacquire() bool {
 	s.lk.Release(w.me)
 	if !ok {
 		return false
+	}
+	w.t.Reacquires++
+	w.lane.Rec(obs.KindReacquire, -1, int64(len(c)))
+	w.local.PushAll(c)
+	return true
+}
+
+// reacquireRelaxed takes the newest chunk the owner still owns back from
+// the relaxed ring: no lock, one ledger compare-and-swap. A false return
+// is the owner's proof that every chunk it ever published has been
+// consumed (by itself or by thieves), which makes the subsequent
+// workAvail=−1 store in main() safe for streamlined termination.
+func (w *sharedWorker) reacquireRelaxed() bool {
+	s := w.stack()
+	c, ok := s.ring.Retract()
+	if !ok {
+		return false
+	}
+	if s.ring.Live() == 0 {
+		s.workAvail.Store(0)
 	}
 	w.t.Reacquires++
 	w.lane.Rec(obs.KindReacquire, -1, int64(len(c)))
@@ -271,6 +352,9 @@ func (w *sharedWorker) probe(v int) int32 {
 // any further chunks go straight into the thief's own shared region, making
 // the thief a work source for others (Section 3.3.2).
 func (w *sharedWorker) steal(v int) bool {
+	if w.run.variant.relaxed {
+		return w.stealRelaxed(v)
+	}
 	r := w.run
 	vs := r.stacks[v]
 	w.lane.Rec(obs.KindStealRequest, int32(v), 0)
@@ -313,6 +397,44 @@ func (w *sharedWorker) steal(v int) bool {
 		ms.lk.Release(w.me)
 	} else if r.variant.streamTerm {
 		// Back to "working, no surplus".
+		w.stack().workAvail.Store(0)
+	}
+	return true
+}
+
+// stealRelaxed claims the victim's oldest published chunk through the
+// fence-free handshake: a one-sided scan of the slot words, then a
+// claim-marker store plus ledger CAS. No victim lock is ever taken. The
+// two remote rounds are charged as plain remote references — the protocol
+// replaces the lock-based path's lock round trip (~10x a cached remote
+// reference in the paper's cost model). A duplicate take (the chunk was
+// read but the ledger CAS lost to a concurrent claimer) is counted and
+// surfaced, and the duplicated subtree is discarded before exploration —
+// this is the multiplicity ledger doing the dedup that keeps final counts
+// exact.
+func (w *sharedWorker) stealRelaxed(v int) bool {
+	r := w.run
+	vs := r.stacks[v]
+	w.lane.Rec(obs.KindStealRequest, int32(v), 0)
+	r.dom.ChargeRef(w.me, v) // slot-word scan (one-sided reads)
+	r.dom.ChargeRef(w.me, v) // claim store + ledger CAS round
+	c, dups, ok := vs.ring.Claim(w.me)
+	if dups > 0 {
+		w.t.DuplicateTakes += int64(dups)
+		w.lane.Rec(obs.KindDuplicateTake, int32(v), int64(dups))
+	}
+	if !ok {
+		w.t.FailedSteals++
+		w.lane.Rec(obs.KindStealFail, int32(v), 0)
+		return false
+	}
+	r.dom.ChargeBulk(w.me, v, len(c)*nodeBytes)
+	w.t.Steals++
+	w.t.ChunksGot++
+	w.lane.Rec(obs.KindChunkTransfer, int32(v), int64(len(c)))
+	w.local.PushAll(c)
+	if r.variant.streamTerm {
+		// Back to "working, no surplus" (own stack: still single-writer).
 		w.stack().workAvail.Store(0)
 	}
 	return true

@@ -348,7 +348,7 @@ func TestSeedSweepAllProtocols(t *testing.T) {
 	if testing.Short() {
 		t.Skip("seed sweep")
 	}
-	algs := append(append([]core.Algorithm{}, core.Algorithms...), core.UPCDistMemHier, core.Static)
+	algs := append(append([]core.Algorithm{}, core.Algorithms...), core.UPCDistMemHier, core.Static, core.UPCTermRelaxed)
 	for _, alg := range algs {
 		for seed := int64(0); seed < 8; seed++ {
 			res, err := Run(&uts.BenchTiny, Config{Algorithm: alg, PEs: 11, Chunk: 3, Seed: seed})
@@ -356,6 +356,31 @@ func TestSeedSweepAllProtocols(t *testing.T) {
 				t.Fatalf("%s seed=%d: %v", alg, seed, err)
 			}
 			checkCounts(t, &uts.BenchTiny, res)
+		}
+	}
+}
+
+// TestSimulatedRelaxedCounts sweeps the relaxed fence-free variant across
+// PE counts: exact counts always, faster-or-equal makespan than upc-term
+// at the same scale (the protocol exists to shed the lock round trips),
+// and zero duplicate takes — the simulator serializes every access on
+// virtual time, so the ledger CAS can never lose (DESIGN.md §14).
+func TestSimulatedRelaxedCounts(t *testing.T) {
+	for _, pes := range []int{1, 2, 16, 64} {
+		res, err := Run(&uts.BenchTiny, Config{Algorithm: core.UPCTermRelaxed, PEs: pes, Chunk: 4})
+		if err != nil {
+			t.Fatalf("%d PEs: %v", pes, err)
+		}
+		checkCounts(t, &uts.BenchTiny, res)
+		if d := res.Sum(func(th *stats.Thread) int64 { return th.DuplicateTakes }); d != 0 {
+			t.Errorf("%d PEs: %d duplicate takes in a serialized simulation", pes, d)
+		}
+		lock, err := Run(&uts.BenchTiny, Config{Algorithm: core.UPCTerm, PEs: pes, Chunk: 4})
+		if err != nil {
+			t.Fatalf("upc-term/%d PEs: %v", pes, err)
+		}
+		if res.Elapsed > lock.Elapsed {
+			t.Errorf("%d PEs: relaxed makespan %v exceeds lock-based %v", pes, res.Elapsed, lock.Elapsed)
 		}
 	}
 }

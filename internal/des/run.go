@@ -256,7 +256,7 @@ func run(sp *uts.Spec, cfg Config, interval time.Duration) (*core.Result, *Trace
 			shards = cfg.PEs
 		}
 		switch cfg.Algorithm {
-		case core.UPCSharedMem, core.UPCTerm, core.UPCTermRapdif:
+		case core.UPCSharedMem, core.UPCTerm, core.UPCTermRapdif, core.UPCTermRelaxed:
 			// The shared-memory family synchronizes through zero-latency
 			// lock handoffs (Block/Wake), which carry no lookahead; it
 			// runs sharded but undivided.
@@ -314,6 +314,8 @@ func run(sp *uts.Spec, cfg Config, interval time.Duration) (*core.Result, *Trace
 		smp, err = simShared(sim, sp, cfg, cs, res, sharedMode{streamTerm: true}, finish)
 	case core.UPCTermRapdif:
 		smp, err = simShared(sim, sp, cfg, cs, res, sharedMode{streamTerm: true, stealHalf: true}, finish)
+	case core.UPCTermRelaxed:
+		smp, err = simShared(sim, sp, cfg, cs, res, sharedMode{streamTerm: true, relaxed: true}, finish)
 	case core.UPCDistMem, core.UPCDistMemHier:
 		smp, err = simDistMem(sim, sp, cfg, cs, res, finish)
 	case core.MPIWS:

@@ -20,6 +20,17 @@ const nodeBytes = 28
 type sharedMode struct {
 	streamTerm bool
 	stealHalf  bool
+	// relaxed models upc-term-relaxed (DESIGN.md §14): no lock on any
+	// path — releases and reacquires cost one local reference (the slot
+	// store / ledger CAS), steals cost two remote references (slot scan +
+	// claim handshake) with no lock round trip, the shared region is
+	// bounded at stack.RelaxedSlots chunks, and thieves do not refresh
+	// the victim's workAvail (it is owner-written in the real protocol,
+	// so probes can see stale positives that end in failed steals). The
+	// simulator serializes all accesses on virtual time, so duplicate
+	// takes never occur here: DES sweeps the protocol's cost shape, the
+	// real-core backend exercises its races.
+	relaxed bool
 }
 
 // simSharedRun is the per-run shared state of the simulated shared-memory
@@ -196,7 +207,10 @@ func (pe *simSharedPE) work() {
 				pe.local.PushAll(pe.ex.Children(&n))
 			}
 			pe.t.NoteDepth(pe.local.Len())
-			if pe.local.Len() >= 2*k {
+			// Under the relaxed mode the shared region is a bounded ring:
+			// when it is full the release is skipped (back-pressure) and
+			// the PE keeps exploring locally instead of ending the batch.
+			if pe.local.Len() >= 2*k && !(pe.r.mode.relaxed && pe.pool.Len() >= stack.RelaxedSlots) {
 				thresholdHit = true
 				d := time.Duration(pending) * cs.nodeCost
 				pending = 0
@@ -230,6 +244,16 @@ func (pe *simSharedPE) work() {
 func (pe *simSharedPE) releaseChunk(k int) {
 	cs := &pe.r.cs
 	chunk := pe.local.TakeBottom(k)
+	if pe.r.mode.relaxed {
+		// Fence-free publish: one local store into the ring slot, no lock
+		// round trip at all — the owner-path saving the variant exists for.
+		pe.advance(cs.localRef)
+		pe.pool.Put(chunk)
+		pe.workAvail = pe.pool.Len()
+		pe.t.Releases++
+		pe.rec(obs.KindRelease, -1, int64(pe.workAvail))
+		return
+	}
 	pe.acquire(&pe.lock, cs.localRef)
 	pe.advance(cs.localRef) // in-lock pointer updates, local affinity
 	pe.pool.Put(chunk)
@@ -244,6 +268,20 @@ func (pe *simSharedPE) releaseChunk(k int) {
 
 func (pe *simSharedPE) reacquire() bool {
 	cs := &pe.r.cs
+	if pe.r.mode.relaxed {
+		// Fence-free retract: the ledger compare-and-swap on the owner's
+		// own partition, no lock.
+		pe.advance(cs.localRef)
+		c, ok := pe.pool.TakeNewest()
+		if !ok {
+			return false
+		}
+		pe.workAvail = pe.pool.Len()
+		pe.t.Reacquires++
+		pe.rec(obs.KindReacquire, -1, int64(len(c)))
+		pe.local.PushAll(c)
+		return true
+	}
 	pe.acquire(&pe.lock, cs.localRef)
 	pe.advance(cs.localRef) // in-lock pointer updates, local affinity
 	c, ok := pe.pool.TakeNewest()
@@ -336,6 +374,9 @@ func (pe *simSharedPE) steal(v int) bool {
 	cs := &r.cs
 	vs := r.pes[v]
 	pe.rec(obs.KindStealRequest, int32(v), 0)
+	if r.mode.relaxed {
+		return pe.stealRelaxed(v)
+	}
 	pe.acquire(&vs.lock, cs.lockRTT)
 	// The reservation manipulates the victim's stack pointers remotely
 	// while holding the lock — this is the hold period during which the
@@ -375,6 +416,35 @@ func (pe *simSharedPE) steal(v int) bool {
 		pe.workAvail = pe.pool.Len()
 		pe.release(&pe.lock, cs.localRef)
 	} else if r.mode.streamTerm {
+		pe.workAvail = 0
+	}
+	return true
+}
+
+// stealRelaxed models the fence-free claim: a one-sided scan of the
+// victim's slot words plus the claim-marker store and ledger CAS — two
+// remote references with no lock round trip. The thief does not refresh
+// the victim's workAvail (owner-written in the real protocol), so stale
+// positives persist until the victim's next own operation and show up
+// here, as on real cores, as failed steals. Virtual-time serialization
+// means the ledger CAS never loses: DES runs carry zero duplicate takes.
+func (pe *simSharedPE) stealRelaxed(v int) bool {
+	r := pe.r
+	cs := &r.cs
+	vs := r.pes[v]
+	pe.advance(2 * cs.remoteRef) // slot scan + claim handshake
+	c, ok := vs.pool.TakeOldest()
+	if !ok {
+		pe.t.FailedSteals++
+		pe.rec(obs.KindStealFail, int32(v), 0)
+		return false
+	}
+	pe.advance(cs.bulk(len(c) * nodeBytes))
+	pe.t.Steals++
+	pe.t.ChunksGot++
+	pe.rec(obs.KindChunkTransfer, int32(v), int64(len(c)))
+	pe.local.PushAll(c)
+	if r.mode.streamTerm {
 		pe.workAvail = 0
 	}
 	return true

@@ -15,8 +15,19 @@ type Lock struct{}
 func (l *Lock) Acquire(me int) {}
 func (l *Lock) Release(me int) {}
 
+// ring stands in for the relaxed fence-free ring (stack.Relaxed): its
+// methods touch the owner's slot words and multiplicity ledger with raw
+// atomics instead of a lock, so a thief-side Claim through a remote
+// handle is a remote access like any other — the fence-free path must
+// not become a PGAS cost-model bypass.
+type ring struct{}
+
+func (r *ring) Claim(tag int) int { return 0 }
+func (r *ring) Full() bool        { return false }
+
 type stack struct {
 	lk        Lock
+	ring      ring
 	workAvail int
 	top       int
 }
@@ -75,6 +86,29 @@ func (w *worker) okBulk(v, n int) int {
 	got := w.run.stacks[v].top
 	w.run.stacks[v].top = 0
 	return got
+}
+
+// badClaim reaches into a victim's relaxed ring without paying for the
+// slot scan or the claim handshake: lock-free does not mean latency-free.
+func (w *worker) badClaim(v int) int {
+	vs := w.run.stacks[v]
+	return vs.ring.Claim(w.me) // want "uncharged remote reference"
+}
+
+// okClaim charges the two remote rounds of the fence-free handshake
+// (slot-word scan, claim store + ledger CAS) before the claim — the
+// pattern stealRelaxed uses in internal/core.
+func (w *worker) okClaim(v int) int {
+	vs := w.run.stacks[v]
+	w.run.dom.ChargeRef(w.me, v)
+	w.run.dom.ChargeRef(w.me, v)
+	return vs.ring.Claim(w.me)
+}
+
+// ownRing reads the worker's own ring through the me-indexed helper:
+// local affinity, never charged.
+func (w *worker) ownRing() bool {
+	return w.stack().ring.Full()
 }
 
 // newRun builds the stacks slice single-threaded before any PE exists:

@@ -92,6 +92,11 @@ const (
 	// into its pool because thief PE Other never fetched them (it gave
 	// up on the exchange, or died). Only the real-TCP cluster emits it.
 	KindHandoffReclaim
+	// KindDuplicateTake: this PE took (read) Value chunks from PE Other's
+	// relaxed ring but lost the multiplicity-ledger arbitration to a
+	// concurrent claimer, so the copies were discarded before exploration.
+	// Only upc-term-relaxed emits it (DESIGN.md §14).
+	KindDuplicateTake
 	numKinds
 )
 
@@ -104,7 +109,7 @@ var kindNames = [numKinds]string{
 	"steal-request", "steal-grant", "steal-deny", "steal-fail",
 	"chunk-transfer", "release", "reacquire",
 	"term-enter", "term-exit",
-	"rpc-retry", "peer-dead", "handoff-reclaim",
+	"rpc-retry", "peer-dead", "handoff-reclaim", "duplicate-take",
 }
 
 // String names the kind in the hyphenated vocabulary used by the

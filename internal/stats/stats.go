@@ -66,6 +66,12 @@ type Thread struct {
 	FailedSteals int64 // steal attempts that found the work already gone
 	Requests     int64 // steal requests serviced for others (distmem/mpi)
 
+	// DuplicateTakes counts relaxed-ring takes that lost the multiplicity-
+	// ledger arbitration: the chunk was read but a concurrent claimer
+	// consumed it first, so the copy was discarded before exploration.
+	// Nonzero only under upc-term-relaxed.
+	DuplicateTakes int64
+
 	TermBarrierEntries int64 // times this thread entered the termination barrier
 	MaxStackDepth      int
 
@@ -283,6 +289,9 @@ func (r *Run) Summary() string {
 		r.Sum(func(t *Thread) int64 { return t.Releases }),
 		r.Sum(func(t *Thread) int64 { return t.Reacquires }),
 		r.Sum(func(t *Thread) int64 { return t.ChunksGot }))
+	if d := r.Sum(func(t *Thread) int64 { return t.DuplicateTakes }); d > 0 {
+		fmt.Fprintf(&b, "duplicate-takes=%d (relaxed-ring multiplicity, deduped before exploration)\n", d)
+	}
 	bd := r.StateBreakdown()
 	if bd[Working]+bd[Searching]+bd[Stealing]+bd[Idle] > 0 {
 		keys := make([]State, 0, len(bd))

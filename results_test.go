@@ -206,3 +206,108 @@ func TestBenchPR3Schema(t *testing.T) {
 			s.BatchedWallS)
 	}
 }
+
+// TestBenchPR8Schema validates results/BENCH_PR8.json, the PR 8 record of
+// the relaxed (fence-free) owner-path microbenchmarks and the t3 end-to-end
+// comparison. It enforces internal consistency — the recorded speedup must
+// match the recorded timings — so the file cannot drift into claims its own
+// numbers contradict. The >=2x protocol gate itself is TestRelaxedOwnerPathGate
+// (RELAXED_BENCH_GATE=1), which measures live and self-skips below 4 cores;
+// this schema test guards the recorded evidence, not the live measurement.
+func TestBenchPR8Schema(t *testing.T) {
+	raw, err := os.ReadFile("results/BENCH_PR8.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		PR          string `json:"pr"`
+		Date        string `json:"date"`
+		Notes       string `json:"notes"`
+		Environment struct {
+			Go    string `json:"go"`
+			CPU   string `json:"cpu"`
+			Cores int    `json:"cores"`
+		} `json:"environment"`
+		OwnerPath struct {
+			Config         string  `json:"config"`
+			LockNsPerOp    float64 `json:"lock_ns_per_op"`
+			RelaxedNsPerOp float64 `json:"relaxed_ns_per_op"`
+			Speedup        float64 `json:"speedup_min_estimate"`
+			Range          string  `json:"speedup_range_alternating_pairs"`
+			BytesPerOp     float64 `json:"relaxed_bytes_per_op"`
+		} `json:"BenchmarkOwnerPath"`
+		E2E struct {
+			Config string `json:"config"`
+			T3XXL  struct {
+				Term    float64 `json:"upc_term_elapsed_s"`
+				Relaxed float64 `json:"upc_term_relaxed_elapsed_s"`
+				Nodes   uint64  `json:"nodes"`
+				Leaves  uint64  `json:"leaves"`
+			} `json:"t3_xxl"`
+			Medium struct {
+				Term    float64 `json:"upc_term_elapsed_s"`
+				Relaxed float64 `json:"upc_term_relaxed_elapsed_s"`
+				Nodes   uint64  `json:"nodes"`
+				Leaves  uint64  `json:"leaves"`
+			} `json:"bench_medium"`
+		} `json:"e2e_t3_trees"`
+		Dups struct {
+			Forced  string `json:"forced"`
+			Stress  string `json:"stress"`
+			RealRun string `json:"real_run_observed"`
+		} `json:"duplicate_takes"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("results/BENCH_PR8.json does not parse: %v", err)
+	}
+	if doc.PR == "" || doc.Date == "" || doc.Notes == "" ||
+		doc.Environment.Go == "" || doc.Environment.CPU == "" || doc.Environment.Cores <= 0 {
+		t.Error("pr, date, notes, and the full environment block must all be recorded")
+	}
+
+	op := doc.OwnerPath
+	if op.Config == "" || op.LockNsPerOp <= 0 || op.RelaxedNsPerOp <= 0 {
+		t.Fatal("BenchmarkOwnerPath: config and both ns/op timings must be recorded")
+	}
+	if op.RelaxedNsPerOp >= op.LockNsPerOp {
+		t.Errorf("BenchmarkOwnerPath: relaxed %.1f ns/op is not faster than lock %.1f ns/op",
+			op.RelaxedNsPerOp, op.LockNsPerOp)
+	}
+	derived := op.LockNsPerOp / op.RelaxedNsPerOp
+	if op.Speedup < derived*0.95 || op.Speedup > derived*1.05 {
+		t.Errorf("BenchmarkOwnerPath: recorded speedup %.2f disagrees with timings (%.1f/%.1f = %.2f)",
+			op.Speedup, op.LockNsPerOp, op.RelaxedNsPerOp, derived)
+	}
+	if op.Range == "" {
+		t.Error("BenchmarkOwnerPath: the alternating-pair speedup range must be recorded (single-run numbers on a loaded host are not evidence)")
+	}
+	if op.BytesPerOp <= 0 {
+		t.Error("BenchmarkOwnerPath: the ledger churn (bytes/op) must be recorded — it is part of the protocol's cost model")
+	}
+
+	for name, e := range map[string]struct {
+		Term, Relaxed float64
+		Nodes, Leaves uint64
+	}{
+		"t3_xxl":       {doc.E2E.T3XXL.Term, doc.E2E.T3XXL.Relaxed, doc.E2E.T3XXL.Nodes, doc.E2E.T3XXL.Leaves},
+		"bench_medium": {doc.E2E.Medium.Term, doc.E2E.Medium.Relaxed, doc.E2E.Medium.Nodes, doc.E2E.Medium.Leaves},
+	} {
+		if e.Term <= 0 || e.Relaxed <= 0 {
+			t.Errorf("e2e_t3_trees.%s: both elapsed times must be positive", name)
+			continue
+		}
+		if e.Relaxed >= e.Term {
+			t.Errorf("e2e_t3_trees.%s: relaxed %.3fs is not an improvement over upc-term %.3fs", name, e.Relaxed, e.Term)
+		}
+		if e.Nodes == 0 || e.Leaves == 0 {
+			t.Errorf("e2e_t3_trees.%s: exact node/leaf counts must be recorded (exactness is the PR's correctness claim)", name)
+		}
+	}
+	if doc.E2E.T3XXL.Nodes != 5209563 {
+		t.Errorf("e2e_t3_trees.t3_xxl: nodes %d does not match the t3-xxl ground truth 5209563 recorded since PR6", doc.E2E.T3XXL.Nodes)
+	}
+
+	if doc.Dups.Forced == "" || doc.Dups.Stress == "" || doc.Dups.RealRun == "" {
+		t.Error("duplicate_takes: forced, stress, and real_run_observed evidence must all be recorded")
+	}
+}
