@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race short bench bench-smoke bench-obs bench-des bench-des-par bench-relaxed experiments experiments-full clean lint fuzz-smoke
+.PHONY: all build test race short bench bench-smoke bench-obs bench-des bench-des-par bench-relaxed bench-adapt experiments experiments-full clean lint fuzz-smoke
 
 all: build test
 
@@ -78,6 +78,13 @@ bench-obs:
 bench-relaxed:
 	$(GO) test -run '^$$' -bench 'OwnerPath' -benchtime=2s .
 	RELAXED_BENCH_GATE=1 $(GO) test -run TestRelaxedOwnerPathGate -count=1 -v .
+
+# Closed-loop adaptive policy gate (DESIGN.md §15): sweep fixed chunks on
+# T3XXL, then run the controller from the worst candidate and require
+# >= 0.95x the best fixed rate. Deterministic DES — holds on any host
+# (~20s single-core); results/BENCH_PR9.json records this container's run.
+bench-adapt:
+	ADAPT_BENCH_GATE=1 $(GO) test -run TestAdaptBenchGate -count=1 -v -timeout 10m ./internal/des/
 
 # Regenerate every paper table/figure at quick scale (~3 min).
 experiments:

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/obs"
+	"repro/internal/policy"
 	"repro/internal/uts"
 )
 
@@ -43,6 +44,7 @@ type options struct {
 	advertise    string
 	tree         string
 	chunk        int
+	adapt        bool
 	seed         int64
 	rpcTimeout   time.Duration
 	rpcRetries   int
@@ -60,7 +62,7 @@ type options struct {
 
 // config builds the cluster configuration for one rank from the options.
 func (o *options) config(rank int) cluster.Config {
-	return cluster.Config{
+	cfg := cluster.Config{
 		Rank: rank, Ranks: o.ranks, Coord: o.coord,
 		Bind: o.bind, Advertise: o.advertise,
 		Spec: o.sp, Chunk: o.chunk, Seed: o.seed,
@@ -68,6 +70,10 @@ func (o *options) config(rank int) cluster.Config {
 		StatsTimeout: o.statsTimeout, Fault: o.fault,
 		MetricsAddr: o.metricsAddr, MetricsLinger: o.metricsLing,
 	}
+	if o.adapt {
+		cfg.Adapt = &policy.Config{}
+	}
+	return cfg
 }
 
 func run() int {
@@ -80,6 +86,7 @@ func run() int {
 	flag.StringVar(&o.advertise, "advertise", "", "address peers dial this rank at (default the listener's; needed with a wildcard -bind)")
 	flag.StringVar(&o.tree, "tree", "bench-small", "named sample tree")
 	flag.IntVar(&o.chunk, "chunk", 16, "steal granularity k (nodes)")
+	flag.BoolVar(&o.adapt, "adapt", false, "adapt k per rank at runtime from steal feedback (closed-loop, bounded around -chunk)")
 	flag.Int64Var(&o.seed, "seed", 0, "probe-order seed")
 	flag.DurationVar(&o.rpcTimeout, "rpc-timeout", 0, "per-RPC deadline (default 5s)")
 	flag.IntVar(&o.rpcRetries, "rpc-retries", 0, "retries for idempotent RPCs before a peer is declared dead (default 2)")
@@ -194,6 +201,9 @@ func (o *options) childArgs(rank int) []string {
 	}
 	if o.statsTimeout != 0 {
 		args = append(args, "-stats-timeout", o.statsTimeout.String())
+	}
+	if o.adapt {
+		args = append(args, "-adapt")
 	}
 	if o.faultSpec != "" {
 		args = append(args, "-fault", o.faultSpec)

@@ -19,6 +19,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/obs"
 	"repro/internal/pgas"
+	"repro/internal/policy"
 	"repro/internal/uts"
 )
 
@@ -27,6 +28,7 @@ func main() {
 	alg := flag.String("alg", string(core.UPCDistMem), "algorithm: "+algList())
 	pes := flag.Int("pes", 64, "simulated processing elements (1..1048576)")
 	chunk := flag.Int("chunk", 16, "steal granularity k (nodes)")
+	adapt := flag.Bool("adapt", false, "adapt chunk/steal-half/poll per PE at runtime from steal feedback (virtual-time windows; deterministic)")
 	profile := flag.String("profile", "kittyhawk", "machine profile: sharedmem, altix, kittyhawk, topsail")
 	poll := flag.Int("poll", 8, "mpi-ws polling interval (nodes)")
 	seed := flag.Int64("seed", 0, "probe-order seed")
@@ -78,6 +80,9 @@ func main() {
 	}
 	if nshards > 1 {
 		cfg.Shards = nshards
+	}
+	if *adapt {
+		cfg.Adapt = &policy.Config{}
 	}
 	var tracer *obs.Tracer
 	if *traceOut != "" || *timeline || *hist || *live > 0 {

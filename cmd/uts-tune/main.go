@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/des"
 	"repro/internal/pgas"
+	"repro/internal/policy"
 	"repro/internal/uts"
 )
 
@@ -27,6 +28,7 @@ func main() {
 	profile := flag.String("profile", "kittyhawk", "machine profile")
 	engine := flag.String("engine", des.EngineBatched, "simulation engine: batched, legacy")
 	shards := flag.Int("shards", 1, "parallel dispatcher shards per sweep point (0 = one per available core; 1 = sequential engine)")
+	adapt := flag.Bool("adapt", false, "after the sweep, run the closed-loop controller from the worst candidate and compare it against the best fixed chunk")
 	flag.Parse()
 
 	sp := uts.ByName(*tree)
@@ -77,5 +79,27 @@ func main() {
 		}
 		fmt.Printf("%7d %10.2f %10.1f%% %8.0f%%%s\n",
 			k, res.Rate()/1e6, 100*res.Efficiency(), 100*res.Rate()/peak, marker)
+	}
+
+	if *adapt {
+		// Start the controller from the sweep's worst candidate — the
+		// harshest recovery test — and report where it lands relative to
+		// the sweep's peak.
+		worst := best
+		for _, k := range chunks {
+			if results[k].Rate() < results[worst].Rate() {
+				worst = k
+			}
+		}
+		acfg := cfg
+		acfg.Chunk = worst
+		acfg.Adapt = &policy.Config{}
+		res, err := des.Run(sp, acfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nadaptive from worst (k=%d): %.2f Mnodes/s = %.0f%% of the best fixed chunk\n  %s\n",
+			worst, res.Rate()/1e6, 100*res.Rate()/peak, res.Policy)
 	}
 }

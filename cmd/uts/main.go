@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/pgas"
+	"repro/internal/policy"
 	"repro/internal/uts"
 )
 
@@ -29,6 +30,7 @@ func main() {
 	alg := flag.String("alg", string(core.UPCDistMem), "seq, upc-sharedmem, upc-term, upc-term-rapdif, upc-term-relaxed, upc-distmem, mpi-ws")
 	threads := flag.Int("threads", 4, "worker threads (goroutines)")
 	chunk := flag.Int("chunk", 16, "steal granularity k (nodes)")
+	adapt := flag.Bool("adapt", false, "adapt chunk/steal-half/poll per thread at runtime from steal feedback (closed-loop, bounded around -chunk/-poll)")
 	poll := flag.Int("poll", 8, "mpi-ws polling interval (nodes)")
 	profile := flag.String("profile", "sharedmem", "latency model: sharedmem, altix, kittyhawk, topsail")
 	seed := flag.Int64("seed", 0, "probe-order seed")
@@ -77,6 +79,9 @@ func main() {
 		PollInterval: *poll,
 		Model:        model,
 		Seed:         *seed,
+	}
+	if *adapt {
+		opt.Adapt = &policy.Config{}
 	}
 	var tracer *obs.Tracer
 	if *traceOut != "" || *timeline || *hist || *live > 0 {

@@ -117,6 +117,7 @@ func (n *node) startMetrics() error {
 	reg.GaugeFunc("uts_handoff_pending", "Handoff-table entries reserved but not yet fetched.", nil,
 		func() float64 { return float64(n.handoffN.Load()) })
 	telemetry.RegisterSampler(reg, n.sampler)
+	telemetry.RegisterPolicy(reg, n.pset)
 	telemetry.RegisterRuntime(reg)
 
 	srv, err := telemetry.NewServer(cfg.MetricsAddr, reg)

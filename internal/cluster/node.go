@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/policy"
 	"repro/internal/stack"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -65,6 +66,16 @@ type Config struct {
 	// Ranks still missing when it expires are reported in
 	// stats.Run.FailedRanks instead of hanging the coordinator.
 	StatsTimeout time.Duration
+	// Adapt, when non-nil, runs this rank's worker under a closed-loop
+	// policy controller (internal/policy) that adapts the steal
+	// granularity k from windowed steal feedback, bounded around Chunk.
+	// Every rank adapts independently off its own local evidence — there
+	// is no cross-rank coordination traffic. A zero Config adapts with
+	// defaults (window 10ms of wall time — steal round-trips here are
+	// TCP RPCs, orders slower than the shared-memory schedulers'). Nil
+	// keeps the fixed-knob path, byte-identical to a build without the
+	// policy package.
+	Adapt *policy.Config
 	// Fault, when non-nil, arms the fault-injection harness (see
 	// FaultPlan): deterministic drop/delay/sever/black-hole/kill rules
 	// for tests and `uts-dist -fault` runs. Nil costs nothing.
@@ -251,6 +262,10 @@ type node struct {
 	telem   *telemetry.Server
 	roll    *rollup
 
+	// pset holds this rank's adaptive controller (one entry — a process
+	// is one PE) when Config.Adapt is set; nil otherwise.
+	pset *policy.Set
+
 	t stats.Thread
 }
 
@@ -271,6 +286,16 @@ func newNode(cfg Config) *node {
 	n.reqWord.Store(-1)
 	n.t.ID = cfg.Rank
 	n.lane = cfg.Tracer.Lane(cfg.Rank)
+	if cfg.Adapt != nil {
+		acfg := *cfg.Adapt
+		if acfg.Window <= 0 {
+			acfg.Window = 10 * time.Millisecond
+		}
+		// One controller: this process is a single PE. Victims always
+		// grant half their pool here, so the steal-half knob stays at its
+		// base; only k (release granularity + 2k threshold) adapts.
+		n.pset = policy.NewSet(&acfg, policy.Base{Chunk: cfg.Chunk}, 1)
+	}
 	return n
 }
 
@@ -602,6 +627,10 @@ func Run(cfg Config) (*stats.Run, error) {
 	run.Threads = append(run.Threads, n.collected...)
 	n.statsMu.Unlock()
 	run.Obs = n.cfg.Tracer.Summary() // n.cfg: startMetrics may have armed the tracer
+	// Each rank adapts off local evidence only, so the report covers rank
+	// 0's own controller (remote knob trajectories stay at their ranks,
+	// observable via each rank's uts_policy_* gauges).
+	run.Policy = n.pset.Summary()
 	return run, nil
 }
 

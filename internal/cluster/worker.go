@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/policy"
 	"repro/internal/stack"
 	"repro/internal/stats"
 	"repro/internal/uts"
@@ -25,6 +26,7 @@ func (n *node) search() error {
 		me:    n.cfg.Rank,
 		ex:    uts.NewExpander(n.cfg.Spec),
 		lane:  n.cfg.Tracer.Lane(n.cfg.Rank),
+		ctl:   n.pset.Controller(0),
 	}
 	if w.me == 0 {
 		w.local.Push(uts.Root(w.sp))
@@ -49,6 +51,38 @@ type clusterWorker struct {
 	lane  *obs.Lane // nil when the run is untraced
 
 	nodesFlushed int64 // t.Nodes already published to the lane's live counter
+
+	// Adaptive control (nil ctl = fixed knobs, the wiring costs nothing).
+	// This rank is one PE, so it owns the set's single controller; k is
+	// refreshed from it at the yield cadence, never mid-release.
+	ctl      *policy.Controller
+	ctlNodes int64 // t.Nodes already reported to the controller
+	stolen   int   // nodes delivered by the last successful steal
+}
+
+// noteCtl feeds node progress and the current stack depth to the
+// controller and refreshes the adapted chunk. Called at the yield cadence
+// — a point with no release in flight, so the 2k threshold and the
+// TakeBottom granularity never straddle a knob change.
+func (w *clusterWorker) noteCtl() {
+	if w.ctl == nil {
+		return
+	}
+	w.ctl.NoteNodes(int(w.n.t.Nodes-w.ctlNodes), w.local.Len(), time.Now().UnixNano())
+	w.ctlNodes = w.n.t.Nodes
+	w.k = w.ctl.Chunk()
+}
+
+// stealTimed wraps steal with the controller's latency observation.
+func (w *clusterWorker) stealTimed(v int) (bool, error) {
+	if w.ctl == nil {
+		return w.steal(v)
+	}
+	w.ctl.StealBegin(time.Now().UnixNano())
+	w.stolen = 0
+	ok, err := w.steal(v)
+	w.ctl.StealEnd(ok, w.stolen, time.Now().UnixNano())
+	return ok, err
 }
 
 // flushNodes publishes node progress to the lane's live counter (read by
@@ -123,6 +157,7 @@ func (w *clusterWorker) work() error {
 			sinceYield = 0
 			w.reclaim() // one atomic load while the handoff table is empty
 			w.flushNodes()
+			w.noteCtl()
 			runtime.Gosched()
 		}
 		if err := w.service(); err != nil {
@@ -210,6 +245,11 @@ func (w *clusterWorker) service() error {
 		w.lane.Rec(obs.KindStealGrant, thief, int64(amount))
 	} else {
 		w.lane.Rec(obs.KindStealDeny, thief, 0)
+		if w.ctl != nil && w.local.Len() > 0 {
+			// Denied while holding private work: the release threshold is
+			// withholding — evidence toward a smaller k.
+			w.ctl.NoteDenied()
+		}
 	}
 	return nil
 }
@@ -287,7 +327,7 @@ func (w *clusterWorker) discover() (bool, error) {
 			}
 			if wa > 0 {
 				w.setState(stats.Stealing)
-				ok, err := w.steal(v)
+				ok, err := w.stealTimed(v)
 				w.setState(stats.Searching)
 				if err != nil {
 					return false, err
@@ -413,6 +453,7 @@ func (w *clusterWorker) steal(v int) (bool, error) {
 	for _, c := range got.Chunk {
 		total += len(c)
 	}
+	w.stolen = total
 	w.lane.Rec(obs.KindChunkTransfer, int32(v), int64(total))
 	w.local.PushAll(got.Chunk[0])
 	w.n.putNodeBuf(got.Chunk[0]) // contents copied; buffer rejoins the cycle
@@ -505,7 +546,7 @@ func (w *clusterWorker) terminate() (bool, error) {
 				return true, nil // termination raced in; we are done
 			}
 			w.setState(stats.Stealing)
-			got, err := w.steal(v)
+			got, err := w.stealTimed(v)
 			w.setState(stats.Idle)
 			if err != nil {
 				return false, err

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/pgas"
+	"repro/internal/policy"
 	"repro/internal/stats"
 	"repro/internal/uts"
 )
@@ -114,10 +115,38 @@ type Options struct {
 	// worker on the no-op fast path.
 	Tracer *obs.Tracer
 
+	// Adapt, when non-nil, enables the closed-loop per-thread controllers
+	// (internal/policy): chunk size, steal-half selection, and — for
+	// mpi-ws — the poll interval adapt at runtime from windowed steal
+	// feedback, starting from and bounded around the static values above.
+	// The nil default keeps every worker on the fixed-knob path,
+	// byte-identical to a build without the policy package.
+	Adapt *policy.Config
+
 	// abort, set by RunCtx, tells every worker to abandon the search; the
 	// zero value (nil) is replaced by withDefaults so workers can always
 	// load it.
 	abort *atomic.Bool
+
+	// policySet, built by RunCtx from Adapt, holds the per-thread
+	// controllers handed to workers.
+	policySet *policy.Set
+}
+
+// PolicySet exposes the run's controller set while the run is live; used
+// by the telemetry bridge to register uts_policy_* gauges. Nil when the
+// run is not adaptive.
+func (o *Options) PolicySet() *policy.Set { return o.policySet }
+
+// hierPays reports whether the latency model makes intra-node victims
+// worth preferring: a same-node steal round trip (lock plus reference)
+// costing at most half the remote one. With no intra model the machine is
+// flat and tiering cannot pay.
+func hierPays(remote, intra *pgas.Model) bool {
+	if intra == nil || remote == nil {
+		return false
+	}
+	return 2*(intra.LockRTT+intra.RemoteRef) <= remote.LockRTT+remote.RemoteRef
 }
 
 // withDefaults returns a copy of o with defaults applied.
@@ -206,6 +235,13 @@ func RunCtx(ctx context.Context, sp *uts.Spec, opt Options) (*Result, error) {
 		}()
 	}
 	opt.abort = &abort
+	opt.policySet = policy.NewSet(opt.Adapt, policy.Base{
+		Chunk:     opt.Chunk,
+		Poll:      opt.PollInterval,
+		StealHalf: opt.Algorithm == UPCTermRapdif,
+		NodeSize:  opt.NodeSize,
+		HierPays:  hierPays(opt.Model, opt.IntraModel),
+	}, opt.Threads)
 
 	res := &Result{Spec: sp, Algorithm: opt.Algorithm, Chunk: opt.Chunk}
 	res.SeqRate = opt.SeqRate
@@ -243,6 +279,7 @@ func RunCtx(ctx context.Context, sp *uts.Spec, opt Options) (*Result, error) {
 	}
 	res.Elapsed = time.Since(start)
 	res.Obs = opt.Tracer.Summary()
+	res.Policy = opt.policySet.Summary()
 	if err != nil && err != ctx.Err() {
 		return nil, err
 	}

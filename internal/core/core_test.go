@@ -624,6 +624,113 @@ func TestProbeWalkLargeHier(t *testing.T) {
 	}
 }
 
+// probeWalkSets consumes a strided hierarchical walk and splits the
+// victims into the locality prefix (same-node victims, which the contract
+// says all come before any off-node victim) and the remainder, failing on
+// duplicates or out-of-range IDs.
+func probeWalkSets(t *testing.T, r *ProbeOrder, me, n, nodeSize int) (intra, rest map[int]bool) {
+	t.Helper()
+	base := (me / nodeSize) * nodeSize
+	end := base + nodeSize
+	if end > n {
+		end = n
+	}
+	intra, rest = map[int]bool{}, map[int]bool{}
+	offNode := false
+	for w := r.WalkHier(me, n, nodeSize); !w.Exhausted(); w.Advance() {
+		v := w.Victim()
+		if v < 0 || v >= n || v == me {
+			t.Fatalf("bad victim %d", v)
+		}
+		if intra[v] || rest[v] {
+			t.Fatalf("victim %d visited twice", v)
+		}
+		if v >= base && v < end {
+			if offNode {
+				t.Fatalf("same-node victim %d after an off-node one", v)
+			}
+			intra[v] = true
+		} else {
+			offNode = true
+			rest[v] = true
+		}
+	}
+	return intra, rest
+}
+
+// TestProbeWalkHierPartialLastBlock: on the strided path with
+// n % nodeSize != 0, a walker inside the truncated last node block must
+// visit exactly the same victim sets as the cached CycleHier path — the
+// partial block minus me first, then everyone else. The strided block
+// bound [base, min(base+nodeSize, n)) and CycleHier's loop bound must
+// agree or victims near n would be double-counted or lost.
+func TestProbeWalkHierPartialLastBlock(t *testing.T) {
+	const nodeSize = 16
+	const n = probeWalkCacheMax*2 + 7 // last block holds 7 of 16 IDs
+	if n%nodeSize == 0 {
+		t.Fatal("test wants a partial last block")
+	}
+	for _, me := range []int{n - 3, n - 7, probeWalkCacheMax + 5} {
+		r := NewProbeOrder(11, me)
+		intra, rest := probeWalkSets(t, r, me, n, nodeSize)
+
+		// The cached path is the oracle: CycleHier builds the same cycle
+		// eagerly (callable at any n; only WalkHier switches on the cap).
+		oracle := NewProbeOrder(99, me).CycleHier(me, n, nodeSize)
+		base := (me / nodeSize) * nodeSize
+		end := base + nodeSize
+		if end > n {
+			end = n
+		}
+		wantIntra, wantRest := map[int]bool{}, map[int]bool{}
+		for _, v := range oracle {
+			if v >= base && v < end {
+				wantIntra[v] = true
+			} else {
+				wantRest[v] = true
+			}
+		}
+		if len(intra) != len(wantIntra) || len(rest) != len(wantRest) {
+			t.Fatalf("me=%d: walk sets %d+%d victims, CycleHier %d+%d",
+				me, len(intra), len(rest), len(wantIntra), len(wantRest))
+		}
+		for v := range wantIntra {
+			if !intra[v] {
+				t.Fatalf("me=%d: same-node victim %d missing from walk", me, v)
+			}
+		}
+		for v := range wantRest {
+			if !rest[v] {
+				t.Fatalf("me=%d: off-node victim %d missing from walk", me, v)
+			}
+		}
+	}
+}
+
+// TestProbeWalkHierDegenerateBlock: n % nodeSize == 1 puts the last ID
+// alone in its block (bl == 1), so the intra segment is empty and the
+// coprimeStride(1) path runs. The walk must still be a full permutation
+// matching CycleHier's set.
+func TestProbeWalkHierDegenerateBlock(t *testing.T) {
+	const nodeSize = 8
+	const n = probeWalkCacheMax*2 + 1
+	me := n - 1 // block [n-1, n): me alone, zero same-node victims
+	r := NewProbeOrder(7, me)
+	intra, rest := probeWalkSets(t, r, me, n, nodeSize)
+	if len(intra) != 0 {
+		t.Fatalf("degenerate block produced %d same-node victims, want 0", len(intra))
+	}
+	oracle := NewProbeOrder(42, me).CycleHier(me, n, nodeSize)
+	if len(rest) != len(oracle) {
+		t.Fatalf("walk visited %d victims, CycleHier has %d", len(rest), len(oracle))
+	}
+	for _, v := range oracle {
+		if !rest[v] {
+			t.Fatalf("victim %d missing from walk", v)
+		}
+	}
+}
+
 // TestProbeWalkDeterministic: same seed and thread, same walk.
 func TestProbeWalkDeterministic(t *testing.T) {
 	const n = probeWalkCacheMax + 100

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/pgas"
+	"repro/internal/policy"
 	"repro/internal/stack"
 	"repro/internal/stats"
 	"repro/internal/term"
@@ -74,7 +75,7 @@ func runDistMem(sp *uts.Spec, opt Options, res *Result, hier bool) error {
 		wg.Add(1)
 		go func(me int) {
 			defer wg.Done()
-			w := &distWorker{run: r, me: me, rng: NewProbeOrder(opt.Seed, me), t: &res.Threads[me], ex: uts.NewExpander(sp), lane: opt.Tracer.Lane(me)}
+			w := &distWorker{run: r, me: me, rng: NewProbeOrder(opt.Seed, me), t: &res.Threads[me], ex: uts.NewExpander(sp), lane: opt.Tracer.Lane(me), ctl: opt.policySet.Controller(me)}
 			if me == 0 {
 				w.stack().local.Push(uts.Root(sp))
 			}
@@ -91,9 +92,12 @@ type distWorker struct {
 	rng  *ProbeOrder
 	t    *stats.Thread
 	ex   *uts.Expander
-	lane *obs.Lane // nil when the run is untraced
+	lane *obs.Lane          // nil when the run is untraced
+	ctl  *policy.Controller // nil when the run is not adaptive
 
 	nodesFlushed int64 // t.Nodes already published to the lane's live counter
+	ctlNodes     int64 // t.Nodes already reported to the controller
+	stolenNodes  int   // nodes delivered by the last successful steal
 }
 
 func (w *distWorker) stack() *privStack { return w.run.stacks[w.me] }
@@ -112,6 +116,39 @@ func (w *distWorker) flushNodes() {
 func (w *distWorker) setState(s stats.State) {
 	w.t.Switch(s, time.Now())
 	w.lane.Rec(obs.KindStateChange, -1, int64(s))
+}
+
+// noteCtl feeds node progress to the thread's controller at the yield
+// cadence; a no-op for fixed-knob runs.
+func (w *distWorker) noteCtl() {
+	if w.ctl == nil {
+		return
+	}
+	now := time.Now() //uts:ok detcheck policy feedback timestamp; adaptive real-mode runs are wall-clock paced by design
+	w.ctl.NoteNodes(int(w.t.Nodes-w.ctlNodes), w.stack().local.Len(), now.UnixNano())
+	w.ctlNodes = w.t.Nodes
+}
+
+// chunk returns the release granularity in effect.
+func (w *distWorker) chunk() int {
+	if w.ctl != nil {
+		return w.ctl.Chunk()
+	}
+	return w.run.opt.Chunk
+}
+
+// stealTimed wraps a steal attempt with the controller's latency window.
+func (w *distWorker) stealTimed(v int) bool {
+	if w.ctl == nil {
+		return w.steal(v)
+	}
+	t0 := time.Now() //uts:ok detcheck policy steal-latency feedback; wall-paced by design in real mode
+	w.ctl.StealBegin(t0.UnixNano())
+	w.stolenNodes = 0
+	ok := w.steal(v)
+	t1 := time.Now() //uts:ok detcheck policy steal-latency feedback; wall-paced by design in real mode
+	w.ctl.StealEnd(ok, w.stolenNodes, t1.UnixNano())
+	return ok
 }
 
 func (w *distWorker) main() {
@@ -145,13 +182,15 @@ func (w *distWorker) main() {
 // The owner polls its request word every iteration — a local read whose
 // cost is negligible, which is the whole point of the design.
 func (w *distWorker) work() {
-	k := w.run.opt.Chunk
+	k := w.chunk()
 	s := w.stack()
 	sinceYield := 0
 	for {
 		if sinceYield++; sinceYield >= yieldEvery {
 			sinceYield = 0
 			w.flushNodes()
+			w.noteCtl()
+			k = w.chunk() // may have adapted at the window boundary
 			if w.run.opt.abort.Load() {
 				return
 			}
@@ -214,6 +253,12 @@ func (w *distWorker) service() {
 		w.lane.Rec(obs.KindStealGrant, thief, int64(len(chunks)))
 	} else {
 		w.lane.Rec(obs.KindStealDeny, thief, 0)
+		if w.ctl != nil && s.local.Len() > 0 {
+			// Denied while still holding local work: the victim-side
+			// witness that this thread's k is withholding work from live
+			// demand.
+			w.ctl.NoteDenied()
+		}
 	}
 }
 
@@ -228,9 +273,15 @@ func (w *distWorker) search() bool {
 	for {
 		sawWorker := false
 		var perm []int
-		if w.run.hier {
+		switch {
+		case w.run.hier:
 			perm = w.rng.CycleHier(w.me, n, w.run.dom.NodeSize())
-		} else {
+		case w.ctl != nil && w.ctl.NodeSize() > 1:
+			// Adaptive tiering: the latency model said intra-node steals
+			// are cheap enough to prefer, so walk the hierarchy even
+			// though the flat algorithm was selected.
+			perm = w.rng.CycleHier(w.me, n, w.ctl.NodeSize())
+		default:
 			perm = w.rng.Cycle(w.me, n)
 		}
 		for _, v := range perm {
@@ -238,7 +289,7 @@ func (w *distWorker) search() bool {
 			wa := w.probe(v)
 			if wa > 0 {
 				w.setState(stats.Stealing)
-				ok := w.steal(v)
+				ok := w.stealTimed(v)
 				w.setState(stats.Searching)
 				if ok {
 					return true
@@ -313,6 +364,7 @@ func (w *distWorker) steal(v int) bool {
 	r.dom.ChargeBulk(w.me, v, total*nodeBytes)
 	w.t.Steals++
 	w.t.ChunksGot += int64(len(chunks))
+	w.stolenNodes = total
 	w.lane.Rec(obs.KindChunkTransfer, int32(v), int64(total))
 
 	me.local.PushAll(chunks[0])
@@ -346,7 +398,7 @@ func (w *distWorker) terminate() bool {
 				return true
 			}
 			w.setState(stats.Stealing)
-			ok := w.steal(v)
+			ok := w.stealTimed(v)
 			w.setState(stats.Idle)
 			if ok {
 				return false

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/msg"
 	"repro/internal/obs"
+	"repro/internal/policy"
 	"repro/internal/stack"
 	"repro/internal/stats"
 	"repro/internal/uts"
@@ -39,6 +40,7 @@ func runMPIWS(sp *uts.Spec, opt Options, res *Result) error {
 				t:     &res.Threads[me],
 				ex:    uts.NewExpander(sp),
 				lane:  opt.Tracer.Lane(me),
+				ctl:   opt.policySet.Controller(me),
 			}
 			if me == 0 {
 				w.local.Push(uts.Root(sp))
@@ -65,7 +67,8 @@ type mpiWorker struct {
 	poll  int
 	rng   *ProbeOrder
 	t     *stats.Thread
-	lane  *obs.Lane // nil when the run is untraced
+	lane  *obs.Lane          // nil when the run is untraced
+	ctl   *policy.Controller // nil when the run is not adaptive
 
 	local stack.Deque
 	ex    *uts.Expander
@@ -79,6 +82,7 @@ type mpiWorker struct {
 	terminated  bool
 
 	nodesFlushed int64 // t.Nodes already published to the lane's live counter
+	ctlNodes     int64 // t.Nodes already reported to the controller
 }
 
 // flushNodes publishes node progress to the lane's live counter in
@@ -89,6 +93,20 @@ func (w *mpiWorker) flushNodes() {
 		w.lane.AddNodes(d)
 		w.nodesFlushed = w.t.Nodes
 	}
+}
+
+// noteCtl feeds node progress to the rank's controller at the yield
+// cadence and refreshes the adapted knobs (chunk size and poll interval)
+// after any window boundary; a no-op for fixed-knob runs.
+func (w *mpiWorker) noteCtl() {
+	if w.ctl == nil {
+		return
+	}
+	now := time.Now() //uts:ok detcheck policy feedback timestamp; adaptive real-mode runs are wall-clock paced by design
+	w.ctl.NoteNodes(int(w.t.Nodes-w.ctlNodes), w.local.Len(), now.UnixNano())
+	w.ctlNodes = w.t.Nodes
+	w.k = w.ctl.Chunk()
+	w.poll = w.ctl.Poll()
 }
 
 func (w *mpiWorker) main() {
@@ -124,6 +142,7 @@ func (w *mpiWorker) work() {
 		if sinceYield++; sinceYield >= yieldEvery {
 			sinceYield = 0
 			w.flushNodes()
+			w.noteCtl()
 			if w.abort.Load() {
 				w.terminated = true
 				return
@@ -135,14 +154,21 @@ func (w *mpiWorker) work() {
 	w.drain()
 }
 
-// drain handles every pending message.
+// drain handles every pending message. Each call counts as one poll for
+// the adaptive controller, which tunes the poll interval from the
+// hit rate (messages handled per poll).
 func (w *mpiWorker) drain() {
+	got := 0
 	for {
 		m, ok := w.comm.Recv(w.me)
 		if !ok {
-			return
+			break
 		}
+		got++
 		w.handle(m)
+	}
+	if w.ctl != nil {
+		w.ctl.NotePoll(got)
 	}
 }
 
@@ -158,6 +184,11 @@ func (w *mpiWorker) handle(m msg.Message) {
 			w.lane.Rec(obs.KindStealGrant, int32(m.From), 1)
 			w.comm.Send(w.me, m.From, msg.Message{Tag: msg.TagWork, Chunks: []stack.Chunk{chunk}})
 		} else {
+			if w.ctl != nil && w.local.Len() > 0 {
+				// Denied while holding work: victim-side evidence that the
+				// release threshold (2k) is too high for the current load.
+				w.ctl.NoteDenied()
+			}
 			w.lane.Rec(obs.KindStealDeny, int32(m.From), 0)
 			w.comm.Send(w.me, m.From, msg.Message{Tag: msg.TagNoWork})
 		}
@@ -170,10 +201,18 @@ func (w *mpiWorker) handle(m msg.Message) {
 			total += len(c)
 			w.local.PushAll(c)
 		}
+		if w.ctl != nil {
+			now := time.Now() //uts:ok detcheck policy steal-latency feedback; wall-paced by design in real mode
+			w.ctl.StealEnd(true, total, now.UnixNano())
+		}
 		w.lane.Rec(obs.KindChunkTransfer, int32(m.From), int64(total))
 	case msg.TagNoWork:
 		w.outstanding = false
 		w.t.FailedSteals++
+		if w.ctl != nil {
+			now := time.Now() //uts:ok detcheck policy steal-latency feedback; wall-paced by design in real mode
+			w.ctl.StealEnd(false, 0, now.UnixNano())
+		}
 		w.lane.Rec(obs.KindStealFail, int32(m.From), 0)
 	case msg.TagToken:
 		w.haveToken = true
@@ -218,11 +257,16 @@ func (w *mpiWorker) idle() {
 		if !w.outstanding {
 			v := w.rng.Victim(w.me, w.n)
 			w.t.Probes++
+			if w.ctl != nil {
+				now := time.Now() //uts:ok detcheck policy steal-latency feedback; wall-paced by design in real mode
+				w.ctl.StealBegin(now.UnixNano())
+			}
 			w.lane.Rec(obs.KindStealRequest, int32(v), 0)
 			w.comm.Send(w.me, v, msg.Message{Tag: msg.TagStealRequest})
 			w.outstanding = true
 			continue
 		}
+		w.noteCtl()
 		runtime.Gosched()
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/pgas"
+	"repro/internal/policy"
 	"repro/internal/stack"
 	"repro/internal/stats"
 	"repro/internal/term"
@@ -77,7 +78,7 @@ func runShared(sp *uts.Spec, opt Options, res *Result, v sharedVariant) error {
 		wg.Add(1)
 		go func(me int) {
 			defer wg.Done()
-			w := &sharedWorker{run: r, me: me, rng: NewProbeOrder(opt.Seed, me), t: &res.Threads[me], ex: uts.NewExpander(sp), lane: opt.Tracer.Lane(me)}
+			w := &sharedWorker{run: r, me: me, rng: NewProbeOrder(opt.Seed, me), t: &res.Threads[me], ex: uts.NewExpander(sp), lane: opt.Tracer.Lane(me), ctl: opt.policySet.Controller(me)}
 			if me == 0 {
 				w.local.Push(uts.Root(sp))
 			}
@@ -107,9 +108,12 @@ type sharedWorker struct {
 	rng   *ProbeOrder
 	t     *stats.Thread
 	ex    *uts.Expander
-	lane  *obs.Lane // nil when the run is untraced
+	lane  *obs.Lane          // nil when the run is untraced
+	ctl   *policy.Controller // nil when the run is not adaptive
 
 	nodesFlushed int64 // t.Nodes already published to the lane's live counter
+	ctlNodes     int64 // t.Nodes already reported to the controller
+	stolenNodes  int   // nodes delivered by the last successful steal
 }
 
 func (w *sharedWorker) stack() *sharedStack { return w.run.stacks[w.me] }
@@ -128,6 +132,42 @@ func (w *sharedWorker) flushNodes() {
 func (w *sharedWorker) setState(s stats.State) {
 	w.t.Switch(s, time.Now())
 	w.lane.Rec(obs.KindStateChange, -1, int64(s))
+}
+
+// noteCtl feeds node progress (and a wall timestamp to close adaptation
+// windows against) to the thread's controller. Called at the yield
+// cadence, never per node; a no-op for fixed-knob runs.
+func (w *sharedWorker) noteCtl() {
+	if w.ctl == nil {
+		return
+	}
+	now := time.Now() //uts:ok detcheck policy feedback timestamp; adaptive real-mode runs are wall-clock paced by design
+	w.ctl.NoteNodes(int(w.t.Nodes-w.ctlNodes), w.local.Len(), now.UnixNano())
+	w.ctlNodes = w.t.Nodes
+}
+
+// chunk returns the release granularity in effect: the adapted value
+// under a controller, the static option otherwise.
+func (w *sharedWorker) chunk() int {
+	if w.ctl != nil {
+		return w.ctl.Chunk()
+	}
+	return w.run.opt.Chunk
+}
+
+// stealTimed wraps a steal attempt with the controller's latency window
+// (wall time; the pgas charges inside the attempt are real delays).
+func (w *sharedWorker) stealTimed(v int) bool {
+	if w.ctl == nil {
+		return w.steal(v)
+	}
+	t0 := time.Now() //uts:ok detcheck policy steal-latency feedback; wall-paced by design in real mode
+	w.ctl.StealBegin(t0.UnixNano())
+	w.stolenNodes = 0
+	ok := w.steal(v)
+	t1 := time.Now() //uts:ok detcheck policy steal-latency feedback; wall-paced by design in real mode
+	w.ctl.StealEnd(ok, w.stolenNodes, t1.UnixNano())
+	return ok
 }
 
 // main is the Figure-1 state machine.
@@ -162,12 +202,14 @@ func (w *sharedWorker) main() {
 // work explores nodes until both the local region and the thread's own
 // shared region are empty ("Working" in Figure 1).
 func (w *sharedWorker) work() {
-	k := w.run.opt.Chunk
+	k := w.chunk()
 	sinceYield := 0
 	for {
 		if sinceYield++; sinceYield >= yieldEvery {
 			sinceYield = 0
 			w.flushNodes()
+			w.noteCtl()
+			k = w.chunk() // may have adapted at the window boundary
 			if w.run.opt.abort.Load() {
 				return
 			}
@@ -310,7 +352,7 @@ func (w *sharedWorker) search() bool {
 			wa := w.probe(v)
 			if wa > 0 {
 				w.setState(stats.Stealing)
-				ok := w.steal(v)
+				ok := w.stealTimed(v)
 				w.setState(stats.Searching)
 				if ok {
 					return true
@@ -358,9 +400,13 @@ func (w *sharedWorker) steal(v int) bool {
 	r := w.run
 	vs := r.stacks[v]
 	w.lane.Rec(obs.KindStealRequest, int32(v), 0)
+	half := r.variant.stealHalf
+	if w.ctl != nil {
+		half = w.ctl.StealHalf()
+	}
 	vs.lk.Acquire(w.me)
 	var chunks []stack.Chunk
-	if r.variant.stealHalf {
+	if half {
 		chunks = vs.pool.TakeHalf()
 	} else if c, ok := vs.pool.TakeOldest(); ok {
 		chunks = append(chunks, c)
@@ -384,6 +430,7 @@ func (w *sharedWorker) steal(v int) bool {
 	r.dom.ChargeBulk(w.me, v, total*nodeBytes)
 	w.t.Steals++
 	w.t.ChunksGot += int64(len(chunks))
+	w.stolenNodes = total
 	w.lane.Rec(obs.KindChunkTransfer, int32(v), int64(total))
 
 	w.local.PushAll(chunks[0])
@@ -431,6 +478,7 @@ func (w *sharedWorker) stealRelaxed(v int) bool {
 	r.dom.ChargeBulk(w.me, v, len(c)*nodeBytes)
 	w.t.Steals++
 	w.t.ChunksGot++
+	w.stolenNodes = len(c)
 	w.lane.Rec(obs.KindChunkTransfer, int32(v), int64(len(c)))
 	w.local.PushAll(c)
 	if r.variant.streamTerm {
@@ -467,7 +515,7 @@ func (w *sharedWorker) terminate() bool {
 				return true
 			}
 			w.setState(stats.Stealing)
-			ok := w.steal(v)
+			ok := w.stealTimed(v)
 			w.setState(stats.Idle)
 			if ok {
 				return false

@@ -1,6 +1,7 @@
 package des
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -432,6 +433,36 @@ func TestTuneChunk(t *testing.T) {
 	}
 	if _, _, err := TuneChunk(&uts.Balanced3x7, cfg, []int{0}); err == nil {
 		t.Error("chunk candidate 0 accepted")
+	}
+}
+
+// TestTuneBestCandidate pins the sweep's best-candidate selection against
+// the two regressions TuneChunk used to have: a NaN rate poisoning the
+// `>` comparison (every candidate after the NaN silently lost), and ties
+// broken by candidate order rather than deterministically toward the
+// smaller chunk.
+func TestTuneBestCandidate(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name  string
+		cands []int
+		rates map[int]float64
+		want  int
+	}{
+		{"plain-max", []int{1, 2, 4}, map[int]float64{1: 10, 2: 30, 4: 20}, 2},
+		{"nan-skipped", []int{1, 2, 4}, map[int]float64{1: 10, 2: nan, 4: 20}, 4},
+		{"nan-first", []int{1, 2}, map[int]float64{1: nan, 2: 5}, 2},
+		{"inf-skipped", []int{1, 2, 4}, map[int]float64{1: inf, 2: 30, 4: 20}, 2},
+		{"neg-inf-skipped", []int{1, 2}, map[int]float64{1: math.Inf(-1), 2: 1}, 2},
+		{"tie-smaller-chunk", []int{8, 2, 4}, map[int]float64{8: 30, 2: 30, 4: 30}, 2},
+		{"tie-after-nan", []int{16, 4}, map[int]float64{16: nan, 4: nan}, 0},
+		{"all-nonfinite", []int{1, 2}, map[int]float64{1: nan, 2: inf}, 0},
+		{"zero-rate-wins-over-none", []int{1}, map[int]float64{1: 0}, 1},
+	}
+	for _, tc := range cases {
+		if got := bestCandidate(tc.cands, tc.rates); got != tc.want {
+			t.Errorf("%s: bestCandidate = %d, want %d", tc.name, got, tc.want)
+		}
 	}
 }
 

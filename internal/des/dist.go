@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/policy"
 	"repro/internal/stack"
 	"repro/internal/stats"
 	"repro/internal/term"
@@ -148,7 +149,10 @@ type simDistPE struct {
 	rng *core.ProbeOrder
 	ex  *uts.Expander
 
-	nodesFlushed int64 // t.Nodes already published to the lane's live counter
+	nodesFlushed int64              // t.Nodes already published to the lane's live counter
+	ctl          *policy.Controller // nil when the run is not adaptive
+	ctlNodes     int64              // t.Nodes already reported to the controller
+	stolen       int                // nodes delivered by the last steal (controller feedback)
 }
 
 // flushNodes publishes node progress to the lane's live counter in
@@ -162,7 +166,39 @@ func (pe *simDistPE) flushNodes() {
 	}
 }
 
-func simDistMem(sim *Sim, sp *uts.Spec, cfg Config, cs costs, res *core.Result, finish func(*Proc)) (sampler, error) {
+// noteCtl feeds node progress to the PE's controller stamped with virtual
+// time, closing adaptation windows; a no-op for fixed-knob runs.
+func (pe *simDistPE) noteCtl() {
+	if pe.ctl == nil {
+		return
+	}
+	pe.ctl.NoteNodes(int(pe.t.Nodes-pe.ctlNodes), pe.local.Len(), int64(pe.p.Now()))
+	pe.ctlNodes = pe.t.Nodes
+}
+
+// chunk returns the release granularity in effect: the adapted value under
+// a controller, the configured constant otherwise.
+func (pe *simDistPE) chunk() int {
+	if pe.ctl != nil {
+		return pe.ctl.Chunk()
+	}
+	return pe.r.cfg.Chunk
+}
+
+// stealTimed brackets a steal attempt with the controller's latency probe,
+// stamped with virtual time on both edges.
+func (pe *simDistPE) stealTimed(v int) bool {
+	if pe.ctl == nil {
+		return pe.steal(v)
+	}
+	pe.ctl.StealBegin(int64(pe.p.Now()))
+	pe.stolen = 0
+	ok := pe.steal(v)
+	pe.ctl.StealEnd(ok, pe.stolen, int64(pe.p.Now()))
+	return ok
+}
+
+func simDistMem(sim *Sim, sp *uts.Spec, cfg Config, cs costs, res *core.Result, ps *policy.Set, finish func(*Proc)) (sampler, error) {
 	r := &simDistRun{sp: sp, cfg: cfg, cs: cs, finish: finish,
 		hier: cfg.Algorithm == core.UPCDistMemHier}
 	if cfg.NodeSize >= 2 && cfg.Intra != nil {
@@ -172,7 +208,7 @@ func simDistMem(sim *Sim, sp *uts.Spec, cfg Config, cs costs, res *core.Result, 
 	sim.SetRemote(r.apply)
 	r.pes = make([]*simDistPE, cfg.PEs)
 	for i := 0; i < cfg.PEs; i++ {
-		pe := &simDistPE{r: r, me: i, t: &res.Threads[i], lane: cfg.Tracer.Lane(i), request: -1, rng: core.NewProbeOrder(cfg.Seed, i), ex: uts.NewExpander(sp)}
+		pe := &simDistPE{r: r, me: i, t: &res.Threads[i], lane: cfg.Tracer.Lane(i), request: -1, rng: core.NewProbeOrder(cfg.Seed, i), ex: uts.NewExpander(sp), ctl: ps.Controller(i)}
 		r.pes[i] = pe
 		if i == 0 {
 			pe.local.Push(uts.Root(sp))
@@ -252,7 +288,7 @@ func (pe *simDistPE) main() {
 // reproduces the original flush-then-manipulate order exactly.
 func (pe *simDistPE) work() {
 	cs := &pe.r.cs
-	k := pe.r.cfg.Chunk
+	k := pe.chunk()
 	batch := pe.r.cfg.Batch
 	pending := 0
 	releasing := false
@@ -305,6 +341,11 @@ func (pe *simDistPE) work() {
 				d := time.Duration(pending) * cs.nodeCost
 				pending = 0
 				pe.flushNodes()
+				// The knob refresh sits at the batch boundary — a point with
+				// no release pending, so the 2k threshold and the released
+				// chunk never straddle a chunk-size change.
+				pe.noteCtl()
+				k = pe.chunk()
 				return pe.charge(d), 0
 			}
 		}
@@ -339,6 +380,11 @@ func (pe *simDistPE) service() {
 	if len(chunks) > 0 {
 		pe.rec(obs.KindStealGrant, int32(thief), int64(len(chunks)))
 	} else {
+		if pe.ctl != nil && pe.local.Len() > 0 {
+			// Denied while the local stack holds work: victim-side evidence
+			// that the 2k release threshold is withholding work from demand.
+			pe.ctl.NoteDenied()
+		}
 		pe.rec(obs.KindStealDeny, int32(thief), 0)
 	}
 }
@@ -360,9 +406,14 @@ func (pe *simDistPE) search() bool {
 	stealFrom := -1
 	exhausted := false
 	newWalk := func() {
-		if pe.r.hier {
+		switch {
+		case pe.r.hier:
 			walk = pe.rng.WalkHier(pe.me, n, pe.r.nodeSize)
-		} else {
+		case pe.ctl != nil && pe.ctl.NodeSize() > 1:
+			// Adaptive tiering: the controller turned on the intra-node
+			// tier because the latency model says same-node steals pay.
+			walk = pe.rng.WalkHier(pe.me, n, pe.ctl.NodeSize())
+		default:
 			walk = pe.rng.Walk(pe.me, n)
 		}
 		sawWorker = false
@@ -421,8 +472,9 @@ func (pe *simDistPE) search() bool {
 		v := stealFrom
 		stealFrom = -1
 		pe.setState(stats.Stealing)
-		ok := pe.steal(v)
+		ok := pe.stealTimed(v)
 		pe.setState(stats.Searching)
+		pe.noteCtl()
 		if ok {
 			return true
 		}
@@ -503,6 +555,7 @@ func (pe *simDistPE) steal(v int) bool {
 	pe.advance(r.bulkCost(pe.me, v, total*nodeBytes)) // one-sided get
 	pe.t.Steals++
 	pe.t.ChunksGot += int64(len(chunks))
+	pe.stolen = total
 	pe.rec(obs.KindChunkTransfer, int32(v), int64(total))
 
 	pe.local.PushAll(chunks[0])
@@ -602,7 +655,7 @@ func (pe *simDistPE) terminate() bool {
 		pe.t.AddState(pe.state, ld)
 		pe.p.RemoteCall(0, ld, opDistSbLeave, 0, 0)
 		pe.setState(stats.Stealing)
-		ok := pe.steal(v)
+		ok := pe.stealTimed(v)
 		pe.setState(stats.Idle)
 		if ok {
 			return false

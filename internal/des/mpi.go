@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/msg"
 	"repro/internal/obs"
+	"repro/internal/policy"
 	"repro/internal/stack"
 	"repro/internal/stats"
 	"repro/internal/uts"
@@ -91,7 +92,9 @@ type simMPIPE struct {
 	outstanding bool
 	terminated  bool
 
-	nodesFlushed int64 // t.Nodes already published to the lane's live counter
+	nodesFlushed int64              // t.Nodes already published to the lane's live counter
+	ctl          *policy.Controller // nil when the run is not adaptive
+	ctlNodes     int64              // t.Nodes already reported to the controller
 }
 
 // flushNodes publishes node progress to the lane's live counter in
@@ -104,12 +107,39 @@ func (pe *simMPIPE) flushNodes() {
 	}
 }
 
-func simMPIWS(sim *Sim, sp *uts.Spec, cfg Config, cs costs, res *core.Result, finish func(*Proc)) (sampler, error) {
+// noteCtl feeds node progress to the rank's controller stamped with
+// virtual time, closing adaptation windows; a no-op for fixed-knob runs.
+func (pe *simMPIPE) noteCtl() {
+	if pe.ctl == nil {
+		return
+	}
+	pe.ctl.NoteNodes(int(pe.t.Nodes-pe.ctlNodes), pe.local.Len(), int64(pe.p.Now()))
+	pe.ctlNodes = pe.t.Nodes
+}
+
+// chunk returns the grant granularity in effect: the adapted value under
+// a controller, the configured constant otherwise.
+func (pe *simMPIPE) chunk() int {
+	if pe.ctl != nil {
+		return pe.ctl.Chunk()
+	}
+	return pe.r.cfg.Chunk
+}
+
+// pollIntv returns the poll interval in effect.
+func (pe *simMPIPE) pollIntv() int {
+	if pe.ctl != nil {
+		return pe.ctl.Poll()
+	}
+	return pe.r.cfg.PollInterval
+}
+
+func simMPIWS(sim *Sim, sp *uts.Spec, cfg Config, cs costs, res *core.Result, ps *policy.Set, finish func(*Proc)) (sampler, error) {
 	r := &simMPIRun{sp: sp, cfg: cfg, cs: cs, finish: finish}
 	sim.SetRemote(r.apply)
 	r.pes = make([]*simMPIPE, cfg.PEs)
 	for i := 0; i < cfg.PEs; i++ {
-		pe := &simMPIPE{r: r, me: i, t: &res.Threads[i], lane: cfg.Tracer.Lane(i), rng: core.NewProbeOrder(cfg.Seed, i), ex: uts.NewExpander(sp)}
+		pe := &simMPIPE{r: r, me: i, t: &res.Threads[i], lane: cfg.Tracer.Lane(i), rng: core.NewProbeOrder(cfg.Seed, i), ex: uts.NewExpander(sp), ctl: ps.Controller(i)}
 		r.pes[i] = pe
 		if i == 0 {
 			pe.local.Push(uts.Root(sp))
@@ -218,7 +248,7 @@ func (pe *simMPIPE) main() {
 // because replies send) or when the stack drains after its trailing probe.
 func (pe *simMPIPE) work() {
 	cs := &pe.r.cs
-	poll := pe.r.cfg.PollInterval
+	poll := pe.pollIntv()
 	pending := 0
 	const (
 		wExplore = iota
@@ -250,6 +280,8 @@ func (pe *simMPIPE) work() {
 			d := time.Duration(pending) * cs.nodeCost
 			pending = 0
 			pe.flushNodes()
+			pe.noteCtl()
+			poll = pe.pollIntv()
 			ph = wIprobe
 			return pe.charge(d), 0
 		case wIprobe:
@@ -259,6 +291,9 @@ func (pe *simMPIPE) work() {
 		default: // wEval
 			if pe.hasArrived() {
 				return 0, StepDone
+			}
+			if pe.ctl != nil {
+				pe.ctl.NotePoll(0) // an iprobe that found nothing
 			}
 			if atPoll && pe.local.Len() > 0 && !pe.terminated {
 				ph = wExplore
@@ -284,13 +319,18 @@ func (pe *simMPIPE) work() {
 		// original loop — one iprobe charge per further check.
 		m, _ := pe.recv()
 		pe.handle(m)
+		got := 1
 		for {
 			pe.advance(cs.iprobe)
 			m, ok := pe.recv()
 			if !ok {
 				break
 			}
+			got++
 			pe.handle(m)
+		}
+		if pe.ctl != nil {
+			pe.ctl.NotePoll(got)
 		}
 		if !atPoll {
 			// The drain that saw the message was the trailing one.
@@ -311,13 +351,19 @@ func (pe *simMPIPE) handle(m simMsg) {
 	switch m.tag {
 	case msg.TagStealRequest:
 		pe.t.Requests++
-		if pe.local.Len() >= 2*pe.r.cfg.Chunk {
-			chunk := pe.local.TakeBottom(pe.r.cfg.Chunk)
+		k := pe.chunk()
+		if pe.local.Len() >= 2*k {
+			chunk := pe.local.TakeBottom(k)
 			pe.color = msg.Black
 			pe.t.Releases++
 			pe.rec(obs.KindStealGrant, int32(m.from), 1)
 			pe.send(m.from, msg.TagWork, []stack.Chunk{chunk}, 0)
 		} else {
+			if pe.ctl != nil && pe.local.Len() > 0 {
+				// Denied while holding work: victim-side evidence that the
+				// 2k grant threshold is withholding work from demand.
+				pe.ctl.NoteDenied()
+			}
 			pe.rec(obs.KindStealDeny, int32(m.from), 0)
 			pe.send(m.from, msg.TagNoWork, nil, 0)
 		}
@@ -330,10 +376,16 @@ func (pe *simMPIPE) handle(m simMsg) {
 			total += len(c)
 			pe.local.PushAll(c)
 		}
+		if pe.ctl != nil {
+			pe.ctl.StealEnd(true, total, int64(pe.p.Now()))
+		}
 		pe.rec(obs.KindChunkTransfer, int32(m.from), int64(total))
 	case msg.TagNoWork:
 		pe.outstanding = false
 		pe.t.FailedSteals++
+		if pe.ctl != nil {
+			pe.ctl.StealEnd(false, 0, int64(pe.p.Now()))
+		}
 		pe.rec(obs.KindStealFail, int32(m.from), 0)
 	case msg.TagToken:
 		pe.haveToken = true
@@ -372,12 +424,16 @@ func (pe *simMPIPE) idle() {
 		if !pe.outstanding {
 			v := pe.rng.Victim(pe.me, len(pe.r.pes))
 			pe.t.Probes++
+			if pe.ctl != nil {
+				pe.ctl.StealBegin(int64(pe.p.Now()))
+			}
 			pe.rec(obs.KindStealRequest, int32(v), 0)
 			pe.send(v, msg.TagStealRequest, nil, 0)
 			pe.outstanding = true
 			continue
 		}
 		pe.p.AdvanceStepped(wait)
+		pe.noteCtl()
 	}
 }
 

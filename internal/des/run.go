@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/pgas"
+	"repro/internal/policy"
 	"repro/internal/stats"
 	"repro/internal/uts"
 )
@@ -53,6 +54,16 @@ type Config struct {
 	// Both produce bit-identical results; legacy exists for differential
 	// testing and as the benchmark baseline.
 	Engine string
+	// Adapt, when non-nil, gives every simulated PE a closed-loop
+	// controller (internal/policy) that adapts the chunk size, the
+	// steal-half selection, and the mpi-ws poll interval from windowed
+	// steal feedback. Windows are measured in virtual time, so adaptive
+	// runs stay deterministic across engines and shard counts. A zero
+	// Adapt.Window derives a window from the machine model: 16 remote
+	// references or 64 node expansions, whichever is longer. Nil keeps
+	// every knob fixed and the simulation byte-identical to earlier
+	// releases.
+	Adapt *policy.Config
 	// Shards, when > 0, runs the simulation on the sharded engine: the
 	// simulated PEs are partitioned into that many contiguous-ID shards,
 	// each dispatched by its own goroutine (so a real core), synchronized
@@ -292,6 +303,31 @@ func run(sp *uts.Spec, cfg Config, interval time.Duration) (*core.Result, *Trace
 	}
 	res.SeqRate = float64(time.Second) / float64(cs.nodeCost)
 
+	// Adaptive runs: one controller per simulated PE, windows in virtual
+	// time. The default window is derived from the machine model so that
+	// a fast interconnect adapts on a finer grain than a slow one.
+	var pset *policy.Set
+	if cfg.Adapt != nil {
+		acfg := *cfg.Adapt
+		if acfg.Window <= 0 {
+			// 8 remote references or 32 node expansions, whichever is
+			// longer: short enough for several decisions per run even on
+			// small trees, and safe because windows without steal evidence
+			// extend instead of closing (the controller's evidence gate).
+			acfg.Window = 8 * cs.remoteRef
+			if w := 32 * cs.nodeCost; w > acfg.Window {
+				acfg.Window = w
+			}
+		}
+		pset = policy.NewSet(&acfg, policy.Base{
+			Chunk:     cfg.Chunk,
+			Poll:      cfg.PollInterval,
+			StealHalf: cfg.Algorithm == core.UPCTermRapdif,
+			NodeSize:  cfg.NodeSize,
+			HierPays:  hierPays(cfg.Model, cfg.Intra),
+		}, cfg.PEs)
+	}
+
 	// Completion bookkeeping must be shard-safe: every PE records its own
 	// end time (disjoint writes), and the live count — read by the trace
 	// sampler — is atomic.
@@ -309,17 +345,17 @@ func run(sp *uts.Spec, cfg Config, interval time.Duration) (*core.Result, *Trace
 	case core.Static:
 		smp, err = simStatic(sim, sp, cfg, cs, res, finish)
 	case core.UPCSharedMem:
-		smp, err = simShared(sim, sp, cfg, cs, res, sharedMode{}, finish)
+		smp, err = simShared(sim, sp, cfg, cs, res, sharedMode{}, pset, finish)
 	case core.UPCTerm:
-		smp, err = simShared(sim, sp, cfg, cs, res, sharedMode{streamTerm: true}, finish)
+		smp, err = simShared(sim, sp, cfg, cs, res, sharedMode{streamTerm: true}, pset, finish)
 	case core.UPCTermRapdif:
-		smp, err = simShared(sim, sp, cfg, cs, res, sharedMode{streamTerm: true, stealHalf: true}, finish)
+		smp, err = simShared(sim, sp, cfg, cs, res, sharedMode{streamTerm: true, stealHalf: true}, pset, finish)
 	case core.UPCTermRelaxed:
-		smp, err = simShared(sim, sp, cfg, cs, res, sharedMode{streamTerm: true, relaxed: true}, finish)
+		smp, err = simShared(sim, sp, cfg, cs, res, sharedMode{streamTerm: true, relaxed: true}, pset, finish)
 	case core.UPCDistMem, core.UPCDistMemHier:
-		smp, err = simDistMem(sim, sp, cfg, cs, res, finish)
+		smp, err = simDistMem(sim, sp, cfg, cs, res, pset, finish)
 	case core.MPIWS:
-		smp, err = simMPIWS(sim, sp, cfg, cs, res, finish)
+		smp, err = simMPIWS(sim, sp, cfg, cs, res, pset, finish)
 	default:
 		return nil, nil, info, fmt.Errorf("des: cannot simulate algorithm %q", cfg.Algorithm)
 	}
@@ -351,5 +387,17 @@ func run(sp *uts.Spec, cfg Config, interval time.Duration) (*core.Result, *Trace
 	}
 	res.Elapsed = makespan
 	res.Obs = cfg.Tracer.Summary()
+	res.Policy = pset.Summary()
 	return res, trace, info, nil
+}
+
+// hierPays reports whether the latency model makes intra-node victims
+// worth preferring: a same-node steal round trip (lock plus reference)
+// costing at most half the remote one. With no intra model the machine
+// is flat and tiering cannot pay. Mirrors the wiring in internal/core.
+func hierPays(remote, intra *pgas.Model) bool {
+	if intra == nil || remote == nil {
+		return false
+	}
+	return 2*(intra.LockRTT+intra.RemoteRef) <= remote.LockRTT+remote.RemoteRef
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/policy"
 	"repro/internal/stack"
 	"repro/internal/stats"
 	"repro/internal/term"
@@ -73,7 +74,10 @@ type simSharedPE struct {
 	rng *core.ProbeOrder
 	ex  *uts.Expander
 
-	nodesFlushed int64 // t.Nodes already published to the lane's live counter
+	nodesFlushed int64              // t.Nodes already published to the lane's live counter
+	ctl          *policy.Controller // nil when the run is not adaptive
+	ctlNodes     int64              // t.Nodes already reported to the controller
+	stolen       int                // nodes delivered by the last steal (controller feedback)
 }
 
 // flushNodes publishes node progress to the lane's live counter in
@@ -86,12 +90,44 @@ func (pe *simSharedPE) flushNodes() {
 	}
 }
 
+// noteCtl feeds node progress to the PE's controller stamped with virtual
+// time, closing adaptation windows; a no-op for fixed-knob runs.
+func (pe *simSharedPE) noteCtl() {
+	if pe.ctl == nil {
+		return
+	}
+	pe.ctl.NoteNodes(int(pe.t.Nodes-pe.ctlNodes), pe.local.Len(), int64(pe.p.Now()))
+	pe.ctlNodes = pe.t.Nodes
+}
+
+// chunk returns the release granularity in effect: the adapted value under
+// a controller, the configured constant otherwise.
+func (pe *simSharedPE) chunk() int {
+	if pe.ctl != nil {
+		return pe.ctl.Chunk()
+	}
+	return pe.r.cfg.Chunk
+}
+
+// stealTimed brackets a steal attempt with the controller's latency probe,
+// stamped with virtual time on both edges.
+func (pe *simSharedPE) stealTimed(v int) bool {
+	if pe.ctl == nil {
+		return pe.steal(v)
+	}
+	pe.ctl.StealBegin(int64(pe.p.Now()))
+	pe.stolen = 0
+	ok := pe.steal(v)
+	pe.ctl.StealEnd(ok, pe.stolen, int64(pe.p.Now()))
+	return ok
+}
+
 // simShared sets up the PEs for upc-sharedmem / upc-term / upc-term-rapdif.
-func simShared(sim *Sim, sp *uts.Spec, cfg Config, cs costs, res *core.Result, mode sharedMode, finish func(*Proc)) (sampler, error) {
+func simShared(sim *Sim, sp *uts.Spec, cfg Config, cs costs, res *core.Result, mode sharedMode, ps *policy.Set, finish func(*Proc)) (sampler, error) {
 	r := &simSharedRun{sp: sp, cfg: cfg, cs: cs, mode: mode, finish: finish}
 	r.pes = make([]*simSharedPE, cfg.PEs)
 	for i := 0; i < cfg.PEs; i++ {
-		pe := &simSharedPE{r: r, me: i, t: &res.Threads[i], lane: cfg.Tracer.Lane(i), rng: core.NewProbeOrder(cfg.Seed, i), ex: uts.NewExpander(sp)}
+		pe := &simSharedPE{r: r, me: i, t: &res.Threads[i], lane: cfg.Tracer.Lane(i), rng: core.NewProbeOrder(cfg.Seed, i), ex: uts.NewExpander(sp), ctl: ps.Controller(i)}
 		r.pes[i] = pe
 		if i == 0 {
 			pe.local.Push(uts.Root(sp))
@@ -186,7 +222,7 @@ func (pe *simSharedPE) main() {
 // no boundary ever needs an interrupt check.
 func (pe *simSharedPE) work() {
 	cs := &pe.r.cs
-	k := pe.r.cfg.Chunk
+	k := pe.chunk()
 	batch := pe.r.cfg.Batch
 	pending := 0
 	thresholdHit := false
@@ -220,12 +256,16 @@ func (pe *simSharedPE) work() {
 				d := time.Duration(pending) * cs.nodeCost
 				pending = 0
 				pe.flushNodes()
+				pe.noteCtl()
+				k = pe.chunk()
 				return pe.charge(d), 0
 			}
 		}
 	}
 	for {
 		pe.p.AdvanceStepped(step)
+		pe.noteCtl()
+		k = pe.chunk()
 		if thresholdHit {
 			thresholdHit = false
 			pe.releaseChunk(k)
@@ -353,8 +393,9 @@ func (pe *simSharedPE) search() bool {
 		v := stealFrom
 		stealFrom = -1
 		pe.setState(stats.Stealing)
-		ok := pe.steal(v)
+		ok := pe.stealTimed(v)
 		pe.setState(stats.Searching)
+		pe.noteCtl()
 		if ok {
 			return true
 		}
@@ -382,8 +423,12 @@ func (pe *simSharedPE) steal(v int) bool {
 	// while holding the lock — this is the hold period during which the
 	// paper observes working threads being delayed by thieves.
 	pe.advance(2 * cs.remoteRef)
+	half := r.mode.stealHalf
+	if pe.ctl != nil {
+		half = pe.ctl.StealHalf()
+	}
 	var chunks []stack.Chunk
-	if r.mode.stealHalf {
+	if half {
 		chunks = vs.pool.TakeHalf()
 	} else if c, ok := vs.pool.TakeOldest(); ok {
 		chunks = append(chunks, c)
@@ -405,6 +450,7 @@ func (pe *simSharedPE) steal(v int) bool {
 	pe.advance(cs.bulk(total * nodeBytes))
 	pe.t.Steals++
 	pe.t.ChunksGot += int64(len(chunks))
+	pe.stolen = total
 	pe.rec(obs.KindChunkTransfer, int32(v), int64(total))
 
 	pe.local.PushAll(chunks[0])
@@ -442,6 +488,7 @@ func (pe *simSharedPE) stealRelaxed(v int) bool {
 	pe.advance(cs.bulk(len(c) * nodeBytes))
 	pe.t.Steals++
 	pe.t.ChunksGot++
+	pe.stolen = len(c)
 	pe.rec(obs.KindChunkTransfer, int32(v), int64(len(c)))
 	pe.local.PushAll(c)
 	if r.mode.streamTerm {
@@ -589,7 +636,7 @@ func (pe *simSharedPE) terminate() bool {
 		pe.advance(r.cs.remoteRef) // leave the barrier
 		r.sbCount--
 		pe.setState(stats.Stealing)
-		ok := pe.steal(v)
+		ok := pe.stealTimed(v)
 		pe.setState(stats.Idle)
 		if ok {
 			return false

@@ -2,6 +2,7 @@ package des
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/uts"
@@ -22,7 +23,7 @@ func TuneChunk(sp *uts.Spec, cfg Config, candidates []int) (best int, results ma
 		candidates = []int{1, 2, 4, 8, 16, 32, 64, 128}
 	}
 	results = make(map[int]*core.Result, len(candidates))
-	bestRate := -1.0
+	rates := make(map[int]float64, len(candidates))
 	for _, k := range candidates {
 		if k < 1 {
 			return 0, nil, fmt.Errorf("des: chunk candidate %d out of range", k)
@@ -35,9 +36,29 @@ func TuneChunk(sp *uts.Spec, cfg Config, candidates []int) (best int, results ma
 			return 0, nil, fmt.Errorf("des: tuning chunk %d: %w", k, runErr)
 		}
 		results[k] = res
-		if r := res.Rate(); r > bestRate {
+		rates[k] = res.Rate()
+	}
+	best = bestCandidate(candidates, rates)
+	return best, results, nil
+}
+
+// bestCandidate selects the candidate with the highest finite rate.
+// Non-finite rates (NaN/±Inf from degenerate runs — a zero-duration
+// makespan, a division artifact) never win: a NaN would poison every `>`
+// comparison and silently keep whatever candidate preceded it. Ties break
+// deterministically toward the smaller chunk, since on the paper's
+// Figure-4 plateau the smaller granularity transfers less per steal for
+// the same rate. Returns 0 if no candidate has a finite rate.
+func bestCandidate(candidates []int, rates map[int]float64) int {
+	best, bestRate := 0, math.Inf(-1)
+	for _, k := range candidates {
+		r, ok := rates[k]
+		if !ok || math.IsNaN(r) || math.IsInf(r, 0) {
+			continue
+		}
+		if best == 0 || r > bestRate || (r == bestRate && k < best) {
 			bestRate, best = r, k
 		}
 	}
-	return best, results, nil
+	return best
 }

@@ -10,7 +10,9 @@ import (
 // algorithm, machine profile, seed), which is what the byte-identical
 // DES differential tests and the cross-implementation count tests pin.
 //
-// Banned inside internal/des, internal/core, and internal/uts:
+// Banned inside internal/des, internal/core, internal/uts, and
+// internal/policy (the controllers must be clockless — they consume
+// caller-supplied timestamps so the DES variant stays deterministic):
 //
 //   - time.Now — wall-clock reads. Exception: feeding a stats.Thread
 //     wall timer (Switch / StartTimers / StopTimers) directly, since
@@ -25,7 +27,7 @@ var Detcheck = &Analyzer{
 	Name: "detcheck",
 	Doc:  "forbid wall-clock reads, global math/rand state, and map-order iteration in the deterministic packages",
 	Paths: []string{
-		"internal/des", "internal/core", "internal/uts",
+		"internal/des", "internal/core", "internal/uts", "internal/policy",
 	},
 	Run: runDetcheck,
 }

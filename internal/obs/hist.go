@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"strings"
 )
@@ -129,6 +130,21 @@ func (h *Histogram) DeltaFrom(prev *Histogram) Histogram {
 	if d.max < d.min {
 		d.max = d.min
 	}
+	// The sum subtracts wholesale while bucket counts clamp per-bucket, so
+	// a torn/non-prefix prev can leave d.sum inconsistent with the window's
+	// own extremes (Mean() above max or below min). Clamp it into
+	// [n·min, n·max]; the upper product is overflow-checked because max can
+	// be near 2^63 while the counts stay small.
+	if d.min > 0 && d.n <= math.MaxInt64/d.min {
+		if lo := d.n * d.min; d.sum < lo {
+			d.sum = lo
+		}
+	}
+	if d.max <= 0 || d.n <= math.MaxInt64/d.max {
+		if hi := d.n * d.max; d.sum > hi {
+			d.sum = hi
+		}
+	}
 	return d
 }
 
@@ -157,17 +173,21 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if h.n == 0 {
 		return 0
 	}
-	rank := int64(q * float64(h.n))
-	if rank >= h.n {
-		rank = h.n - 1
+	// The documented contract is the rank-⌈q·n⌉ observation (1-based).
+	// floor(q·n) followed by a strictly-greater scan lands one rank too
+	// high exactly when q·n is an integer (q=0.5 with even n, q=0.25 with
+	// n divisible by 4, ...), so take the ceiling and scan with >=.
+	rank := int64(math.Ceil(q * float64(h.n)))
+	if rank > h.n {
+		rank = h.n
 	}
-	if rank < 0 {
-		rank = 0
+	if rank < 1 {
+		rank = 1
 	}
 	var seen int64
 	for b, c := range h.buckets {
 		seen += c
-		if seen > rank {
+		if seen >= rank {
 			v := bucketLow(b)
 			if v < h.min {
 				v = h.min

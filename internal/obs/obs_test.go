@@ -104,15 +104,66 @@ func TestHistogramExactBelow16(t *testing.T) {
 	if h.Count() != 16 || h.Sum() != 120 || h.Min() != 0 || h.Max() != 15 {
 		t.Fatalf("count=%d sum=%d min=%d max=%d", h.Count(), h.Sum(), h.Min(), h.Max())
 	}
-	// With 16 uniform values, the rank-⌈q·16⌉ observation is exact.
-	if got := h.Quantile(0.5); got != 8 {
-		t.Errorf("p50 = %d, want 8", got)
+	// With 16 uniform values 0..15, the rank-⌈q·16⌉ observation is exact:
+	// ⌈0.5·16⌉ = 8th observation (1-based) is the value 7. The pre-fix
+	// floor-rank/strictly-greater scan returned 8 here — one rank high.
+	if got := h.Quantile(0.5); got != 7 {
+		t.Errorf("p50 = %d, want 7", got)
 	}
 	if got := h.Quantile(0); got != 0 {
 		t.Errorf("p0 = %d, want 0", got)
 	}
 	if got := h.Quantile(1); got != 15 {
 		t.Errorf("p100 = %d, want 15", got)
+	}
+}
+
+// TestHistogramQuantileRankContract pins the rank-⌈q·n⌉ contract over the
+// exact (<16) bucket range, where every bucket holds one value and the
+// quantile must be exact. Covers the exact-divisor points (q·n integral)
+// that the pre-fix floor/> scan got wrong, plus non-divisor points,
+// duplicates, and the q=0 / q=1 ends.
+func TestHistogramQuantileRankContract(t *testing.T) {
+	obs := func(vs ...int64) *Histogram {
+		var h Histogram
+		for _, v := range vs {
+			h.Observe(v)
+		}
+		return &h
+	}
+	cases := []struct {
+		name string
+		h    *Histogram
+		q    float64
+		want int64
+	}{
+		// Exact divisors: q·n integral, rank = q·n exactly.
+		{"even-n-median", obs(0, 1, 2, 3, 4, 5, 6, 7), 0.5, 3}, // ⌈4⌉ = 4th = 3
+		{"n4-q25", obs(2, 4, 6, 8), 0.25, 2},                   // ⌈1⌉ = 1st = 2
+		{"n4-q75", obs(2, 4, 6, 8), 0.75, 6},                   // ⌈3⌉ = 3rd = 6
+		{"n10-q10", obs(0, 1, 2, 3, 4, 5, 6, 7, 8, 9), 0.1, 0}, // ⌈1⌉ = 1st
+		{"n10-q90", obs(0, 1, 2, 3, 4, 5, 6, 7, 8, 9), 0.9, 8}, // ⌈9⌉ = 9th = 8
+		{"n2-median", obs(3, 11), 0.5, 3},                      // ⌈1⌉ = 1st = 3
+		// Non-divisors: rank rounds up.
+		{"odd-n-median", obs(1, 5, 9), 0.5, 5},          // ⌈1.5⌉ = 2nd
+		{"n3-q90", obs(1, 5, 9), 0.9, 9},                // ⌈2.7⌉ = 3rd
+		{"n7-q25", obs(0, 2, 4, 6, 8, 10, 12), 0.25, 2}, // ⌈1.75⌉ = 2nd
+		// Duplicates: ranks land inside a run.
+		{"dup-median", obs(4, 4, 4, 9), 0.5, 4}, // ⌈2⌉ = 2nd = 4
+		{"dup-high", obs(1, 9, 9, 9), 0.75, 9},  // ⌈3⌉ = 3rd = 9
+		// Ends.
+		{"q0-is-min", obs(5, 7, 13), 0, 5},
+		{"q1-is-max", obs(5, 7, 13), 1, 13},
+		{"single", obs(6), 0.5, 6},
+	}
+	for _, tc := range cases {
+		if got := tc.h.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%g) = %d, want %d", tc.name, tc.q, got, tc.want)
+		}
+	}
+	var empty Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram Quantile = %d, want 0", got)
 	}
 }
 

@@ -318,6 +318,81 @@ func TestHistogramDeltaFrom(t *testing.T) {
 	}
 }
 
+// TestHistogramDeltaFromSumClamp pins the windowed-sum consistency fix: a
+// torn/non-prefix prev clamps bucket counts per bucket but used to subtract
+// sum wholesale, so the window's Mean() could exceed its own max (or fall
+// below its min). The sum must now land in [n·min, n·max].
+func TestHistogramDeltaFromSumClamp(t *testing.T) {
+	// Mean > max: a torn prev whose bucket array includes a large
+	// observation its sum missed. The per-bucket clamp removes the large
+	// bucket from the window, but the wholesale sum difference keeps its
+	// weight — pre-fix the window was {3} with sum 2^40+3.
+	var h Histogram
+	h.Observe(1 << 40)
+	prev := h
+	prev.sum = 0 // torn copy: buckets seen, sum not yet
+	h.Observe(3)
+	d := h.DeltaFrom(&prev)
+	if d.Count() != 1 || d.Max() != 3 {
+		t.Fatalf("window should be the single small observation, got %+v", d)
+	}
+	if m := d.Mean(); m > float64(d.Max()) {
+		t.Errorf("windowed Mean %g exceeds windowed max %d", m, d.Max())
+	}
+	if m := d.Mean(); m < float64(d.Min()) {
+		t.Errorf("windowed Mean %g below windowed min %d", m, d.Min())
+	}
+
+	// Mean < min: prev's sum is ahead of h's, so the wholesale difference
+	// clamps to 0 while the window still holds large observations.
+	var h2, prev2 Histogram
+	for i := 0; i < 8; i++ {
+		prev2.Observe(1 << 30)
+	}
+	for i := 0; i < 8; i++ {
+		h2.Observe(1 << 20) // different buckets, smaller sum
+	}
+	h2.Observe(1 << 21)
+	d = h2.DeltaFrom(&prev2)
+	if d.Count() <= 0 {
+		t.Fatalf("expected a non-empty window, got %+v", d)
+	}
+	if m := d.Mean(); m < float64(d.Min()) || m > float64(d.Max()) {
+		t.Errorf("windowed Mean %g outside [%d,%d]", m, d.Min(), d.Max())
+	}
+
+	// Property sweep: random torn prevs; the invariant n·min ≤ sum ≤ n·max
+	// must hold for every window.
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for trial := 0; trial < 200; trial++ {
+		var a, b Histogram
+		for i := 0; i < int(next()%20); i++ {
+			a.Observe(int64(next() % (1 << (next() % 40))))
+		}
+		for i := 0; i < int(next()%20); i++ {
+			b.Observe(int64(next() % (1 << (next() % 40))))
+		}
+		d := a.DeltaFrom(&b)
+		if d.Count() == 0 {
+			if d.Sum() != 0 {
+				t.Fatalf("trial %d: empty window with sum %d", trial, d.Sum())
+			}
+			continue
+		}
+		if d.Sum() < d.Count()*d.Min() || d.Sum() > d.Count()*d.Max() {
+			t.Fatalf("trial %d: sum %d outside [%d,%d] (n=%d min=%d max=%d)",
+				trial, d.Sum(), d.Count()*d.Min(), d.Count()*d.Max(),
+				d.Count(), d.Min(), d.Max())
+		}
+	}
+}
+
 func TestHistogramExtremeValues(t *testing.T) {
 	// Near 2^63: bucketing must stay in range and quantiles must clamp
 	// into the observed extremes.

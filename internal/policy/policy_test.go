@@ -1,0 +1,325 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+)
+
+// win is the test window length in nanoseconds: long enough that steal
+// latencies fit inside it, short enough that a single NoteNodes call can
+// close it at a chosen timestamp.
+const win = 1000
+
+func newCtl(t *testing.T, cfg Config, base Base) (*Set, *Controller) {
+	t.Helper()
+	if cfg.Window == 0 {
+		cfg.Window = win
+	}
+	s := NewSet(&cfg, base, 1)
+	if s == nil {
+		t.Fatal("NewSet returned nil for a non-nil config")
+	}
+	return s, s.Controller(0)
+}
+
+// fail books one failed steal attempt of the given latency.
+func fail(c *Controller, at, lat int64) {
+	c.StealBegin(at)
+	c.StealEnd(false, 0, at+lat)
+}
+
+// ok books one successful steal attempt delivering nodes.
+func ok(c *Controller, at, lat int64, nodes int) {
+	c.StealBegin(at)
+	c.StealEnd(true, nodes, at+lat)
+}
+
+func TestNewSetNil(t *testing.T) {
+	if s := NewSet(nil, Base{Chunk: 16}, 4); s != nil {
+		t.Fatalf("nil config must disable adaptation, got %+v", s)
+	}
+	var s *Set
+	if c := s.Controller(0); c != nil {
+		t.Errorf("nil Set.Controller = %+v, want nil", c)
+	}
+	if n := s.PEs(); n != 0 {
+		t.Errorf("nil Set.PEs = %d, want 0", n)
+	}
+	if sum := s.Summary(); sum != nil {
+		t.Errorf("nil Set.Summary = %+v, want nil", sum)
+	}
+	if sn := s.Snap(); sn != (Snapshot{}) {
+		t.Errorf("nil Set.Snap = %+v, want zero", sn)
+	}
+	if got := (*Summary)(nil).String(); got != "" {
+		t.Errorf("nil Summary.String = %q, want empty", got)
+	}
+}
+
+func TestBaseKnobs(t *testing.T) {
+	_, c := newCtl(t, Config{}, Base{Chunk: 16, Poll: 8, StealHalf: true})
+	if c.Chunk() != 16 || c.Poll() != 8 || !c.StealHalf() || c.NodeSize() != 1 {
+		t.Errorf("base knobs not adopted: k=%d poll=%d half=%v tier=%d",
+			c.Chunk(), c.Poll(), c.StealHalf(), c.NodeSize())
+	}
+}
+
+func TestHierTier(t *testing.T) {
+	_, c := newCtl(t, Config{}, Base{Chunk: 16, NodeSize: 8, HierPays: true})
+	if c.NodeSize() != 8 {
+		t.Errorf("hier-pays tier = %d, want 8", c.NodeSize())
+	}
+	_, c = newCtl(t, Config{}, Base{Chunk: 16, NodeSize: 8, HierPays: false})
+	if c.NodeSize() != 1 {
+		t.Errorf("flat-model tier = %d, want 1", c.NodeSize())
+	}
+}
+
+// TestFailHeavyHalves: a window where every attempt fails halves the
+// chunk (work withheld below the release threshold) and flips steal-half
+// on (scarcity hysteresis).
+func TestFailHeavyHalves(t *testing.T) {
+	_, c := newCtl(t, Config{}, Base{Chunk: 16})
+	for i := int64(0); i < 4; i++ {
+		fail(c, i*20, 10)
+	}
+	c.NoteNodes(10, 0, win)
+	if c.Chunk() != 8 {
+		t.Errorf("all-fail window: chunk = %d, want 8", c.Chunk())
+	}
+	if !c.StealHalf() {
+		t.Error("all-fail window must turn steal-half on")
+	}
+}
+
+// TestShareDoubles: successful steals whose latency fills most of the
+// window (share > 0.5) double the chunk — the slow-start escape from the
+// far-left of the Figure-4 curve.
+func TestShareDoubles(t *testing.T) {
+	_, c := newCtl(t, Config{}, Base{Chunk: 16})
+	for i := int64(0); i < 4; i++ {
+		ok(c, i*220, 200, 5)
+	}
+	c.NoteNodes(10, 0, win)
+	if c.Chunk() != 32 {
+		t.Errorf("share>0.5 window: chunk = %d, want 32", c.Chunk())
+	}
+}
+
+// TestShareAdditive: moderate steal overhead (0.15 < share <= 0.5) grows
+// the chunk additively by k/4.
+func TestShareAdditive(t *testing.T) {
+	_, c := newCtl(t, Config{}, Base{Chunk: 16})
+	for i := int64(0); i < 4; i++ {
+		ok(c, i*100, 50, 5)
+	}
+	c.NoteNodes(10, 0, win)
+	if c.Chunk() != 20 {
+		t.Errorf("moderate-share window: chunk = %d, want 16+4", c.Chunk())
+	}
+}
+
+// TestCalmHolds: cheap, successful steals (share ~0, no failures) leave
+// every knob alone — the controller must not chatter on the plateau.
+func TestCalmHolds(t *testing.T) {
+	s, c := newCtl(t, Config{}, Base{Chunk: 16})
+	for i := int64(0); i < 4; i++ {
+		ok(c, i*10, 1, 5)
+	}
+	c.NoteNodes(10, 0, win)
+	if c.Chunk() != 16 {
+		t.Errorf("calm window: chunk = %d, want 16", c.Chunk())
+	}
+	sum := s.Summary()
+	if sum.Windows != 1 || sum.Changes != 0 {
+		t.Errorf("calm window: windows=%d changes=%d, want 1/0", sum.Windows, sum.Changes)
+	}
+}
+
+// TestStealHalfHysteresis: scarcity turns steal-half on; it stays on
+// through a middling window and reverts to the base only once the failed
+// fraction drops below the lower threshold.
+func TestStealHalfHysteresis(t *testing.T) {
+	_, c := newCtl(t, Config{}, Base{Chunk: 16})
+	for i := int64(0); i < 4; i++ {
+		fail(c, i*20, 1)
+	}
+	c.NoteNodes(10, 0, win)
+	if !c.StealHalf() {
+		t.Fatal("scarcity must turn steal-half on")
+	}
+	// Middling window: 2 of 4 fail (0.2 < 0.5 < 0.6) — no change.
+	at := int64(win)
+	fail(c, at+10, 1)
+	fail(c, at+30, 1)
+	ok(c, at+50, 1, 5)
+	ok(c, at+70, 1, 5)
+	c.NoteNodes(10, 0, 2*win)
+	if !c.StealHalf() {
+		t.Error("hysteresis: steal-half must hold through a middling window")
+	}
+	// Calm window: all succeed — revert to base (steal-k).
+	at = 2 * win
+	for i := int64(0); i < 4; i++ {
+		ok(c, at+i*20, 1, 5)
+	}
+	c.NoteNodes(10, 0, 3*win)
+	if c.StealHalf() {
+		t.Error("calm window must revert steal-half to the base selection")
+	}
+}
+
+// TestPollAdapts: an all-miss drain window doubles the poll interval, an
+// all-hit window halves it back.
+func TestPollAdapts(t *testing.T) {
+	_, c := newCtl(t, Config{}, Base{Chunk: 16, Poll: 8})
+	c.NoteNodes(0, 0, 0) // open the window at t=0, as the scheduler wiring does
+	for i := 0; i < 4; i++ {
+		c.NotePoll(0)
+	}
+	c.NoteNodes(1, 0, win)
+	if c.Poll() != 16 {
+		t.Errorf("all-miss window: poll = %d, want 16", c.Poll())
+	}
+	for i := 0; i < 4; i++ {
+		c.NotePoll(1)
+	}
+	c.NoteNodes(1, 0, 2*win)
+	if c.Poll() != 8 {
+		t.Errorf("all-hit window: poll = %d, want 8", c.Poll())
+	}
+}
+
+// TestEvidenceExtends: a window with too few attempts extends instead of
+// acting, and the carried-over evidence counts toward the next close.
+func TestEvidenceExtends(t *testing.T) {
+	s, c := newCtl(t, Config{}, Base{Chunk: 16})
+	fail(c, 0, 10)
+	fail(c, 50, 10)
+	c.NoteNodes(10, 0, win)
+	if c.Chunk() != 16 || s.Summary().Windows != 0 {
+		t.Fatalf("2 attempts must extend, not act: k=%d windows=%d",
+			c.Chunk(), s.Summary().Windows)
+	}
+	fail(c, win+10, 10)
+	fail(c, win+50, 10)
+	c.NoteNodes(10, 0, 2*win)
+	if c.Chunk() != 8 {
+		t.Errorf("accumulated evidence (4 fails over 2 windows) must halve: k=%d", c.Chunk())
+	}
+}
+
+// TestStaleDiscard: evidence that sits below the gate for staleWindows
+// extensions is discarded, so it cannot combine with attempts from a
+// much later epoch.
+func TestStaleDiscard(t *testing.T) {
+	_, c := newCtl(t, Config{}, Base{Chunk: 16})
+	fail(c, 0, 10)
+	fail(c, 20, 10)
+	fail(c, 40, 10)
+	for i := int64(1); i <= staleWindows; i++ {
+		c.NoteNodes(1, 0, i*win)
+	}
+	// The 3 early fails were discarded on the staleWindows-th close; one
+	// more attempt must not reach the 4-attempt gate.
+	fail(c, staleWindows*win+10, 10)
+	c.NoteNodes(1, 0, (staleWindows+1)*win)
+	if c.Chunk() != 16 {
+		t.Errorf("stale evidence acted: k=%d, want 16", c.Chunk())
+	}
+}
+
+// TestDeniedHalves: victim-side denials alone (no attempts of our own)
+// satisfy the evidence gate and halve the chunk.
+func TestDeniedHalves(t *testing.T) {
+	_, c := newCtl(t, Config{}, Base{Chunk: 16})
+	c.NoteNodes(0, 0, 0) // open the window at t=0
+	for i := 0; i < 4; i++ {
+		c.NoteDenied()
+	}
+	c.NoteNodes(10, 0, win)
+	if c.Chunk() != 8 {
+		t.Errorf("denied-heavy window: chunk = %d, want 8", c.Chunk())
+	}
+}
+
+// TestStarvationEscape: a working PE with no steal traffic in either
+// role and a stack that never reaches the 2k release threshold jumps k
+// down to depthMax/4 in a single window — the only signal-free escape
+// from the serialized k-too-big regime.
+func TestStarvationEscape(t *testing.T) {
+	s, c := newCtl(t, Config{}, Base{Chunk: 64})
+	c.NoteNodes(0, 0, 0) // open the window at t=0
+	c.NoteNodes(100, 10, win)
+	if c.Chunk() != 2 {
+		t.Errorf("starved window: chunk = %d, want depthMax/4 = 2", c.Chunk())
+	}
+	sum := s.Summary()
+	if sum.Windows != 1 || sum.Changes != 1 {
+		t.Errorf("starved window: windows=%d changes=%d, want 1/1", sum.Windows, sum.Changes)
+	}
+	// A deep stack (at or above 2k) is not starved: no move.
+	_, c = newCtl(t, Config{}, Base{Chunk: 8})
+	c.NoteNodes(0, 0, 0)
+	c.NoteNodes(100, 40, win)
+	if c.Chunk() != 8 {
+		t.Errorf("deep-stack window must hold: chunk = %d, want 8", c.Chunk())
+	}
+}
+
+// TestBoundsClamp: explicit bounds cap both the starting chunk and every
+// adaptation step.
+func TestBoundsClamp(t *testing.T) {
+	_, c := newCtl(t, Config{MinChunk: 4, MaxChunk: 32}, Base{Chunk: 64})
+	if c.Chunk() != 32 {
+		t.Fatalf("start clamped: k=%d, want 32", c.Chunk())
+	}
+	for w := int64(0); w < 6; w++ {
+		at := w * win
+		for i := int64(0); i < 4; i++ {
+			fail(c, at+i*20, 10)
+		}
+		c.NoteNodes(10, 0, at+win)
+	}
+	if c.Chunk() != 4 {
+		t.Errorf("halving must stop at MinChunk: k=%d, want 4", c.Chunk())
+	}
+}
+
+// TestSummaryAndSnap: the post-run summary and the live snapshot agree
+// on what the controllers did.
+func TestSummaryAndSnap(t *testing.T) {
+	s, c := newCtl(t, Config{}, Base{Chunk: 16})
+	for i := int64(0); i < 4; i++ {
+		fail(c, i*20, 10)
+	}
+	c.NoteNodes(10, 0, win)
+
+	sum := s.Summary()
+	if sum.PEs != 1 || sum.ChunkStart != 16 || sum.ChunkFinalMin != 8 ||
+		sum.ChunkFinalMax != 8 || sum.ChunkLo != 8 || sum.ChunkHi != 16 {
+		t.Errorf("summary fields wrong: %+v", sum)
+	}
+	if len(sum.Trajectory) < 2 {
+		t.Errorf("PE 0 must record a trajectory, got %d samples", len(sum.Trajectory))
+	}
+	if !strings.Contains(sum.String(), "adaptive: chunk 16 -> 8.0") {
+		t.Errorf("summary line wrong: %q", sum.String())
+	}
+
+	sn := s.Snap()
+	if sn.PEs != 1 || sn.ChunkMin != 8 || sn.ChunkMax != 8 || sn.Windows != 1 {
+		t.Errorf("snapshot wrong: %+v", sn)
+	}
+}
+
+// TestStealEndUnpaired: a StealEnd with no matching StealBegin is
+// ignored rather than corrupting the window counters.
+func TestStealEndUnpaired(t *testing.T) {
+	_, c := newCtl(t, Config{}, Base{Chunk: 16})
+	c.StealEnd(true, 100, 50)
+	c.NoteNodes(10, 0, win)
+	if c.Chunk() != 16 {
+		t.Errorf("unpaired StealEnd changed the chunk: k=%d", c.Chunk())
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/policy"
 )
 
 // State enumerates the Figure-1 thread states.
@@ -149,6 +150,13 @@ type Run struct {
 	// traced; nil otherwise. Summary folds it into the report, so
 	// untraced output is byte-identical to pre-tracer releases.
 	Obs *obs.Summary
+
+	// Policy holds the closed-loop controller report (adapted chunk
+	// range, steal-half selection, knob trajectory) when the run was
+	// adaptive; nil otherwise. Like Obs, Summary only renders it when
+	// present, so controller-off output is byte-identical to pre-policy
+	// releases.
+	Policy *policy.Summary
 }
 
 // Nodes returns the total nodes explored across threads.
@@ -306,6 +314,9 @@ func (r *Run) Summary() string {
 		fmt.Fprintln(&b)
 	}
 	fmt.Fprintf(&b, "imbalance(max/mean nodes)=%.2f\n", r.Imbalance())
+	if r.Policy != nil {
+		fmt.Fprintln(&b, r.Policy.String())
+	}
 	if r.Obs != nil {
 		b.WriteString(r.Obs.String())
 	}

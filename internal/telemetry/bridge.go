@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"repro/internal/obs"
+	"repro/internal/policy"
 )
 
 // RegisterSampler projects a live obs.Sampler into reg as the uts_*
@@ -86,4 +87,35 @@ func RegisterSampler(reg *Registry, s *obs.Sampler) {
 				Count: st.ChunkSize.Count(),
 			}
 		})
+}
+
+// RegisterPolicy projects an adaptive controller set into reg as the
+// uts_policy_* gauge families. Every value comes from Set.Snap() — the
+// lock-free atomic knob mirrors — so scrapes never contend with the
+// workers' adaptation windows. Gauges, not counters: the chunk spread
+// and steal-half population move in both directions as the controllers
+// track the workload.
+//
+// Nil-safe: with a nil set the families are still registered (stable
+// exposition shape) and read as zero.
+func RegisterPolicy(reg *Registry, ps *policy.Set) {
+	snap := func(f func(policy.Snapshot) float64) func() float64 {
+		return func() float64 { return f(ps.Snap()) }
+	}
+	reg.GaugeFunc("uts_policy_pes", "PEs under adaptive control (0 = controllers off).", nil,
+		snap(func(sn policy.Snapshot) float64 { return float64(sn.PEs) }))
+	reg.GaugeFunc("uts_policy_windows_total", "Adaptation windows closed across all PEs.", nil,
+		snap(func(sn policy.Snapshot) float64 { return float64(sn.Windows) }))
+	reg.GaugeFunc("uts_policy_chunk_min", "Smallest current chunk across PEs.", nil,
+		snap(func(sn policy.Snapshot) float64 { return float64(sn.ChunkMin) }))
+	reg.GaugeFunc("uts_policy_chunk_max", "Largest current chunk across PEs.", nil,
+		snap(func(sn policy.Snapshot) float64 { return float64(sn.ChunkMax) }))
+	reg.GaugeFunc("uts_policy_chunk_mean", "Mean current chunk across PEs.", nil,
+		snap(func(sn policy.Snapshot) float64 { return sn.ChunkMean }))
+	reg.GaugeFunc("uts_policy_poll_min", "Smallest current poll interval across PEs (mpi-ws).", nil,
+		snap(func(sn policy.Snapshot) float64 { return float64(sn.PollMin) }))
+	reg.GaugeFunc("uts_policy_poll_max", "Largest current poll interval across PEs (mpi-ws).", nil,
+		snap(func(sn policy.Snapshot) float64 { return float64(sn.PollMax) }))
+	reg.GaugeFunc("uts_policy_steal_half_on", "PEs currently stealing half instead of k.", nil,
+		snap(func(sn policy.Snapshot) float64 { return float64(sn.StealHalfOn) }))
 }

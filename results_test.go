@@ -311,3 +311,102 @@ func TestBenchPR8Schema(t *testing.T) {
 		t.Error("duplicate_takes: forced, stress, and real_run_observed evidence must all be recorded")
 	}
 }
+
+// TestBenchPR9Schema validates results/BENCH_PR9.json, the PR 9 record of
+// the closed-loop adaptive steal-policy runs. It enforces internal
+// consistency — the recorded ratios must match the recorded rates, and the
+// headline claims (adaptive >= 0.95x best fixed on T3XXL, >= 0.8x plus
+// 2x recovery on T3Small) must hold on the recorded numbers — so the file
+// cannot drift into claims its own data contradicts. The live gate is
+// TestAdaptBenchGate (ADAPT_BENCH_GATE=1, make bench-adapt).
+func TestBenchPR9Schema(t *testing.T) {
+	raw, err := os.ReadFile("results/BENCH_PR9.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type profile struct {
+		BestChunk  int     `json:"best_fixed_chunk"`
+		BestRate   float64 `json:"best_fixed_rate_nodes_per_s"`
+		From1      float64 `json:"adaptive_from_1_rate_nodes_per_s"`
+		From128    float64 `json:"adaptive_from_128_rate_nodes_per_s"`
+		FixedAt128 float64 `json:"fixed_at_128_rate_nodes_per_s"`
+	}
+	var doc struct {
+		PR          string `json:"pr"`
+		Date        string `json:"date"`
+		Notes       string `json:"notes"`
+		Environment struct {
+			Go    string `json:"go"`
+			CPU   string `json:"cpu"`
+			Cores int    `json:"cores"`
+		} `json:"environment"`
+		Gate struct {
+			Config       string  `json:"config"`
+			BestChunk    int     `json:"best_fixed_chunk"`
+			BestRate     float64 `json:"best_fixed_rate_nodes_per_s"`
+			WorstChunk   int     `json:"worst_fixed_chunk"`
+			WorstRate    float64 `json:"worst_fixed_rate_nodes_per_s"`
+			AdaptiveRate float64 `json:"adaptive_from_worst_rate_nodes_per_s"`
+			OverBest     float64 `json:"adaptive_over_best_fixed"`
+			OverWorst    float64 `json:"adaptive_over_worst_fixed"`
+			Policy       string  `json:"adaptive_policy"`
+		} `json:"t3xxl_gate"`
+		Small struct {
+			Config    string  `json:"config"`
+			KittyHawk profile `json:"kittyhawk"`
+			Altix     profile `json:"altix"`
+		} `json:"t3small_convergence"`
+		Identity struct {
+			Goldens  int    `json:"golden_fingerprints"`
+			Fields   string `json:"fields_compared"`
+			Coverage string `json:"coverage"`
+		} `json:"byte_identity"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("results/BENCH_PR9.json does not parse: %v", err)
+	}
+	if doc.PR == "" || doc.Date == "" || doc.Notes == "" ||
+		doc.Environment.Go == "" || doc.Environment.CPU == "" || doc.Environment.Cores <= 0 {
+		t.Error("pr, date, notes, and the full environment block must all be recorded")
+	}
+
+	g := doc.Gate
+	if g.Config == "" || g.Policy == "" || g.BestRate <= 0 || g.WorstRate <= 0 || g.AdaptiveRate <= 0 {
+		t.Fatal("t3xxl_gate: config, policy line, and all three rates must be recorded")
+	}
+	if g.WorstRate >= g.BestRate {
+		t.Error("t3xxl_gate: the worst fixed rate is not below the best — the sweep is degenerate")
+	}
+	if g.AdaptiveRate < 0.95*g.BestRate {
+		t.Errorf("t3xxl_gate: adaptive rate %.0f is below the 0.95x acceptance bar against best fixed %.0f",
+			g.AdaptiveRate, g.BestRate)
+	}
+	if r := g.AdaptiveRate / g.BestRate; g.OverBest < r*0.99 || g.OverBest > r*1.01 {
+		t.Errorf("t3xxl_gate: recorded ratio %.3f disagrees with rates (%.3f)", g.OverBest, r)
+	}
+	if r := g.AdaptiveRate / g.WorstRate; g.OverWorst < r*0.99 || g.OverWorst > r*1.01 {
+		t.Errorf("t3xxl_gate: recorded recovery %.2f disagrees with rates (%.2f)", g.OverWorst, r)
+	}
+
+	for name, p := range map[string]profile{
+		"kittyhawk": doc.Small.KittyHawk,
+		"altix":     doc.Small.Altix,
+	} {
+		if p.BestRate <= 0 || p.From1 <= 0 || p.From128 <= 0 || p.FixedAt128 <= 0 {
+			t.Errorf("t3small_convergence.%s: all four rates must be recorded", name)
+			continue
+		}
+		if p.From1 < 0.8*p.BestRate || p.From128 < 0.8*p.BestRate {
+			t.Errorf("t3small_convergence.%s: an adaptive rate fell below the 0.8x small-tree bar (best %.0f, from1 %.0f, from128 %.0f)",
+				name, p.BestRate, p.From1, p.From128)
+		}
+		if p.FixedAt128 < 0.5*p.BestRate && p.From128 < 2*p.FixedAt128 {
+			t.Errorf("t3small_convergence.%s: adaptive from k=128 (%.0f) did not double the bad fixed rate (%.0f)",
+				name, p.From128, p.FixedAt128)
+		}
+	}
+
+	if doc.Identity.Goldens < 6 || doc.Identity.Fields == "" || doc.Identity.Coverage == "" {
+		t.Error("byte_identity: the differential evidence (>=6 golden fingerprints, fields, coverage) must be recorded")
+	}
+}
