@@ -2,18 +2,27 @@
 
 GO ?= go
 
-.PHONY: all build test race short bench bench-smoke bench-obs bench-des bench-des-par bench-relaxed bench-adapt experiments experiments-full clean lint fuzz-smoke
+.PHONY: all build test race short bench bench-smoke bench-obs bench-des bench-des-par bench-relaxed bench-adapt experiments experiments-full clean lint lint-suppressions fuzz-smoke
 
 all: build test
 
+# bin/uts-vet is a real file target: it rebuilds only when the driver or
+# the analyzer library changes, so repeated `make lint` runs skip the
+# compile (and go vet's -V=full cache then skips unchanged packages).
+UTS_VET_SRCS := $(wildcard cmd/uts-vet/*.go) $(wildcard internal/lint/*.go)
+
+bin/uts-vet: $(UTS_VET_SRCS)
+	$(GO) build -o $@ ./cmd/uts-vet
+
 # Static analysis: the custom uts-vet analyzer suite (chargecheck,
-# detcheck, noalloc, retrycheck, obscheck — see internal/lint and
-# DESIGN.md §11) runs through go vet so test files are covered too,
-# then staticcheck and govulncheck when the binaries are installed
-# (the CI lint job installs them; offline dev boxes may not have them).
-lint:
-	$(GO) build -o bin/uts-vet ./cmd/uts-vet
+# detcheck, noalloc, retrycheck, obscheck, atomiccheck, ordercheck,
+# hookcheck — see internal/lint and DESIGN.md §11, §16) runs through
+# go vet so test files are covered too, then the stale-suppression
+# audit, then staticcheck and govulncheck when the binaries are
+# installed (the CI lint job installs them; offline dev boxes may not).
+lint: bin/uts-vet
 	$(GO) vet -vettool=bin/uts-vet ./...
+	./bin/uts-vet -unused-suppressions ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \

@@ -1,14 +1,24 @@
 // Command uts-vet runs the repo's custom analyzer suite (internal/lint):
-// chargecheck, detcheck, noalloc, retrycheck, obscheck — the invariants
-// the paper's numbers stand on, which the Go type system cannot express.
+// chargecheck, detcheck, noalloc, retrycheck, obscheck, atomiccheck,
+// ordercheck, hookcheck — the invariants the paper's numbers stand on,
+// which the Go type system cannot express.
 //
-// Two modes:
+// Three modes:
 //
 //	uts-vet [packages]          standalone: load, check, report
+//	uts-vet -unused-suppressions [packages]   audit stale //uts:ok / //uts:plain
 //	go vet -vettool=$(which uts-vet) ./...   as a go vet tool
 //
 // Standalone mode defaults to ./... relative to the current directory
 // and exits 1 when any finding survives its //uts:ok suppressions.
+//
+// The -unused-suppressions audit re-runs every analyzer with
+// suppression filtering disabled and reports each //uts:ok or
+// //uts:plain comment whose covered lines carry no raw finding — the
+// invariant it once excused no longer needs excusing, so the comment
+// is stale documentation. The audit sees the same files the analyzers
+// see (package GoFiles; _test.go files are not loaded), and exits 1
+// when any stale suppression is found.
 //
 // The vettool mode speaks the cmd/go unitchecker protocol: -V=full
 // prints a version fingerprint for the build cache, -flags declares no
@@ -32,7 +42,9 @@ import (
 	"repro/internal/lint"
 )
 
-const version = "uts-vet version 1.0.0"
+// version feeds go vet's build cache via -V=full: bump it whenever the
+// analyzer suite changes behavior, or cached vet results go stale.
+const version = "uts-vet version 1.1.0"
 
 func main() {
 	args := os.Args[1:]
@@ -45,6 +57,8 @@ func main() {
 		// cmd/go asks which flags the tool accepts; none beyond protocol.
 		fmt.Println("[]")
 		return
+	case len(args) >= 1 && args[0] == "-unused-suppressions":
+		os.Exit(auditSuppressions(args[1:]))
 	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
 		os.Exit(unitcheck(args[0]))
 	default:
@@ -82,6 +96,69 @@ func standalone(patterns []string) int {
 	}
 	if findings > 0 {
 		fmt.Fprintf(os.Stderr, "uts-vet: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// auditSuppressions loads the requested packages (default ./...) and
+// reports every //uts:ok / //uts:plain comment that no longer silences
+// anything: the analyzers are re-run with suppression filtering off,
+// and a suppression none of whose covered lines carries a raw finding
+// from its analyzer is stale.
+func auditSuppressions(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	byName := make(map[string]*lint.Analyzer)
+	for _, a := range lint.All() {
+		byName[a.Name] = a
+	}
+	stale := 0
+	for _, pkg := range pkgs {
+		sups := lint.Suppressions(pkg.Fset, pkg.Files)
+		if len(sups) == 0 {
+			continue
+		}
+		// Raw findings per analyzer, computed once per package.
+		raw := make(map[string][]lint.Diagnostic)
+		for name, a := range byName {
+			if !a.AppliesTo(pkg.PkgPath) {
+				continue
+			}
+			diags, err := lint.Unsuppressed(a, pkg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			raw[name] = diags
+		}
+		for _, s := range sups {
+			if _, known := byName[s.Analyzer]; !known {
+				fmt.Printf("%s: suppression names unknown analyzer %q: %s\n", s.Pos, s.Analyzer, s.Comment)
+				stale++
+				continue
+			}
+			used := false
+			for _, d := range raw[s.Analyzer] {
+				if s.Covers(d.Pos) {
+					used = true
+					break
+				}
+			}
+			if !used {
+				fmt.Printf("%s: stale suppression: %s silences no %s finding\n", s.Pos, s.Comment, s.Analyzer)
+				stale++
+			}
+		}
+	}
+	if stale > 0 {
+		fmt.Fprintf(os.Stderr, "uts-vet: %d stale suppression(s)\n", stale)
 		return 1
 	}
 	return 0

@@ -694,12 +694,12 @@ func TestProbeWalkHierPartialLastBlock(t *testing.T) {
 			t.Fatalf("me=%d: walk sets %d+%d victims, CycleHier %d+%d",
 				me, len(intra), len(rest), len(wantIntra), len(wantRest))
 		}
-		for v := range wantIntra {
+		for v := range wantIntra { //uts:ok detcheck membership check: iteration order cannot affect the result
 			if !intra[v] {
 				t.Fatalf("me=%d: same-node victim %d missing from walk", me, v)
 			}
 		}
-		for v := range wantRest {
+		for v := range wantRest { //uts:ok detcheck membership check: iteration order cannot affect the result
 			if !rest[v] {
 				t.Fatalf("me=%d: off-node victim %d missing from walk", me, v)
 			}

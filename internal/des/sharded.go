@@ -909,7 +909,6 @@ func (eng *shardEngine) checkDeadlock() {
 	if blocked == 0 {
 		return
 	}
-	//uts:ok noalloc deadlock teardown: the simulation is over once this error is built
 	eng.fail(fmt.Errorf("des: deadlock: %d of %d PEs still blocked (sharded, %d shards)",
 		blocked, len(eng.byPid), len(eng.shards)))
 }

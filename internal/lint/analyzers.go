@@ -8,6 +8,9 @@ func All() []*Analyzer {
 		Noalloc,
 		Retrycheck,
 		Obscheck,
+		Atomiccheck,
+		Ordercheck,
+		Hookcheck,
 	}
 }
 

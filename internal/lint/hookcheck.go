@@ -1,0 +1,398 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Hookcheck proves that every call through an optional hook is
+// dominated by a nil check of that hook, so a run with the hooks
+// disabled can never panic. Two shapes of hook exist:
+//
+//   - the adaptive-policy controller: methods on a *Controller are not
+//     nil-receiver-safe (by design — the nil check happens once at the
+//     call site, not on every accessor), so w.ctl.StealHalf() must sit
+//     under a w.ctl != nil guard on every path;
+//   - telemetry/observer callbacks: func-typed struct fields following
+//     the On*/on* naming convention (onSample, OnSteal, ...), called
+//     directly (s.onSample(st)) or through a local copy
+//     (fn := s.onSample; if fn != nil { fn(st) }).
+//
+// The proof is a forward must-analysis over the function's CFG: the
+// fact at a point is the set of expressions known non-nil on every
+// path reaching it. Facts are gained along condition edges (x != nil
+// true-edges, x == nil false-edges, && and || short-circuit structure,
+// negation) and through copies (ctl := w.ctl transfers w.ctl's fact to
+// ctl), and killed when any prefix of the expression is reassigned.
+// Function literals are separate functions: outer guards do not carry
+// into a closure, which is sound — the hook can change between the
+// guard and the deferred call.
+//
+// Test files are skipped: tests exercise concrete controllers and
+// callbacks they just constructed, and a nil dereference there fails
+// the test loudly. The guard contract protects production paths.
+var Hookcheck = &Analyzer{
+	Name: "hookcheck",
+	Doc:  "calls through policy/telemetry hooks (a *Controller method or an On*/on* func field) are dominated by a nil check of the hook",
+	Run:  runHookcheck,
+}
+
+func runHookcheck(pass *Pass) error {
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Inside a *Controller method the receiver is past the
+			// call-site nil check by contract: self-calls are exempt.
+			self := ""
+			if id := recvIdent(fd); id != nil {
+				if namedTypeName(pass.TypeOf(id)) == "Controller" {
+					self = id.Name
+				}
+			}
+			checkHookBody(pass, fd.Body, self)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkHookBody(pass, lit.Body, self)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// nilFacts is the must-non-nil set: rendered expressions proven
+// non-nil on every path to the current point.
+type nilFacts map[string]bool
+
+func cloneFacts(f nilFacts) nilFacts {
+	out := make(nilFacts, len(f))
+	for k := range f {
+		out[k] = true
+	}
+	return out
+}
+
+// hookFlow is the FlowAnalysis computing nilFacts per block.
+type hookFlow struct{}
+
+func (hookFlow) Boundary() any { return nilFacts{} }
+
+func (hookFlow) Transfer(b *Block, in any) any {
+	out := cloneFacts(in.(nilFacts))
+	for _, n := range b.Nodes {
+		applyNilFacts(n, out)
+	}
+	return out
+}
+
+func (hookFlow) FlowEdge(e *Edge, out any) any {
+	if e.Cond == nil {
+		return out
+	}
+	f := cloneFacts(out.(nilFacts))
+	addNonNilFacts(e.Cond, e.Branch, f)
+	return f
+}
+
+func (hookFlow) Meet(a, b any) any {
+	am, bm := a.(nilFacts), b.(nilFacts)
+	out := make(nilFacts)
+	for k := range am {
+		if bm[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (hookFlow) Equal(a, b any) bool {
+	am, bm := a.(nilFacts), b.(nilFacts)
+	if len(am) != len(bm) {
+		return false
+	}
+	for k := range am {
+		if !bm[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// applyNilFacts updates the fact set across one straight-line node:
+// assignments kill facts rooted at their targets and transfer facts
+// through simple copies; range bindings kill their key/value.
+func applyNilFacts(n ast.Node, facts nilFacts) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range n.Lhs {
+			l := exprString(unparen(lhs))
+			if l == "" || l == "_" {
+				continue
+			}
+			var gain bool
+			if len(n.Rhs) == len(n.Lhs) {
+				rhs := unparen(n.Rhs[i])
+				if rs := exprString(rhs); rs != "" && facts[rs] {
+					gain = true
+				} else if isDefinitelyNonNil(rhs) {
+					gain = true
+				}
+			}
+			killFacts(facts, l)
+			if gain {
+				facts[l] = true
+			}
+		}
+	case *ast.RangeStmt:
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if e == nil {
+				continue
+			}
+			if l := exprString(unparen(e)); l != "" && l != "_" {
+				killFacts(facts, l)
+			}
+		}
+	}
+}
+
+// killFacts removes every fact the assignment to l invalidates: l
+// itself and anything selected or indexed from it.
+func killFacts(facts nilFacts, l string) {
+	for k := range facts {
+		if k == l || strings.HasPrefix(k, l+".") || strings.HasPrefix(k, l+"[") {
+			delete(facts, k)
+		}
+	}
+}
+
+// isDefinitelyNonNil reports syntactic non-nil values: address-of,
+// composite and function literals.
+func isDefinitelyNonNil(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.UnaryExpr:
+		return e.Op == token.AND
+	case *ast.CompositeLit, *ast.FuncLit:
+		return true
+	}
+	return false
+}
+
+// addNonNilFacts folds the outcome of a condition into the fact set:
+// cond evaluated to branch.
+func addNonNilFacts(cond ast.Expr, branch bool, facts nilFacts) {
+	switch e := unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.NEQ, token.EQL:
+			operand := nilComparisonOperand(e)
+			if operand == "" {
+				return
+			}
+			if (e.Op == token.NEQ) == branch {
+				facts[operand] = true
+			}
+		case token.LAND:
+			if branch { // both conjuncts held
+				addNonNilFacts(e.X, true, facts)
+				addNonNilFacts(e.Y, true, facts)
+			}
+		case token.LOR:
+			if !branch { // both disjuncts failed
+				addNonNilFacts(e.X, false, facts)
+				addNonNilFacts(e.Y, false, facts)
+			}
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			addNonNilFacts(e.X, !branch, facts)
+		}
+	}
+}
+
+// nilComparisonOperand returns the rendered non-nil side of an x ==/!=
+// nil comparison, or "".
+func nilComparisonOperand(e *ast.BinaryExpr) string {
+	x, y := unparen(e.X), unparen(e.Y)
+	if isNilIdent(y) {
+		return exprString(x)
+	}
+	if isNilIdent(x) {
+		return exprString(y)
+	}
+	return ""
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// checkHookBody runs the guard analysis over one function body. self
+// names the enclosing *Controller method receiver ("" otherwise),
+// whose own hook calls are exempt.
+func checkHookBody(pass *Pass, body *ast.BlockStmt, self string) {
+	hookVars := collectHookVars(pass, body)
+	c := BuildCFG(body)
+	in := c.Solve(hookFlow{})
+	for _, b := range c.RPO() {
+		facts, _ := in[b].(nilFacts)
+		if facts == nil {
+			facts = nilFacts{}
+		}
+		facts = cloneFacts(facts)
+		for _, n := range b.Nodes {
+			scanHookCalls(pass, n, facts, hookVars, self)
+			applyNilFacts(n, facts)
+		}
+	}
+}
+
+// collectHookVars maps local variables to the hook field they copy
+// (fn := s.onSample), so calls through the copy are checked against a
+// nil check of the copy.
+func collectHookVars(pass *Pass, body *ast.BlockStmt) map[types.Object]string {
+	vars := make(map[types.Object]string)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			sel, ok := unparen(as.Rhs[i]).(*ast.SelectorExpr)
+			if !ok || !isHookFuncField(pass, sel) {
+				continue
+			}
+			var obj types.Object
+			if as.Tok == token.DEFINE {
+				obj = pass.Info.Defs[id]
+			} else {
+				obj = pass.Info.Uses[id]
+			}
+			if obj != nil {
+				vars[obj] = exprString(sel)
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// scanHookCalls finds hook calls inside one straight-line node,
+// refining facts through && and || short-circuiting as it descends.
+// Function literals are skipped (each is analyzed as its own body);
+// range statements contribute only their range expression (the body is
+// separate CFG blocks).
+func scanHookCalls(pass *Pass, n ast.Node, facts nilFacts, hookVars map[types.Object]string, self string) {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		scanHookCalls(pass, rs.X, facts, hookVars, self)
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BinaryExpr:
+			if x.Op == token.LAND || x.Op == token.LOR {
+				scanHookCalls(pass, x.X, facts, hookVars, self)
+				refined := cloneFacts(facts)
+				addNonNilFacts(x.X, x.Op == token.LAND, refined)
+				scanHookCalls(pass, x.Y, refined, hookVars, self)
+				return false
+			}
+		case *ast.CallExpr:
+			checkHookCall(pass, x, facts, hookVars, self)
+		}
+		return true
+	})
+}
+
+// checkHookCall reports the call if it goes through a hook that is not
+// proven non-nil at this point.
+func checkHookCall(pass *Pass, call *ast.CallExpr, facts nilFacts, hookVars map[types.Object]string, self string) {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := pass.Info.Selections[fun]; ok {
+			switch s.Kind() {
+			case types.MethodVal:
+				if namedTypeName(s.Recv()) != "Controller" {
+					return
+				}
+				if _, isPtr := s.Recv().(*types.Pointer); !isPtr {
+					return // value receiver on an addressable value: cannot be nil
+				}
+				guard := exprString(fun.X)
+				if self != "" && guard == self {
+					return // the method's own receiver: checked by the caller
+				}
+				if guard == "" {
+					pass.Reportf(call.Pos(), "policy hook method %s called through an expression the nil-guard analysis cannot track: bind the *Controller to a local, nil-check it, and call through the local", s.Obj().Name())
+					return
+				}
+				if !facts[guard] {
+					pass.Reportf(call.Pos(), "call to %s.%s is not dominated by a nil check of %s: a run with the adaptive policy disabled (nil controller) panics here", guard, s.Obj().Name(), guard)
+				}
+			case types.FieldVal:
+				if !isHookFuncField(pass, fun) {
+					return
+				}
+				guard := exprString(fun)
+				if guard == "" {
+					pass.Reportf(call.Pos(), "hook field %s called through an expression the nil-guard analysis cannot track: copy the hook to a local, nil-check it, and call through the local", fun.Sel.Name)
+					return
+				}
+				if !facts[guard] {
+					pass.Reportf(call.Pos(), "call through hook field %s is not dominated by a nil check of %s: a run with the hook unset panics here", guard, guard)
+				}
+			}
+		}
+	case *ast.Ident:
+		obj := pass.Info.Uses[fun]
+		if obj == nil {
+			return
+		}
+		src, ok := hookVars[obj]
+		if !ok {
+			return
+		}
+		if !facts[fun.Name] {
+			pass.Reportf(call.Pos(), "call through %s (a copy of hook field %s) is not dominated by a nil check of %s: a run with the hook unset panics here", fun.Name, src, fun.Name)
+		}
+	}
+}
+
+// isHookFuncField reports whether sel names a func-typed struct field
+// following the hook naming convention (onSample, OnSteal, ...).
+func isHookFuncField(pass *Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return false
+	}
+	if _, isFunc := v.Type().Underlying().(*types.Signature); !isFunc {
+		return false
+	}
+	name := v.Name()
+	if len(name) < 3 {
+		return false
+	}
+	if !strings.HasPrefix(name, "On") && !strings.HasPrefix(name, "on") {
+		return false
+	}
+	return name[2] >= 'A' && name[2] <= 'Z'
+}

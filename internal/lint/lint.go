@@ -38,7 +38,14 @@
 //
 // The reason is mandatory; an //uts:ok comment without one is itself
 // reported. Suppressions are per-line and per-analyzer, so one cannot
-// blanket-disable a rule.
+// blanket-disable a rule. atomiccheck has a dedicated escape hatch,
+//
+//	//uts:plain <reason>
+//
+// for provably single-threaded init/reset regions; it follows the same
+// line-coverage and mandatory-reason rules. The uts-vet driver's
+// -unused-suppressions mode audits both forms against the raw findings
+// and reports comments that no longer silence anything.
 package lint
 
 import (
@@ -159,39 +166,117 @@ type lineKey struct {
 	line int
 }
 
+// A Suppression is one //uts:ok or //uts:plain comment: the analyzer it
+// silences, the lines it covers (its own and the one below), and
+// whether it carries the mandatory justification. The driver's
+// -unused-suppressions audit diffs these against Unsuppressed findings.
+type Suppression struct {
+	Analyzer  string
+	Pos       token.Position
+	Lines     []int // line numbers covered, in Pos.Filename
+	Justified bool
+	Comment   string
+}
+
+// Covers reports whether the suppression's lines include the position.
+func (s Suppression) Covers(pos token.Position) bool {
+	if pos.Filename != s.Pos.Filename {
+		return false
+	}
+	for _, l := range s.Lines {
+		if l == pos.Line {
+			return true
+		}
+	}
+	return false
+}
+
+// badMessage is the finding text for a suppression missing its reason.
+func (s Suppression) badMessage() string {
+	if strings.HasPrefix(s.Comment, "//uts:plain") {
+		return "//uts:plain needs a justification: //uts:plain <reason>"
+	}
+	return "//uts:ok " + s.Analyzer + " needs a justification: //uts:ok " + s.Analyzer + " <reason>"
+}
+
+// Suppressions lists every suppression comment in the files:
+// //uts:ok <analyzer> <reason> for any analyzer, and
+// //uts:plain <reason>, which is atomiccheck's single-threaded-region
+// escape hatch.
+func Suppressions(fset *token.FileSet, files []*ast.File) []Suppression {
+	var out []Suppression
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := fset.Position(c.Pos())
+				var s Suppression
+				if text, ok := strings.CutPrefix(c.Text, "//uts:ok"); ok {
+					fields := strings.Fields(text)
+					if len(fields) == 0 {
+						continue // no analyzer named: inert, matches nothing
+					}
+					s = Suppression{
+						Analyzer:  fields[0],
+						Pos:       pos,
+						Justified: len(fields) >= 2,
+						Comment:   c.Text,
+					}
+				} else if text, ok := strings.CutPrefix(c.Text, "//uts:plain"); ok {
+					s = Suppression{
+						Analyzer:  "atomiccheck",
+						Pos:       pos,
+						Justified: len(strings.Fields(text)) >= 1,
+						Comment:   c.Text,
+					}
+				} else {
+					continue
+				}
+				s.Lines = []int{pos.Line, pos.Line + 1}
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
 // suppressions collects the lines silenced for analyzer name, and
-// reports malformed //uts:ok comments (missing justification) as
+// reports malformed suppression comments (missing justification) as
 // diagnostics. A comment suppresses its own line and, when it is the
 // whole line (a comment-only line), the line below it.
 func suppressions(fset *token.FileSet, files []*ast.File, name string) (map[lineKey]bool, []Diagnostic) {
 	sup := make(map[lineKey]bool)
 	var bad []Diagnostic
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//uts:ok")
-				if !ok {
-					continue
-				}
-				fields := strings.Fields(text)
-				pos := fset.Position(c.Pos())
-				if len(fields) == 0 || fields[0] != name {
-					continue
-				}
-				if len(fields) < 2 {
-					bad = append(bad, Diagnostic{
-						Analyzer: name,
-						Pos:      pos,
-						Message:  "//uts:ok " + name + " needs a justification: //uts:ok " + name + " <reason>",
-					})
-					continue
-				}
-				sup[lineKey{pos.Filename, pos.Line}] = true
-				sup[lineKey{pos.Filename, pos.Line + 1}] = true
-			}
+	for _, s := range Suppressions(fset, files) {
+		if s.Analyzer != name {
+			continue
+		}
+		if !s.Justified {
+			bad = append(bad, Diagnostic{Analyzer: name, Pos: s.Pos, Message: s.badMessage()})
+			continue
+		}
+		for _, l := range s.Lines {
+			sup[lineKey{s.Pos.Filename, l}] = true
 		}
 	}
 	return sup, bad
+}
+
+// Unsuppressed runs the analyzer over the package and returns the raw
+// findings with no suppression filtering and no malformed-comment
+// diagnostics added — the comparison side of the driver's
+// -unused-suppressions audit.
+func Unsuppressed(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
+	}
+	return pass.diags, nil
 }
 
 // Inspect walks every file of the pass in depth-first order, calling f
@@ -203,6 +288,33 @@ func (p *Pass) Inspect(f func(ast.Node) bool) {
 }
 
 // --- shared type/AST helpers used by the analyzers ---
+
+// unparen strips any number of enclosing parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// fieldOf resolves a selector to the struct field it names, or nil for
+// method selections, package-qualified names, and untypeable code.
+func (p *Pass) fieldOf(sel *ast.SelectorExpr) *types.Var {
+	if s, ok := p.Info.Selections[sel]; ok {
+		if s.Kind() != types.FieldVal {
+			return nil
+		}
+		v, _ := s.Obj().(*types.Var)
+		return v
+	}
+	if v, ok := p.Info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
 
 // deref removes one level of pointer indirection.
 func deref(t types.Type) types.Type {

@@ -51,6 +51,44 @@ func TestMalformedSuppression(t *testing.T) {
 	}
 }
 
+// TestMalformedDirectives checks the directive-hygiene findings that
+// cannot be expressed as // want goldens (a // want comment cannot
+// share the line with the malformed directive it describes): a
+// //uts:plain with no reason, empty and malformed //uts:orders
+// directives, and a nameless //uts:mark.
+func TestMalformedDirectives(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "directivebad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []Diagnostic
+	for _, a := range []*Analyzer{Atomiccheck, Ordercheck} {
+		ds, err := Run(a, pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags = append(diags, ds...)
+	}
+	for _, wantSub := range []string{
+		"//uts:plain needs a justification",
+		"plain write of atomic word g.top", // the reasonless //uts:plain silences nothing
+		"empty //uts:orders directive",
+		`malformed //uts:orders pair "ledger<"`,
+		"//uts:mark needs a group name",
+	} {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, wantSub) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic containing %q; got %v", wantSub, diags)
+		}
+	}
+}
+
 // TestRepoClean is the acceptance gate: the full suite over the whole
 // module must report zero findings. Real violations get fixed; accepted
 // approximation gaps get an inline //uts:ok with a reason. This test is

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 )
 
 // Retrycheck enforces the cluster transport's failure-model contract:
@@ -21,11 +22,14 @@ import (
 //
 //  2. Lock pairing: every mutex Lock/RLock (and every pgas-style
 //     Acquire) is matched by an Unlock/RUnlock (Release) on every exit
-//     path of the function — via an immediate defer or a
-//     lexically-dominating release before each return and before
-//     function fall-through. The dominance test is lexical (prior
-//     statements on the return's own block path), the same
-//     approximation chargecheck uses.
+//     path of the function. This runs a may-held lock lattice over the
+//     function's CFG: the fact at a point is the set of receivers that
+//     may still be held, acquires add to it, releases (including a
+//     defer, which covers every later exit) remove it, and the meet is
+//     union. A return reached with a lock possibly held is a finding;
+//     so is falling off the end of the function while holding one.
+//     Paths that end in panic or loop forever are not leaks. Function
+//     literals are analyzed as functions of their own.
 var Retrycheck = &Analyzer{
 	Name: "retrycheck",
 	Doc:  "only declared-idempotent RPC kinds may be retried; every Lock/Acquire is released on all exit paths",
@@ -46,7 +50,13 @@ func runRetrycheck(pass *Pass) error {
 			if idem != nil {
 				checkRetryIdempotence(pass, fd, idem)
 			}
-			checkLockPairing(pass, fd)
+			checkLockPairing(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkLockPairing(pass, lit.Body)
+				}
+				return true
+			})
 		}
 	}
 	return nil
@@ -271,208 +281,167 @@ var lockPairs = map[string][]string{
 	"Acquire": {"Release"},
 }
 
-// checkLockPairing runs the per-function lock/release pairing check.
-func checkLockPairing(pass *Pass, fd *ast.FuncDecl) {
-	type acquire struct {
-		stmt ast.Stmt
-		call *ast.CallExpr
-		recv string // rendered receiver expression, e.g. "ib.mu"
-		rels []string
-	}
-	var acquires []acquire
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		es, ok := n.(*ast.ExprStmt)
-		if !ok {
-			return true
-		}
-		call, ok := es.X.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		rels, isAcq := lockPairs[sel.Sel.Name]
-		if !isAcq {
-			return true
-		}
-		// Only consider method calls on lock-ish receivers (named type
-		// with a matching release method), not arbitrary same-name funcs.
-		if _, _, isMethod := pass.methodCall(call); !isMethod {
-			return true
-		}
-		recv := exprString(sel.X)
-		if recv == "" {
-			return true
-		}
-		acquires = append(acquires, acquire{stmt: es, call: call, recv: recv, rels: rels})
-		return true
-	})
-
-	for _, acq := range acquires {
-		if deferredReleaseFollows(pass, fd, acq.stmt, acq.recv, acq.rels) {
-			continue
-		}
-		// Exit paths to validate: returns inside the acquire's own region
-		// subtree (checked individually for a dominating release), and
-		// the region's fall-through (which also stands in for any later
-		// code outside it). A region is the innermost block, switch case,
-		// or select clause holding the acquire.
-		region := enclosingRegion(fd, acq.stmt)
-		if region == nil {
-			continue
-		}
-		bad := 0
-		ast.Inspect(region, func(n ast.Node) bool {
-			ret, ok := n.(*ast.ReturnStmt)
-			if !ok || ret.Pos() <= acq.stmt.Pos() {
-				return true
-			}
-			if !releaseDominates(pass, fd, acq.stmt, ret, acq.recv, acq.rels) {
-				bad++
-				pass.Reportf(ret.Pos(), "return may leave %s held: %s.%s at %s has no dominating %s before this exit (or use defer)",
-					acq.recv, acq.recv, lockName(acq.call), pass.Fset.Position(acq.stmt.Pos()), acq.rels[0])
-			}
-			return true
-		})
-		if bad == 0 && !fallThroughReleased(pass, fd, acq.stmt, acq.recv, acq.rels) {
-			pass.Reportf(acq.stmt.Pos(), "%s.%s is not released on the path falling out of its block (no %s after the acquire)",
-				acq.recv, lockName(acq.call), acq.rels[0])
+// releaseNames is the set of all release method names.
+var releaseNames = func() map[string]bool {
+	m := make(map[string]bool)
+	for _, rels := range lockPairs {
+		for _, r := range rels {
+			m[r] = true
 		}
 	}
+	return m
+}()
+
+// heldLock records one possibly-held acquire for the lattice.
+type heldLock struct {
+	name string // acquire method: Lock, RLock, Acquire
+	rels []string
+	pos  token.Pos // the acquire statement
 }
 
-func lockName(call *ast.CallExpr) string {
-	return call.Fun.(*ast.SelectorExpr).Sel.Name
+// lockFacts maps a rendered receiver (e.g. "n.mu") to its possibly-held
+// acquire. The lattice is may-held: meet is union, so a lock held on
+// any path into a point is held at that point.
+type lockFacts map[string]heldLock
+
+func cloneLockFacts(f lockFacts) lockFacts {
+	out := make(lockFacts, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
 }
 
-// isReleaseStmt reports whether stmt is recv.Release(...) (or a defer
-// of it) for one of the given release names.
-func isReleaseStmt(stmt ast.Stmt, recv string, rels []string) bool {
+// lockFlow is the FlowAnalysis tracking possibly-held locks.
+type lockFlow struct{ pass *Pass }
+
+func (lockFlow) Boundary() any { return lockFacts{} }
+
+func (l lockFlow) Transfer(b *Block, in any) any {
+	out := cloneLockFacts(in.(lockFacts))
+	for _, n := range b.Nodes {
+		applyLockOp(l.pass, n, out)
+	}
+	return out
+}
+
+func (lockFlow) FlowEdge(e *Edge, out any) any { return out }
+
+func (lockFlow) Meet(a, b any) any {
+	am, bm := a.(lockFacts), b.(lockFacts)
+	out := cloneLockFacts(am)
+	for k, v := range bm {
+		// Deterministic merge: keep the earliest acquire site.
+		if cur, ok := out[k]; !ok || v.pos < cur.pos {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func (lockFlow) Equal(a, b any) bool {
+	am, bm := a.(lockFacts), b.(lockFacts)
+	if len(am) != len(bm) {
+		return false
+	}
+	for k, v := range am {
+		w, ok := bm[k]
+		if !ok || v.pos != w.pos || v.name != w.name {
+			return false
+		}
+	}
+	return true
+}
+
+// applyLockOp updates the held set across one straight-line node:
+// recv.Lock() adds, recv.Unlock() (or defer recv.Unlock(), which
+// covers every later exit) removes.
+func applyLockOp(pass *Pass, n ast.Node, facts lockFacts) {
 	var call *ast.CallExpr
-	switch s := stmt.(type) {
+	isDefer := false
+	switch s := n.(type) {
 	case *ast.ExprStmt:
 		call, _ = s.X.(*ast.CallExpr)
 	case *ast.DeferStmt:
-		call = s.Call
+		call, isDefer = s.Call, true
 	}
 	if call == nil {
-		return false
+		return
 	}
 	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || exprString(sel.X) != recv {
-		return false
+	if !ok {
+		return
 	}
-	for _, r := range rels {
-		if sel.Sel.Name == r {
-			return true
-		}
+	recv := exprString(sel.X)
+	if recv == "" {
+		return
 	}
-	return false
-}
-
-// deferredReleaseFollows reports whether a defer of the matching
-// release appears in the statements immediately after the acquire in
-// the same region (the idiomatic mu.Lock(); defer mu.Unlock() pair, in
-// any of the next few statements as long as no return intervenes).
-func deferredReleaseFollows(pass *Pass, fd *ast.FuncDecl, acqStmt ast.Stmt, recv string, rels []string) bool {
-	region := enclosingRegion(fd, acqStmt)
-	if region == nil {
-		return false
+	name := sel.Sel.Name
+	if rels, isAcq := lockPairs[name]; isAcq && !isDefer {
+		// Only method calls on lock-ish receivers, not same-name funcs.
+		if _, _, isMethod := pass.methodCall(call); isMethod {
+			facts[recv] = heldLock{name: name, rels: rels, pos: n.Pos()}
+		}
+		return
 	}
-	seen := false
-	for _, s := range stmtList(region) {
-		if s == acqStmt {
-			seen = true
-			continue
-		}
-		if !seen {
-			continue
-		}
-		if ds, ok := s.(*ast.DeferStmt); ok && isReleaseStmt(ds, recv, rels) {
-			return true
-		}
-		if _, isRet := s.(*ast.ReturnStmt); isRet {
-			return false
-		}
-	}
-	return false
-}
-
-// releaseDominates reports whether a release of recv lexically
-// dominates ret: it appears as a direct prior statement on ret's own
-// block path (prior siblings at each enclosing block level), after the
-// acquire. Releases nested inside control flow of a prior sibling do
-// not count — they may be on a different path.
-func releaseDominates(pass *Pass, fd *ast.FuncDecl, acqStmt ast.Stmt, ret ast.Stmt, recv string, rels []string) bool {
-	chain := pathTo(fd.Body, ret)
-	for _, n := range chain {
-		for _, s := range stmtList(n) {
-			if s.Pos() >= ret.Pos() {
-				break
-			}
-			if s.Pos() > acqStmt.Pos() && isReleaseStmt(s, recv, rels) {
-				return true
+	if releaseNames[name] {
+		if h, held := facts[recv]; held {
+			for _, r := range h.rels {
+				if r == name {
+					delete(facts, recv)
+					break
+				}
 			}
 		}
 	}
-	return false
 }
 
-// fallThroughReleased reports whether the function's implicit final
-// exit is covered: a release appears in the acquire's own region after
-// the acquire, or the region provably cannot fall through (ends in an
-// infinite loop or return — in which case the per-return checks above
-// already covered every exit).
-func fallThroughReleased(pass *Pass, fd *ast.FuncDecl, acqStmt ast.Stmt, recv string, rels []string) bool {
-	region := enclosingRegion(fd, acqStmt)
-	if region == nil {
-		return true
-	}
-	list := stmtList(region)
-	after := false
-	for _, s := range list {
-		if s == acqStmt {
-			after = true
-			continue
+// checkLockPairing runs the lock-held lattice over one function body
+// and reports exits that may leave a lock held: every return reached
+// with a held lock, and the implicit fall-through off the end of the
+// body. Panic exits and infinite loops are not leaks — the CFG has no
+// fall-through edge for them, which is what replaces the old lexical
+// region/switch/select special-casing.
+func checkLockPairing(pass *Pass, body *ast.BlockStmt) {
+	c := BuildCFG(body)
+	flow := lockFlow{pass}
+	in := c.Solve(flow)
+	for _, b := range c.RPO() {
+		facts, _ := in[b].(lockFacts)
+		if facts == nil {
+			facts = lockFacts{}
 		}
-		if after && isReleaseStmt(s, recv, rels) {
-			return true
+		facts = cloneLockFacts(facts)
+		for _, n := range b.Nodes {
+			if ret, ok := n.(*ast.ReturnStmt); ok {
+				for _, recv := range sortedLockKeys(facts) {
+					h := facts[recv]
+					pass.Reportf(ret.Pos(), "return may leave %s held: %s.%s at %s has no dominating %s before this exit (or use defer)",
+						recv, recv, h.name, pass.Fset.Position(h.pos), h.rels[0])
+				}
+			}
+			applyLockOp(pass, n, facts)
+		}
+		for _, e := range b.Succs {
+			if e.Kind != ExitFall {
+				continue
+			}
+			for _, recv := range sortedLockKeys(facts) {
+				h := facts[recv]
+				pass.Reportf(h.pos, "%s.%s is not released on the path falling out of its block (no %s after the acquire)",
+					recv, h.name, h.rels[0])
+			}
 		}
 	}
-	// No textual release after the acquire in its own region: accept only
-	// when the region's last statement cannot complete normally.
-	if len(list) == 0 {
-		return false
-	}
-	switch last := list[len(list)-1].(type) {
-	case *ast.ReturnStmt:
-		return true // covered by the per-return dominance checks
-	case *ast.ForStmt:
-		return last.Cond == nil // for {} never falls through
-	case *ast.ExprStmt:
-		call, ok := last.X.(*ast.CallExpr)
-		if !ok {
-			return false
-		}
-		id, ok := call.Fun.(*ast.Ident)
-		return ok && id.Name == "panic"
-	}
-	return false
 }
 
-// enclosingRegion returns the innermost block, switch case, or select
-// clause containing stmt.
-func enclosingRegion(fd *ast.FuncDecl, stmt ast.Stmt) ast.Node {
-	chain := pathTo(fd.Body, stmt)
-	var region ast.Node
-	for _, n := range chain {
-		if stmtList(n) != nil {
-			region = n
-		}
+func sortedLockKeys(facts lockFacts) []string {
+	keys := make([]string, 0, len(facts))
+	for k := range facts {
+		keys = append(keys, k)
 	}
-	return region
+	sort.Strings(keys)
+	return keys
 }
 
 // isIntLiteral reports whether e is the given integer literal.

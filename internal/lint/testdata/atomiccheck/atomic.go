@@ -1,0 +1,112 @@
+// Package atomicdata is the atomiccheck golden corpus: a miniature of
+// the fence-free ring and seqlock access patterns, with every flavour
+// of plain/atomic mixing the analyzer must catch.
+package atomicdata
+
+import "sync/atomic"
+
+type worker struct {
+	top    int64    // word mode: its address flows into sync/atomic
+	buf    []uint64 // element mode: seqlock ring, &buf[i] into sync/atomic
+	shadow int64    // owner-private mirror, never atomic: untracked
+	flag   atomic.Bool
+	led    atomic.Pointer[worker]
+	state  [4]atomic.Int32
+	dead   []atomic.Bool
+}
+
+func (w *worker) publish(v int64) {
+	atomic.StoreInt64(&w.top, v)
+}
+
+func (w *worker) load() int64 {
+	return atomic.LoadInt64(&w.top)
+}
+
+func (w *worker) badPlainRead() bool {
+	return w.top > 0 // want "plain read of atomic word w.top"
+}
+
+func (w *worker) badPlainWrite() {
+	w.top = 0 // want "plain write of atomic word w.top"
+}
+
+func (w *worker) badEscape() *int64 {
+	return &w.top // want "address of atomic word w.top"
+}
+
+// okShadow: the plain mirror never mixes with atomics.
+func (w *worker) okShadow() int64 {
+	w.shadow++
+	return w.shadow
+}
+
+// okPlainReset is a constructor-style single-threaded region.
+func (w *worker) okPlainReset() {
+	w.top = 0 //uts:plain the worker is not published to any thief yet
+}
+
+// okSuppressed carries a reviewed //uts:ok.
+func (w *worker) okSuppressed() int64 {
+	return w.top //uts:ok atomiccheck owner-side read after quiescence barrier
+}
+
+// record is the seqlock write bracket: all element accesses atomic,
+// including through the local alias.
+func (w *worker) record(seq, a uint64) {
+	b := w.buf
+	i := int(seq) % (len(b) - 1)
+	atomic.StoreUint64(&b[i], seq|1)
+	atomic.StoreUint64(&b[i+1], a)
+	atomic.StoreUint64(&b[i], seq+2)
+}
+
+func (w *worker) badPlainElem(i int) uint64 {
+	return w.buf[i] // want "plain element read"
+}
+
+func (w *worker) badAliasElem(i int) {
+	b := w.buf
+	b[i] = 7 // want "plain element write"
+}
+
+func (w *worker) badRangeValues() uint64 {
+	var s uint64
+	for _, v := range w.buf { // want "ranging over the values"
+		s += v
+	}
+	return s
+}
+
+// okHeader: slice-header uses carry no element access.
+func (w *worker) okHeader(n int) int {
+	w.buf = make([]uint64, n)
+	return len(w.buf)
+}
+
+// Typed atomics: methods and address-taking are fine, copies are not.
+func (w *worker) okTyped() bool {
+	w.flag.Store(true)
+	w.led.Store(w)
+	return w.flag.Load() && w.state[1].Load() > 0
+}
+
+func (w *worker) badTypedCopy() atomic.Bool {
+	return w.flag // want "copied or used plainly"
+}
+
+func (w *worker) badTypedElemCopy() int32 {
+	s := w.state[0] // want "element of array of typed atomic values"
+	return s.Load()
+}
+
+func (w *worker) badArrayCopy() [4]atomic.Int32 {
+	return w.state // want "copying array of typed atomic values"
+}
+
+// okTypedSlice: whole-slice make/len are header uses.
+func (w *worker) okTypedSlice(n int) int {
+	w.dead = make([]atomic.Bool, n)
+	w.dead[0].Store(false)
+	return len(w.dead)
+}

@@ -1,0 +1,125 @@
+// Package hookdata is the hookcheck golden corpus: calls through the
+// adaptive-policy controller and On*/on* callback fields, guarded and
+// unguarded, across the guard shapes the real tree uses (direct if,
+// early return, boolean switch with short-circuit, local copies).
+package hookdata
+
+// Controller mirrors the policy controller: methods are deliberately
+// not nil-receiver-safe.
+type Controller struct{ n int }
+
+func (c *Controller) Chunk() int    { c.n++; return c.n }
+func (c *Controller) NodeSize() int { return c.n }
+
+type sample struct{ v int }
+
+type worker struct {
+	ctl      *Controller
+	onSample func(sample)
+	quota    int
+}
+
+// okGuardedIf calls under a direct guard.
+func (w *worker) okGuardedIf() {
+	if w.ctl != nil {
+		w.quota = w.ctl.Chunk()
+	}
+}
+
+// okEarlyReturn guards with an early return.
+func (w *worker) okEarlyReturn() int {
+	if w.ctl == nil {
+		return 0
+	}
+	return w.ctl.Chunk()
+}
+
+// badUnguarded has no check at all.
+func (w *worker) badUnguarded() int {
+	return w.ctl.Chunk() // want "not dominated by a nil check of w.ctl"
+}
+
+// badWrongBranch calls on the nil branch.
+func (w *worker) badWrongBranch() int {
+	if w.ctl == nil {
+		return w.ctl.Chunk() // want "not dominated by a nil check"
+	}
+	return 0
+}
+
+// okSwitchGuard is the des/dist shape: a boolean switch case whose
+// condition both guards and uses the hook via short-circuit.
+func (w *worker) okSwitchGuard(n int) int {
+	switch {
+	case w.ctl != nil && w.ctl.NodeSize() > 1:
+		return w.ctl.Chunk()
+	default:
+		return n
+	}
+}
+
+// okLocalCopy is the sampler shape: copy the hook, check the copy.
+func (w *worker) okLocalCopy(s sample) {
+	fn := w.onSample
+	if fn != nil {
+		fn(s)
+	}
+}
+
+// badLocalCopy calls the copy unchecked.
+func (w *worker) badLocalCopy(s sample) {
+	fn := w.onSample
+	fn(s) // want "not dominated by a nil check of fn"
+}
+
+// badFieldCall calls the field with no check.
+func (w *worker) badFieldCall(s sample) {
+	w.onSample(s) // want "call through hook field w.onSample"
+}
+
+// okFieldGuard checks the field directly.
+func (w *worker) okFieldGuard(s sample) {
+	if w.onSample != nil {
+		w.onSample(s)
+	}
+}
+
+// badKilledGuard invalidates the guard by reassigning the receiver.
+func (w *worker) badKilledGuard(other *worker) int {
+	if w.ctl != nil {
+		w = other
+		return w.ctl.Chunk() // want "not dominated by a nil check"
+	}
+	return 0
+}
+
+// okTransferred moves the guarded fact through a copy.
+func (w *worker) okTransferred() int {
+	if w.ctl == nil {
+		return 0
+	}
+	ctl := w.ctl
+	return ctl.Chunk()
+}
+
+// badClosure: outer guards do not carry into a closure — the hook can
+// be swapped between the guard and the deferred call.
+func (w *worker) badClosure() func() int {
+	if w.ctl == nil {
+		return nil
+	}
+	return func() int {
+		return w.ctl.Chunk() // want "not dominated by a nil check"
+	}
+}
+
+// okValue calls on an addressable value, which cannot be nil.
+func okValue() int {
+	var c Controller
+	return c.Chunk()
+}
+
+// okSuppressed documents an invariant the analysis cannot see.
+func (w *worker) okSuppressed() int {
+	return w.ctl.Chunk() //uts:ok hookcheck the constructor sets ctl unconditionally on this path
+}

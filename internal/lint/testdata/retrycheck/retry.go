@@ -111,6 +111,55 @@ func (n *node) okSwitchCase(k kind) bool {
 	return true
 }
 
+// okBothArms releases on each arm — invisible to the old lexical rule,
+// proven by the CFG lattice.
+func (n *node) okBothArms(deep bool) {
+	n.mu.Lock()
+	if deep {
+		n.retries++
+		n.mu.Unlock()
+	} else {
+		n.mu.Unlock()
+	}
+}
+
+// badOneArm releases on only one arm.
+func (n *node) badOneArm(deep bool) {
+	n.mu.Lock() // want "not released on the path falling out"
+	if deep {
+		n.mu.Unlock()
+	}
+}
+
+// okLoopBody pairs the lock inside each iteration.
+func (n *node) okLoopBody(k int) {
+	for i := 0; i < k; i++ {
+		n.mu.Lock()
+		n.retries++
+		n.mu.Unlock()
+	}
+}
+
+// okInfinite holds the lock into a loop that never exits: there is no
+// exit path to leak on.
+func (n *node) okInfinite() {
+	n.mu.Lock()
+	for {
+		n.retries++
+	}
+}
+
+// okPanicExit: panicking with the lock held is not a leak finding —
+// the runtime unwinds, and the CFG routes panic edges past the check.
+func (n *node) okPanicExit(v int) {
+	n.mu.Lock()
+	if v < 0 {
+		panic("negative")
+	}
+	n.retries = v
+	n.mu.Unlock()
+}
+
 // transferOwned hands the held lock to its caller by contract; the
 // release lives in finishTransfer.
 func (n *node) transferOwned() {

@@ -31,20 +31,24 @@ func (r *ring) init(size int) {
 	r.buf = make([]uint64, uint64(size)*slotWords)
 }
 
-// record appends one event. Owner-only.
+// record appends one event. Owner-only. The stamp bracket is a
+// seqlock: the invalidating zero store precedes every payload word,
+// and every payload word precedes the publishing stamp — ordercheck
+// enforces both halves by dominance.
 //
 //uts:noalloc
+//uts:orders invalidate<payload payload<publish
 func (r *ring) record(k Kind, pe, other int32, value, wall, virt int64) {
 	seq := r.pos.Load() // single writer: no contention on the load
 	i := (seq % r.size) * slotWords
 	b := r.buf
-	atomic.StoreUint64(&b[i], 0) // invalidate for concurrent readers
-	atomic.StoreUint64(&b[i+1], uint64(k)|uint64(uint32(pe))<<32)
-	atomic.StoreUint64(&b[i+2], uint64(int64(other)))
-	atomic.StoreUint64(&b[i+3], uint64(value))
-	atomic.StoreUint64(&b[i+4], uint64(wall))
-	atomic.StoreUint64(&b[i+5], uint64(virt))
-	atomic.StoreUint64(&b[i], seq+1) // publish
+	atomic.StoreUint64(&b[i], 0)                                  //uts:mark invalidate
+	atomic.StoreUint64(&b[i+1], uint64(k)|uint64(uint32(pe))<<32) //uts:mark payload
+	atomic.StoreUint64(&b[i+2], uint64(int64(other)))             //uts:mark payload
+	atomic.StoreUint64(&b[i+3], uint64(value))                    //uts:mark payload
+	atomic.StoreUint64(&b[i+4], uint64(wall))                     //uts:mark payload
+	atomic.StoreUint64(&b[i+5], uint64(virt))                     //uts:mark payload
+	atomic.StoreUint64(&b[i], seq+1)                              //uts:mark publish
 	r.pos.Store(seq + 1)
 }
 

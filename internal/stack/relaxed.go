@@ -63,15 +63,15 @@ type Relaxed struct {
 
 	// Owner-private state. The single-writer discipline is what keeps the
 	// publish path free of read-modify-write operations.
-	ownerMark int32                // ledger mark for owner retracts (owner id + 1)
-	seq       uint64               // last assigned publish sequence number
-	bot       uint64               // next publish position (slot = bot % RelaxedSlots)
+	ownerMark int32  // ledger mark for owner retracts (owner id + 1)
+	seq       uint64 // last assigned publish sequence number
+	bot       uint64 // next publish position (slot = bot % RelaxedSlots)
 	// shadow[p] is seq<<1 | consumedBit for the sequence last published at
 	// position p (0 = never published); the low bit records the owner's
 	// knowledge that the sequence is consumed. One word per position keeps
 	// the publish and retract bookkeeping to a single array access.
 	shadow [RelaxedSlots]uint64
-	live      int                  // published positions not yet known consumed
+	live   int // published positions not yet known consumed
 	// scanTop is the retract scan cursor: every position strictly above it
 	// (1-based absolute position index) is known consumed, so a retract
 	// resumes where the previous one stopped instead of re-skipping the
@@ -159,7 +159,7 @@ func NewRelaxed(owner int) *Relaxed {
 func pubWord(s uint64) uint64 { return s << relaxedTagBits }
 
 func claimWord(s uint64, tag int) uint64 {
-	return s<<relaxedTagBits | uint64(tag&(relaxedTagMask-1))+1
+	return s<<relaxedTagBits | uint64(tag&(relaxedTagMask-1)) + 1
 }
 
 // entry locates the ledger entry of sequence s. A nil return means the
@@ -284,7 +284,12 @@ func (r *Relaxed) Full() bool {
 // clobbered, never-consumed publication: the caller owns it again and
 // must put it back to work.
 //
+// The ledger entry (count word) must be complete before the slot store
+// makes the sequence number visible to thieves — ordercheck enforces
+// the declared invariant by dominance.
+//
 //uts:noalloc
+//uts:orders ledger<slot
 func (r *Relaxed) Publish(c Chunk) (Chunk, bool) {
 	var recovered Chunk
 	p := r.bot % RelaxedSlots
@@ -305,8 +310,8 @@ func (r *Relaxed) Publish(c Chunk) (Chunk, bool) {
 	if len(c) > 0 {
 		seg.ptr[i] = &c[0]
 	}
-	seg.n[i] = int32(len(c))
-	r.slots[p].w.Store(pubWord(s))
+	seg.n[i] = int32(len(c))       //uts:mark ledger
+	r.slots[p].w.Store(pubWord(s)) //uts:mark slot
 	r.shadow[p] = s << 1
 	r.bot++
 	r.live++
